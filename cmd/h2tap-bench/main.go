@@ -1,0 +1,100 @@
+// Command h2tap-bench regenerates the paper's evaluation tables and
+// figures (§6). Each experiment prints the series of the corresponding
+// plot; EXPERIMENTS.md records the expected shapes.
+//
+// Usage:
+//
+//	h2tap-bench -list
+//	h2tap-bench -exp fig3
+//	h2tap-bench -exp all
+//	h2tap-bench -exp table1 -rmatscale 18
+//	h2tap-bench -exp all -full        # approach paper sizes (slow, big)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"h2tap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id (fig3..fig12, table1, sec66, costmodel) or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		full       = flag.Bool("full", false, "approach paper-scale sizes (slow, memory-hungry)")
+		downscale  = flag.Int("downscale", 0, "override dataset downscale factor")
+		queryScale = flag.Int("queryscale", 0, "override query-count scale factor")
+		rmatScale  = flag.Int("rmatscale", 0, "override RMAT scale for table1")
+		seed       = flag.Int64("seed", 1, "random seed")
+		skipHeavy  = flag.Bool("skip-heavy", false, "skip long-running experiments (fig9, table1)")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			heavy := ""
+			if e.Heavy {
+				heavy = " (heavy)"
+			}
+			fmt.Printf("%-10s %s%s\n", e.ID, e.Desc, heavy)
+		}
+		return
+	}
+
+	cfg := experiments.Default()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *downscale > 0 {
+		cfg.Downscale = *downscale
+	}
+	if *queryScale > 0 {
+		cfg.QueryScale = *queryScale
+	}
+	if *rmatScale > 0 {
+		cfg.RMATScale = *rmatScale
+	}
+	cfg.Seed = *seed
+
+	var toRun []experiments.Experiment
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			if *skipHeavy && e.Heavy {
+				fmt.Printf("-- skipping %s (heavy)\n\n", e.ID)
+				continue
+			}
+			toRun = append(toRun, e)
+		}
+	} else {
+		e, err := experiments.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = append(toRun, e)
+	}
+
+	if !*jsonOut {
+		fmt.Printf("h2tap-bench: downscale=%d queryscale=%d rmatscale=%d seed=%d\n\n",
+			cfg.Downscale, cfg.QueryScale, cfg.RMATScale, cfg.Seed)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, e := range toRun {
+		start := time.Now()
+		tab := e.Run(cfg)
+		tab.Note("experiment wall time: %v", time.Since(start).Round(time.Millisecond))
+		if *jsonOut {
+			if err := enc.Encode(tab.JSON()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else {
+			tab.Fprint(os.Stdout)
+		}
+	}
+}

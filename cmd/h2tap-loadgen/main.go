@@ -1,0 +1,187 @@
+// Command h2tap-loadgen generates the evaluation datasets (§6.2) — the
+// LDBC-SNB-like property graph or the Graph500-like RMAT graph — loads them
+// into the main graph store, and optionally drives the §6.2 update
+// workload against a full H2TAP instance, reporting transactional and
+// delta-store metrics.
+//
+// Usage:
+//
+//	h2tap-loadgen -kind snb -sf 1 -downscale 10
+//	h2tap-loadgen -kind rmat -scale 16
+//	h2tap-loadgen -kind snb -sf 1 -queries 10000 -mix mixed -replica dynamic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"h2tap"
+	"h2tap/internal/ldbc"
+	"h2tap/internal/snapshot"
+	"h2tap/internal/workload"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "snb", "dataset kind: snb | rmat")
+		sf        = flag.Float64("sf", 1, "SNB scale factor")
+		downscale = flag.Int("downscale", 10, "SNB downscale divisor")
+		scale     = flag.Int("scale", 14, "RMAT scale (2^scale vertices)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		queries   = flag.Int("queries", 0, "update queries to run after load (0 = load only)")
+		mix       = flag.String("mix", "mixed", "workload: mixed | insert-rel | insert-node | delete-rel | delete-node")
+		window    = flag.String("window", "hideg", "update window: lodeg | hideg")
+		replica   = flag.String("replica", "static", "replica kind for the analytics pass: static | dynamic")
+		analytics = flag.Bool("analytics", true, "run BFS/PageRank after the workload")
+		dump      = flag.String("dump", "", "write a JSONL snapshot of the final graph to this file")
+		load      = flag.String("load", "", "load the graph from a JSONL snapshot instead of generating")
+	)
+	flag.Parse()
+
+	opts := h2tap.Options{}
+	if *replica == "dynamic" {
+		opts.Replica = h2tap.DynamicHash
+	}
+	db, err := h2tap.Open(opts)
+	if err != nil {
+		fail(err)
+	}
+	defer db.Close()
+
+	var ds *ldbc.Dataset
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fail(err)
+		}
+		loadStart := time.Now()
+		if _, err := snapshot.Read(f, db.Store()); err != nil {
+			f.Close()
+			fail(err)
+		}
+		f.Close()
+		fmt.Printf("loaded snapshot %s: %d nodes, %d relationships (%v)\n",
+			*load, db.Stats().LiveNodes, db.Stats().LiveRels,
+			time.Since(loadStart).Round(time.Millisecond))
+	} else {
+		genStart := time.Now()
+		switch *kind {
+		case "snb":
+			ds = ldbc.GenerateSNB(ldbc.SNBConfig{SF: *sf, Downscale: *downscale, Seed: *seed})
+		case "rmat":
+			ds = ldbc.GenerateRMAT(ldbc.RMATConfig{Scale: *scale, Seed: *seed})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset kind %q\n", *kind)
+			os.Exit(2)
+		}
+		fmt.Printf("generated %s dataset: %d nodes, %d edges (%v)\n",
+			*kind, ds.NumNodes(), ds.NumEdges(), time.Since(genStart).Round(time.Millisecond))
+
+		loadStart := time.Now()
+		if err := db.BulkLoad(ds.Nodes, ds.Edges); err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded into main graph in %v\n", time.Since(loadStart).Round(time.Millisecond))
+	}
+
+	if *queries > 0 {
+		if ds == nil || *kind != "snb" {
+			fmt.Fprintln(os.Stderr, "the §6.2 workload requires a generated -kind snb graph (Person/Post labels)")
+			os.Exit(2)
+		}
+		wk := workload.HiDeg
+		if *window == "lodeg" {
+			wk = workload.LoDeg
+		}
+		win := workload.DegreeWindow(db.Store(), db.SnapshotTS(), ds.Persons, wk, len(ds.Persons)/10)
+		g := workload.NewGenerator(win, ds.Posts, *seed)
+		var ops []workload.Op
+		switch *mix {
+		case "mixed":
+			ops = g.Mixed(*queries)
+		case "insert-rel":
+			ops = g.Ops(workload.InsertRel, *queries)
+		case "insert-node":
+			ops = g.Ops(workload.InsertNode, *queries)
+		case "delete-rel":
+			ops = g.Ops(workload.DeleteRel, *queries)
+		case "delete-node":
+			ops = g.Ops(workload.DeleteNode, *queries)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mix)
+			os.Exit(2)
+		}
+		res := workload.Run(db.Store(), ops)
+		fmt.Printf("workload: %d committed, %d aborted, %d skipped in %v (%.0f txn/s)\n",
+			res.Committed, res.Aborted, res.Skipped, res.Duration.Round(time.Millisecond),
+			float64(res.Committed)/res.Duration.Seconds())
+	}
+
+	st := db.Stats()
+	fmt.Printf("graph: %d live nodes, %d live relationships\n", st.LiveNodes, st.LiveRels)
+	fmt.Printf("delta store: %d records, %s payload, delta mode %v\n",
+		st.DeltaRecords, byteStr(st.DeltaBytes), st.DeltaMode)
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fail(err)
+		}
+		if err := snapshot.Write(f, db.Store(), db.SnapshotTS()); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		st, _ := os.Stat(*dump)
+		fmt.Printf("dumped snapshot to %s (%d bytes)\n", *dump, st.Size())
+	}
+
+	if *analytics {
+		res, err := db.RunAnalytics(h2tap.BFS, 0)
+		if err != nil {
+			fail(err)
+		}
+		reach := 0
+		for _, l := range res.Levels {
+			if l >= 0 {
+				reach++
+			}
+		}
+		fmt.Printf("BFS from 0: %d reachable, propagation %v, kernel(sim) %v\n",
+			reach, res.Propagation.Total.Total().Round(time.Microsecond),
+			time.Duration(res.KernelSim).Round(time.Microsecond))
+
+		pr, err := db.RunAnalytics(h2tap.PageRank, 0)
+		if err != nil {
+			fail(err)
+		}
+		best, bestRank := 0, 0.0
+		for i, r := range pr.Ranks {
+			if r > bestRank {
+				best, bestRank = i, r
+			}
+		}
+		fmt.Printf("PageRank: top vertex %d (%.6f), kernel(sim) %v\n",
+			best, bestRank, time.Duration(pr.KernelSim).Round(time.Microsecond))
+	}
+}
+
+func byteStr(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "h2tap-loadgen:", err)
+	os.Exit(1)
+}

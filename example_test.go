@@ -1,0 +1,87 @@
+package h2tap_test
+
+import (
+	"fmt"
+
+	"h2tap"
+)
+
+// The minimal H2TAP loop: transactions on the main property graph, then
+// analytics on the replica — propagation happens automatically when the
+// replica is stale.
+func Example() {
+	db, err := h2tap.Open(h2tap.Options{})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	tx := db.Begin()
+	a, _ := tx.AddNode("Person", map[string]h2tap.Value{"name": h2tap.Str("ada")})
+	b, _ := tx.AddNode("Person", map[string]h2tap.Value{"name": h2tap.Str("bob")})
+	c, _ := tx.AddNode("Person", map[string]h2tap.Value{"name": h2tap.Str("cyd")})
+	tx.AddRel(a, b, "knows", 1)
+	tx.AddRel(b, c, "knows", 1)
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+
+	res, err := db.RunAnalytics(h2tap.BFS, a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bfs level of cyd:", res.Levels[c])
+	// Output: bfs level of cyd: 2
+}
+
+// Transactional traversal queries run against the main graph under MVTO
+// snapshot semantics, independent of the analytics replica.
+func ExampleTx_Match() {
+	db, _ := h2tap.Open(h2tap.Options{})
+	defer db.Close()
+
+	tx := db.Begin()
+	for i, name := range []string{"ada", "bob", "cyd"} {
+		tx.AddNode("Person", map[string]h2tap.Value{
+			"name": h2tap.Str(name), "age": h2tap.Int(int64(30 + i*10)),
+		})
+	}
+	tx.Commit()
+
+	q := db.Begin()
+	defer q.Abort()
+	names, err := q.Match("Person").
+		Where("age", func(v h2tap.Value) bool { return v.AsInt() >= 40 }).
+		CollectProps("name")
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range names {
+		fmt.Println(n.AsString())
+	}
+	// Output:
+	// bob
+	// cyd
+}
+
+// Forcing a propagation cycle reports the §5 update-handling breakdown.
+func ExampleDB_Propagate() {
+	db, _ := h2tap.Open(h2tap.Options{})
+	defer db.Close()
+	tx := db.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	tx.Commit()
+	db.StartEngine()
+
+	tx2 := db.Begin()
+	tx2.AddRel(a, b, "knows", 1)
+	tx2.Commit()
+
+	rep, _ := db.Propagate()
+	fmt.Println("records consumed:", rep.Records)
+	fmt.Println("rebuild used:", rep.Rebuild)
+	// Output:
+	// records consumed: 1
+	// rebuild used: false
+}

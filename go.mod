@@ -1,0 +1,3 @@
+module h2tap
+
+go 1.22

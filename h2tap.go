@@ -1,0 +1,369 @@
+// Package h2tap is a heterogeneous hybrid transactional/analytical graph
+// processing (H2TAP) engine: ACID transactions run on a CPU-resident main
+// property graph under MVTO concurrency control, while graph analytics
+// (BFS, PageRank, SSSP, WCC) run on a GPU-resident structural replica kept
+// fresh through DELTA_FE — a fast and efficient append-only graph delta
+// store with a CSR-like layout.
+//
+// It is a from-scratch reproduction of "Fast and Efficient Update Handling
+// for Graph H2TAP" (Jibril, Al-Sayeh, Baumstark, Sattler — EDBT 2023). The
+// GPU and persistent-memory hardware of the paper's testbed are simulated
+// with calibrated cost models; see DESIGN.md for the substitution notes and
+// EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quick start:
+//
+//	db, err := h2tap.Open(h2tap.Options{})
+//	...
+//	tx := db.Begin()
+//	alice, _ := tx.AddNode("Person", map[string]h2tap.Value{"name": h2tap.Str("alice")})
+//	bob, _ := tx.AddNode("Person", map[string]h2tap.Value{"name": h2tap.Str("bob")})
+//	tx.AddRel(alice, bob, "knows", 1.0)
+//	tx.Commit()
+//
+//	res, _ := db.RunAnalytics(h2tap.PageRank, 0) // propagates deltas, runs on the replica
+package h2tap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"h2tap/internal/costmodel"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/gpu"
+	"h2tap/internal/graph"
+	"h2tap/internal/htap"
+	"h2tap/internal/mvto"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+	"h2tap/internal/wal"
+)
+
+// Re-exported types: the facade keeps user code inside this package.
+type (
+	// Tx is a read-write graph transaction.
+	Tx = graph.Tx
+	// Value is a property value.
+	Value = graph.Value
+	// NodeID identifies a node.
+	NodeID = graph.NodeID
+	// RelID identifies a relationship.
+	RelID = graph.RelID
+	// NodeSpec describes a node for bulk loading.
+	NodeSpec = graph.NodeSpec
+	// EdgeSpec describes a relationship for bulk loading.
+	EdgeSpec = graph.EdgeSpec
+	// Result is an analytics execution with its latency breakdown.
+	Result = htap.Result
+	// Ticket is a queued analytics request.
+	Ticket = htap.Ticket
+	// AnalyticsKind identifies a graph algorithm.
+	AnalyticsKind = htap.AnalyticsKind
+	// ReplicaKind selects the GPU-side replica structure.
+	ReplicaKind = htap.ReplicaKind
+	// PropagationReport describes one update-propagation cycle.
+	PropagationReport = htap.PropagationReport
+)
+
+// Property value constructors.
+var (
+	Int   = graph.Int
+	Float = graph.Float
+	Str   = graph.Str
+	Bool  = graph.Bool
+)
+
+// Analytics kinds.
+const (
+	BFS      = htap.BFS
+	PageRank = htap.PageRank
+	SSSP     = htap.SSSP
+	WCC      = htap.WCC
+	CDLP     = htap.CDLP
+	LCC      = htap.LCC
+)
+
+// Replica kinds.
+const (
+	// StaticCSR is the static replica path: delta merge into a CPU CSR
+	// copy, full CSR transfer to the device (§5.4).
+	StaticCSR = htap.StaticCSR
+	// DynamicHash is the dynamic replica path: coalesced delta transfer,
+	// batched ingestion into a hash-table-per-vertex structure (§5.4).
+	DynamicHash = htap.DynamicHash
+)
+
+// Options configures Open.
+type Options struct {
+	// Replica selects the GPU-side structure (default StaticCSR).
+	Replica ReplicaKind
+	// Undirected switches the main graph to undirected mode: relationships
+	// have no orientation, appear in both endpoints' adjacency, and commit
+	// two deltas each (§5.1).
+	Undirected bool
+	// PersistDir, when non-empty, stores the delta store and the recovery
+	// CSR copy in simulated persistent memory under this directory (§6.5).
+	PersistDir string
+	// PersistPoolSize bounds each persistent pool (default 1 GiB).
+	PersistPoolSize int64
+	// EnableCostModel calibrates the §6.4 cost model when the analytics
+	// engine starts and lets the delta store switch to rebuild mode past
+	// the fitted threshold.
+	EnableCostModel bool
+	// PageRankIters and Damping parameterize PageRank (defaults 10, 0.85).
+	PageRankIters int
+	Damping       float64
+	// Device overrides the simulated GPU (default: an A100-like device).
+	Device *gpu.Device
+}
+
+// DB is an open H2TAP database.
+type DB struct {
+	opts  Options
+	store *graph.Store
+	ds    *deltastore.Store
+
+	deltaPool *pmem.Pool
+	csrPool   *pmem.Pool
+	wal       *wal.Log
+
+	engineOnce sync.Once
+	engine     *htap.Engine
+	engineErr  error
+	queue      *htap.Queue
+}
+
+// Open creates an empty database. Load data with Begin/Commit transactions
+// or BulkLoad, then run analytics; the replica engine starts lazily on the
+// first analytics call (or explicitly via StartEngine).
+func Open(opts Options) (*DB, error) {
+	db := &DB{opts: opts}
+	if opts.Undirected {
+		db.store = graph.NewUndirectedStore()
+	} else {
+		db.store = graph.NewStore()
+	}
+	if opts.PersistDir != "" {
+		size := opts.PersistPoolSize
+		if size == 0 {
+			size = 1 << 30
+		}
+		if err := os.MkdirAll(opts.PersistDir, 0o755); err != nil {
+			return nil, fmt.Errorf("h2tap: persist dir: %w", err)
+		}
+		deltaPath := filepath.Join(opts.PersistDir, "delta.pool")
+		csrPath := filepath.Join(opts.PersistDir, "csr.pool")
+		walPath := filepath.Join(opts.PersistDir, "graph.wal")
+		if _, err := os.Stat(walPath); err == nil {
+			// Recover the main graph from its write-ahead log before
+			// anything else touches the store.
+			if _, err := wal.Replay(walPath, db.store); err != nil {
+				return nil, fmt.Errorf("h2tap: main graph recovery: %w", err)
+			}
+		}
+		var err error
+		if db.wal, err = wal.Open(walPath, wal.Options{}); err != nil {
+			return nil, err
+		}
+		db.store.AddOpLogger(db.wal)
+		if _, err := os.Stat(deltaPath); err == nil {
+			// Existing pools: recover (§6.5 instant recovery). The delta
+			// store resumes with its durable records; the engine's initial
+			// replica build consumes whatever the replica already covers.
+			if db.deltaPool, err = pmem.Open(deltaPath, sim.DefaultPMem()); err != nil {
+				return nil, err
+			}
+			if db.csrPool, err = pmem.Open(csrPath, sim.DefaultPMem()); err != nil {
+				return nil, err
+			}
+			if db.ds, err = deltastore.OpenPersistent(db.deltaPool); err != nil {
+				return nil, err
+			}
+		} else {
+			if db.deltaPool, err = pmem.Create(deltaPath, size, sim.DefaultPMem()); err != nil {
+				return nil, err
+			}
+			if db.csrPool, err = pmem.Create(csrPath, size, sim.DefaultPMem()); err != nil {
+				return nil, err
+			}
+			if db.ds, err = deltastore.NewPersistent(db.deltaPool); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		db.ds = deltastore.NewVolatile()
+	}
+	db.store.AddCapturer(db.ds)
+	return db, nil
+}
+
+// Begin starts a read-write transaction on the main graph.
+func (db *DB) Begin() *Tx { return db.store.Begin() }
+
+// BulkLoad loads an initial dataset, bypassing per-operation transaction
+// overhead. It must run before concurrent transactions.
+func (db *DB) BulkLoad(nodes []NodeSpec, edges []EdgeSpec) error {
+	_, err := db.store.BulkLoad(nodes, edges)
+	return err
+}
+
+// StartEngine builds the initial replica from the current committed
+// snapshot and starts the analytics machinery. It is called implicitly by
+// the first RunAnalytics/Submit.
+func (db *DB) StartEngine() error {
+	db.engineOnce.Do(func() {
+		cfg := htap.Config{
+			Replica:       db.opts.Replica,
+			Device:        db.opts.Device,
+			PageRankIters: db.opts.PageRankIters,
+			Damping:       db.opts.Damping,
+			PersistPool:   db.csrPool,
+		}
+		if db.opts.EnableCostModel {
+			m, err := htap.Calibrate(db.store)
+			if err != nil {
+				db.engineErr = fmt.Errorf("h2tap: cost model calibration: %w", err)
+				return
+			}
+			cfg.CostModel = m
+		}
+		// The engine registers its own delta store as a capturer; hand it
+		// ours instead so deltas captured before engine start are not lost.
+		cfg.DeltaStore = db.ds
+		e, err := htap.NewEngineWithExistingCapturer(db.store, cfg)
+		if err != nil {
+			db.engineErr = err
+			return
+		}
+		db.engine = e
+		db.queue = htap.NewQueue(e)
+	})
+	return db.engineErr
+}
+
+// RunAnalytics executes one analytics request synchronously with §4.3
+// freshness semantics (propagating pending deltas first if needed). src is
+// the source vertex for BFS and SSSP.
+func (db *DB) RunAnalytics(kind AnalyticsKind, src NodeID) (*Result, error) {
+	if err := db.StartEngine(); err != nil {
+		return nil, err
+	}
+	return db.engine.RunAnalytics(kind, src)
+}
+
+// Submit enqueues an analytics request on the §4.3 dispatch queue and
+// returns a ticket to wait on. Fresh requests run concurrently; stale ones
+// trigger pipelined update propagation.
+func (db *DB) Submit(kind AnalyticsKind, src NodeID) (*Ticket, error) {
+	if err := db.StartEngine(); err != nil {
+		return nil, err
+	}
+	return db.queue.Submit(kind, src)
+}
+
+// Propagate forces one update-propagation cycle.
+func (db *DB) Propagate() (*PropagationReport, error) {
+	if err := db.StartEngine(); err != nil {
+		return nil, err
+	}
+	return db.engine.Propagate()
+}
+
+// Stats is a point-in-time snapshot of system counters.
+type Stats struct {
+	LiveNodes, LiveRels int64
+	DeltaRecords        uint64
+	DeltaBytes          uint64 // the §6.3 footprint metric
+	DeltaMode           bool
+	ReplicaTS           uint64
+	Propagations        int64
+	Rebuilds            int64
+	DeviceMemUsed       int64
+	DeviceSimTime       sim.Duration
+}
+
+// Stats reports current counters.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		LiveNodes:    db.store.LiveNodes(),
+		LiveRels:     db.store.LiveRels(),
+		DeltaRecords: db.ds.Records(),
+		DeltaBytes:   db.ds.ArrayBytes(),
+		DeltaMode:    db.ds.DeltaMode(),
+	}
+	if db.engine != nil {
+		st.ReplicaTS = uint64(db.engine.ReplicaTS())
+		st.Propagations = db.engine.Propagations()
+		st.Rebuilds = db.engine.Rebuilds()
+		st.DeviceMemUsed = db.engine.Device().MemUsed()
+		st.DeviceSimTime = db.engine.Device().SimTime()
+	}
+	return st
+}
+
+// LastCommitted reports the newest committed transaction timestamp.
+func (db *DB) LastCommitted() uint64 {
+	return uint64(db.store.Oracle().LastCommitted())
+}
+
+// SnapshotTS returns a timestamp covering everything committed so far, for
+// use with snapshot read helpers.
+func (db *DB) SnapshotTS() mvto.TS { return db.store.Oracle().LastCommitted() }
+
+// Store exposes the underlying graph store for advanced use (snapshot
+// reads, degree queries).
+func (db *DB) Store() *graph.Store { return db.store }
+
+// Engine exposes the underlying H2TAP engine after StartEngine.
+func (db *DB) Engine() *htap.Engine { return db.engine }
+
+// DeltaStore exposes the underlying DELTA_FE store.
+func (db *DB) DeltaStore() *deltastore.Store { return db.ds }
+
+// Checkpoint compacts the write-ahead log to a snapshot of the current
+// committed state (a no-op without PersistDir). Call from a maintenance
+// window: concurrent commits during the swap would race the log rotation.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return nil
+	}
+	if err := db.wal.Close(); err != nil {
+		return fmt.Errorf("h2tap: checkpoint: %w", err)
+	}
+	nl, err := wal.Checkpoint(
+		filepath.Join(db.opts.PersistDir, "graph.wal"),
+		db.store, db.store.Oracle().LastCommitted(), wal.Options{})
+	if err != nil {
+		return fmt.Errorf("h2tap: checkpoint: %w", err)
+	}
+	db.wal = nl
+	db.store.SetOpLoggers(nl)
+	return nil
+}
+
+// Close shuts the queue down and closes the write-ahead log and persistent
+// pools.
+func (db *DB) Close() error {
+	if db.queue != nil {
+		db.queue.Close()
+	}
+	var firstErr error
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, p := range []*pmem.Pool{db.deltaPool, db.csrPool} {
+		if p != nil {
+			if err := p.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// CostModel re-exports the §6.4 cost model type for advanced configuration.
+type CostModel = costmodel.Model

@@ -1,0 +1,301 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/dyngraph"
+)
+
+// chain: 0→1→2→3, plus 4 isolated.
+func chainCSR() *csr.CSR {
+	return &csr.CSR{
+		Off: []int64{0, 1, 2, 3, 3, 3},
+		Col: []uint64{1, 2, 3},
+		Val: []float64{1, 2, 3},
+	}
+}
+
+// diamond: 0→1 (w1), 0→2 (w4), 1→3 (w1), 2→3 (w1)
+func diamondCSR() *csr.CSR {
+	return &csr.CSR{
+		Off: []int64{0, 2, 3, 4, 4},
+		Col: []uint64{1, 2, 3, 3},
+		Val: []float64{1, 4, 1, 1},
+	}
+}
+
+func TestBFSChain(t *testing.T) {
+	levels, st := BFS(CSRGraph{chainCSR()}, 0)
+	want := []int32{0, 1, 2, 3, Unreachable}
+	if !reflect.DeepEqual(levels, want) {
+		t.Fatalf("levels = %v, want %v", levels, want)
+	}
+	if st.Edges != 3 || st.Iterations != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBFSFromMiddleAndOutOfRange(t *testing.T) {
+	levels, _ := BFS(CSRGraph{chainCSR()}, 2)
+	if levels[0] != Unreachable || levels[2] != 0 || levels[3] != 1 {
+		t.Fatalf("levels = %v", levels)
+	}
+	levels, st := BFS(CSRGraph{chainCSR()}, 99)
+	for _, l := range levels {
+		if l != Unreachable {
+			t.Fatalf("out-of-range source reached something: %v", levels)
+		}
+	}
+	if st.Edges != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSSSPDiamond(t *testing.T) {
+	dists, st := SSSP(CSRGraph{diamondCSR()}, 0)
+	want := []float64{0, 1, 4, 2}
+	if !reflect.DeepEqual(dists, want) {
+		t.Fatalf("dists = %v, want %v", dists, want)
+	}
+	if st.Edges < 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSSSPUnreachableIsInf(t *testing.T) {
+	dists, _ := SSSP(CSRGraph{chainCSR()}, 0)
+	if !math.IsInf(dists[4], 1) {
+		t.Fatalf("isolated node dist = %v", dists[4])
+	}
+}
+
+func TestSSSPNegativeWeightPanics(t *testing.T) {
+	bad := &csr.CSR{Off: []int64{0, 1, 1}, Col: []uint64{1}, Val: []float64{-1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	SSSP(CSRGraph{bad}, 0)
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	for _, c := range []*csr.CSR{chainCSR(), diamondCSR()} {
+		ranks, st := PageRank(CSRGraph{c}, 10, 0.85)
+		var sum float64
+		for _, r := range ranks {
+			sum += r
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("rank sum = %v", sum)
+		}
+		if st.Iterations != 10 {
+			t.Fatalf("stats = %+v", st)
+		}
+	}
+}
+
+func TestPageRankOrdering(t *testing.T) {
+	// In the diamond, node 3 receives from two paths and should outrank
+	// nodes 1 and 2.
+	ranks, _ := PageRank(CSRGraph{diamondCSR()}, 30, 0.85)
+	if !(ranks[3] > ranks[1] && ranks[3] > ranks[2]) {
+		t.Fatalf("ranks = %v", ranks)
+	}
+}
+
+func TestWCC(t *testing.T) {
+	// Components: {0,1,2,3} via chain, {4} isolated.
+	comp, st := WCC(CSRGraph{chainCSR()})
+	if comp[0] != comp[3] || comp[0] != 0 {
+		t.Fatalf("chain components = %v", comp)
+	}
+	if comp[4] != 4 {
+		t.Fatalf("isolated component = %v", comp[4])
+	}
+	if st.Edges != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Direction must not matter: reverse edge graph gives same partition.
+	rev := &csr.CSR{Off: []int64{0, 0, 1, 2, 3, 3}, Col: []uint64{0, 1, 2}, Val: []float64{1, 1, 1}}
+	comp2, _ := WCC(CSRGraph{rev})
+	if comp2[0] != comp2[3] {
+		t.Fatalf("reversed chain components = %v", comp2)
+	}
+}
+
+// randomCSR builds a random simple graph for cross-implementation checks.
+func randomCSR(seed int64, n, avgDeg int) *csr.CSR {
+	r := rand.New(rand.NewSource(seed))
+	c := &csr.CSR{Off: make([]int64, n+1)}
+	for u := 0; u < n; u++ {
+		deg := r.Intn(avgDeg * 2)
+		used := map[uint64]bool{}
+		var cols []uint64
+		for len(cols) < deg {
+			v := uint64(r.Intn(n))
+			if !used[v] {
+				used[v] = true
+				cols = append(cols, v)
+			}
+		}
+		sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+		for _, v := range cols {
+			c.Col = append(c.Col, v)
+			c.Val = append(c.Val, float64(r.Intn(9)+1))
+		}
+		c.Off[u+1] = int64(len(c.Col))
+	}
+	return c
+}
+
+// The same graph served by CSR and by the dynamic structure must give
+// identical analytics results (neighbor iteration order may differ, results
+// may not).
+func TestKernelsAgreeAcrossStructures(t *testing.T) {
+	c := randomCSR(11, 300, 4)
+	dg := dyngraph.FromCSR(c)
+
+	l1, _ := BFS(CSRGraph{c}, 0)
+	l2, _ := BFS(dg, 0)
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatal("BFS differs between CSR and dynamic structure")
+	}
+
+	d1, _ := SSSP(CSRGraph{c}, 0)
+	d2, _ := SSSP(dg, 0)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("SSSP differs at %d: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+
+	r1, _ := PageRank(CSRGraph{c}, 5, 0.85)
+	r2, _ := PageRank(dg, 5, 0.85)
+	for i := range r1 {
+		if math.Abs(r1[i]-r2[i]) > 1e-12 {
+			t.Fatalf("PageRank differs at %d: %v vs %v", i, r1[i], r2[i])
+		}
+	}
+
+	c1, _ := WCC(CSRGraph{c})
+	c2, _ := WCC(dg)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("WCC differs between CSR and dynamic structure")
+	}
+}
+
+// Property checks on random graphs.
+func TestBFSInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := randomCSR(seed, 200, 3)
+		g := CSRGraph{c}
+		levels, _ := BFS(g, 0)
+		if levels[0] != 0 {
+			t.Fatal("source level != 0")
+		}
+		// Edge relaxation: level[v] <= level[u]+1 for reachable u.
+		for u := 0; u < c.NumNodes(); u++ {
+			if levels[u] == Unreachable {
+				continue
+			}
+			g.ForEachNeighbor(uint64(u), func(v uint64, _ float64) bool {
+				if levels[v] == Unreachable || levels[v] > levels[u]+1 {
+					t.Fatalf("seed %d: BFS level invariant broken on %d→%d (%d, %d)",
+						seed, u, v, levels[u], levels[v])
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestSSSPInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := randomCSR(seed+100, 200, 3)
+		g := CSRGraph{c}
+		dist, _ := SSSP(g, 0)
+		if dist[0] != 0 {
+			t.Fatal("source dist != 0")
+		}
+		// Triangle inequality on every edge from a reachable node.
+		for u := 0; u < c.NumNodes(); u++ {
+			if math.IsInf(dist[u], 1) {
+				continue
+			}
+			g.ForEachNeighbor(uint64(u), func(v uint64, w float64) bool {
+				if dist[v] > dist[u]+w+1e-9 {
+					t.Fatalf("seed %d: SSSP not settled on %d→%d", seed, u, v)
+				}
+				return true
+			})
+		}
+		// Consistency with BFS reachability.
+		levels, _ := BFS(g, 0)
+		for i := range dist {
+			if (levels[i] == Unreachable) != math.IsInf(dist[i], 1) {
+				t.Fatalf("seed %d: BFS/SSSP reachability disagrees at %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestWCCMatchesReferenceDFS(t *testing.T) {
+	c := randomCSR(5, 120, 2)
+	comp, _ := WCC(CSRGraph{c})
+	// Reference: undirected DFS.
+	adj := make([][]uint64, c.NumNodes())
+	for u := 0; u < c.NumNodes(); u++ {
+		col, _ := c.Row(uint64(u))
+		for _, v := range col {
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], uint64(u))
+		}
+	}
+	ref := make([]uint64, c.NumNodes())
+	for i := range ref {
+		ref[i] = math.MaxUint64
+	}
+	for s := 0; s < c.NumNodes(); s++ {
+		if ref[s] != math.MaxUint64 {
+			continue
+		}
+		stack := []uint64{uint64(s)}
+		ref[s] = uint64(s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if ref[v] == math.MaxUint64 {
+					ref[v] = uint64(s)
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	for i := range comp {
+		for j := range comp {
+			if (comp[i] == comp[j]) != (ref[i] == ref[j]) {
+				t.Fatalf("WCC partition differs from DFS at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	empty := &csr.CSR{Off: []int64{0}}
+	if r, _ := PageRank(CSRGraph{empty}, 3, 0.85); r != nil {
+		t.Fatalf("PageRank on empty graph = %v", r)
+	}
+	if l, _ := BFS(CSRGraph{empty}, 0); len(l) != 0 {
+		t.Fatalf("BFS on empty graph = %v", l)
+	}
+	if c, _ := WCC(CSRGraph{empty}); len(c) != 0 {
+		t.Fatalf("WCC on empty graph = %v", c)
+	}
+}

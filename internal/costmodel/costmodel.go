@@ -1,0 +1,194 @@
+// Package costmodel implements the §6.4 cost model that decides between
+// delta-based update propagation and a full CSR rebuild. It fits the four
+// linear correlations the paper identifies — delta store scan time vs
+// number of deltas (Fig 10b), the copy part of the merge vs graph size
+// (Fig 9b), the modify part of the merge vs number of deltas (Fig 10c), and
+// CSR rebuild time vs graph size (Fig 9a) — and derives the delta-count
+// threshold at which the rebuild becomes cheaper, which the delta store's
+// delta-mode flag enforces (§6.4).
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Linear is a univariate linear model y = A + B·x.
+type Linear struct {
+	A, B float64
+}
+
+// ErrInsufficientData reports a fit attempt with fewer than two distinct
+// sample points.
+var ErrInsufficientData = errors.New("costmodel: need at least two distinct sample points")
+
+// Fit computes the least-squares line through (xs, ys).
+func Fit(xs, ys []float64) (Linear, error) {
+	if len(xs) != len(ys) {
+		return Linear{}, fmt.Errorf("costmodel: Fit: %d xs vs %d ys", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return Linear{}, ErrInsufficientData
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Linear{}, ErrInsufficientData
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	return Linear{A: a, B: b}, nil
+}
+
+// Predict evaluates the model at x.
+func (l Linear) Predict(x float64) float64 { return l.A + l.B*x }
+
+// R2 reports the coefficient of determination of the model on (xs, ys).
+func (l Linear) R2(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i := range xs {
+		d := ys[i] - l.Predict(xs[i])
+		ssRes += d * d
+		t := ys[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Model is the four-component §6.4 cost model. Times are in seconds; delta
+// counts and graph sizes (edges) are the x variables.
+type Model struct {
+	// Scan: delta store scan time vs number of deltas (Fig 10b).
+	Scan Linear
+	// Copy: the copying part of the merge vs graph size (Fig 9b).
+	Copy Linear
+	// Modify: the modifying part of the merge vs number of deltas (Fig 10c).
+	Modify Linear
+	// Rebuild: CSR rebuild time vs graph size (Fig 9a).
+	Rebuild Linear
+}
+
+// DeltaOverhead predicts the update-propagation cost of the delta approach
+// for n deltas on a graph of the given size: scan + merge, where merge =
+// copy part (size-dependent) + modify part (delta-dependent).
+func (m *Model) DeltaOverhead(nDeltas, graphEdges float64) float64 {
+	return m.Scan.Predict(nDeltas) + m.Copy.Predict(graphEdges) + m.Modify.Predict(nDeltas)
+}
+
+// RebuildOverhead predicts the cost of the rebuild approach.
+func (m *Model) RebuildOverhead(graphEdges float64) float64 {
+	return m.Rebuild.Predict(graphEdges)
+}
+
+// Threshold computes the §6.4 delta-size threshold for a graph of the given
+// size: "the minimum number of deltas for which the rebuild overhead is
+// less than the delta overhead". Solving
+//
+//	scan(n) + modify(n) + copy(size) = rebuild(size)
+//
+// for n. Returns 0 (meaning "always rebuild") when the rebuild is cheaper
+// even with no deltas, and MaxUint64 (never rebuild) when the per-delta
+// slope is non-positive.
+func (m *Model) Threshold(graphEdges float64) uint64 {
+	perDelta := m.Scan.B + m.Modify.B
+	fixed := m.Scan.A + m.Modify.A + m.Copy.Predict(graphEdges)
+	budget := m.RebuildOverhead(graphEdges) - fixed
+	if budget <= 0 {
+		return 0
+	}
+	if perDelta <= 0 {
+		return math.MaxUint64
+	}
+	n := budget / perDelta
+	if n >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	return uint64(n)
+}
+
+// Sample is one calibration observation.
+type Sample struct {
+	X float64 // deltas or edges, depending on the series
+	Y float64 // seconds
+}
+
+// Calibration collects observations for the four series and fits the model.
+type Calibration struct {
+	ScanSamples    []Sample
+	CopySamples    []Sample
+	ModifySamples  []Sample
+	RebuildSamples []Sample
+}
+
+// AddScan records a scan observation (n deltas, seconds).
+func (c *Calibration) AddScan(n, secs float64) {
+	c.ScanSamples = append(c.ScanSamples, Sample{n, secs})
+}
+
+// AddCopy records a copy observation (graph edges, seconds).
+func (c *Calibration) AddCopy(edges, secs float64) {
+	c.CopySamples = append(c.CopySamples, Sample{edges, secs})
+}
+
+// AddModify records a merge-modify observation (n deltas, seconds).
+func (c *Calibration) AddModify(n, secs float64) {
+	c.ModifySamples = append(c.ModifySamples, Sample{n, secs})
+}
+
+// AddRebuild records a rebuild observation (graph edges, seconds).
+func (c *Calibration) AddRebuild(edges, secs float64) {
+	c.RebuildSamples = append(c.RebuildSamples, Sample{edges, secs})
+}
+
+// Fit produces the model from the collected samples.
+func (c *Calibration) Fit() (*Model, error) {
+	fit := func(name string, ss []Sample) (Linear, error) {
+		xs := make([]float64, len(ss))
+		ys := make([]float64, len(ss))
+		for i, s := range ss {
+			xs[i], ys[i] = s.X, s.Y
+		}
+		l, err := Fit(xs, ys)
+		if err != nil {
+			return Linear{}, fmt.Errorf("costmodel: %s series: %w", name, err)
+		}
+		return l, nil
+	}
+	var m Model
+	var err error
+	if m.Scan, err = fit("scan", c.ScanSamples); err != nil {
+		return nil, err
+	}
+	if m.Copy, err = fit("copy", c.CopySamples); err != nil {
+		return nil, err
+	}
+	if m.Modify, err = fit("modify", c.ModifySamples); err != nil {
+		return nil, err
+	}
+	if m.Rebuild, err = fit("rebuild", c.RebuildSamples); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

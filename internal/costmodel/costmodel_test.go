@@ -1,0 +1,172 @@
+package costmodel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.A-1) > 1e-12 || math.Abs(l.B-2) > 1e-12 {
+		t.Fatalf("fit = %+v, want A=1 B=2", l)
+	}
+	if r2 := l.R2(xs, ys); math.Abs(r2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", r2)
+	}
+}
+
+func TestFitNoisyLine(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for i := 0; i < 200; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 0.5+0.03*x+r.NormFloat64()*0.1)
+	}
+	l, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.B-0.03) > 0.005 {
+		t.Fatalf("slope = %v, want ≈0.03", l.B)
+	}
+	if l.R2(xs, ys) < 0.9 {
+		t.Fatalf("R2 = %v", l.R2(xs, ys))
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("one point = %v", err)
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("degenerate x = %v", err)
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func modelForTest() *Model {
+	return &Model{
+		Scan:    Linear{A: 0.01, B: 2e-6},   // 2 µs per delta
+		Copy:    Linear{A: 0.005, B: 5e-8},  // 50 ns per edge
+		Modify:  Linear{A: 0.002, B: 5e-7},  // 0.5 µs per delta
+		Rebuild: Linear{A: 0.05, B: 1.5e-6}, // 1.5 µs per edge
+	}
+}
+
+func TestThresholdCrossover(t *testing.T) {
+	m := modelForTest()
+	const edges = 1e6
+	th := m.Threshold(edges)
+	if th == 0 || th == math.MaxUint64 {
+		t.Fatalf("threshold = %d", th)
+	}
+	// Just below the threshold the delta approach wins; just above, rebuild
+	// wins.
+	below := float64(th) * 0.9
+	above := float64(th) * 1.1
+	if m.DeltaOverhead(below, edges) >= m.RebuildOverhead(edges) {
+		t.Fatalf("delta should win below threshold: %v vs %v",
+			m.DeltaOverhead(below, edges), m.RebuildOverhead(edges))
+	}
+	if m.DeltaOverhead(above, edges) <= m.RebuildOverhead(edges) {
+		t.Fatalf("rebuild should win above threshold")
+	}
+}
+
+func TestThresholdGrowsWithGraphSize(t *testing.T) {
+	// Bigger graphs make rebuild costlier, so more deltas are tolerable.
+	m := modelForTest()
+	if m.Threshold(1e7) <= m.Threshold(1e6) {
+		t.Fatalf("threshold did not grow: %d vs %d", m.Threshold(1e7), m.Threshold(1e6))
+	}
+}
+
+func TestThresholdDegenerateCases(t *testing.T) {
+	// Rebuild always cheaper (tiny graph, huge fixed delta cost).
+	m := &Model{
+		Scan:    Linear{A: 10, B: 1e-6},
+		Copy:    Linear{A: 0, B: 0},
+		Modify:  Linear{A: 0, B: 0},
+		Rebuild: Linear{A: 0.001, B: 0},
+	}
+	if th := m.Threshold(100); th != 0 {
+		t.Fatalf("threshold = %d, want 0 (always rebuild)", th)
+	}
+	// Deltas free per unit: never rebuild.
+	m2 := &Model{
+		Scan:    Linear{A: 0, B: 0},
+		Copy:    Linear{A: 0, B: 0},
+		Modify:  Linear{A: 0, B: 0},
+		Rebuild: Linear{A: 1, B: 0},
+	}
+	if th := m2.Threshold(100); th != math.MaxUint64 {
+		t.Fatalf("threshold = %d, want MaxUint64 (never rebuild)", th)
+	}
+}
+
+func TestCalibrationFit(t *testing.T) {
+	var c Calibration
+	for i := 1; i <= 5; i++ {
+		n := float64(i * 1000)
+		c.AddScan(n, 0.01+2e-6*n)
+		c.AddModify(n, 0.002+5e-7*n)
+		e := float64(i) * 1e5
+		c.AddCopy(e, 0.005+5e-8*e)
+		c.AddRebuild(e, 0.05+1.5e-6*e)
+	}
+	m, err := c.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Scan.B-2e-6) > 1e-9 || math.Abs(m.Rebuild.B-1.5e-6) > 1e-9 {
+		t.Fatalf("fitted slopes off: %+v", m)
+	}
+}
+
+func TestCalibrationInsufficient(t *testing.T) {
+	var c Calibration
+	c.AddScan(1, 1)
+	if _, err := c.Fit(); !errors.Is(err, ErrInsufficientData) {
+		t.Fatalf("fit with one series point = %v", err)
+	}
+}
+
+// Property: Threshold is exactly the crossover of the two overhead
+// functions whenever both slopes are positive.
+func TestQuickThresholdIsCrossover(t *testing.T) {
+	f := func(sa, sb, ma, mb, ra, rb uint16, edges uint32) bool {
+		m := &Model{
+			Scan:    Linear{A: float64(sa) / 1e3, B: float64(sb)/1e6 + 1e-9},
+			Modify:  Linear{A: float64(ma) / 1e3, B: float64(mb)/1e6 + 1e-9},
+			Copy:    Linear{A: 0.001, B: 1e-8},
+			Rebuild: Linear{A: float64(ra) / 1e3, B: float64(rb)/1e6 + 1e-9},
+		}
+		e := float64(edges)
+		th := m.Threshold(e)
+		switch th {
+		case 0:
+			return m.DeltaOverhead(0, e) >= m.RebuildOverhead(e)
+		case math.MaxUint64:
+			return false // slopes are positive, cannot happen
+		default:
+			at := m.DeltaOverhead(float64(th), e) - m.RebuildOverhead(e)
+			// Within one per-delta step of the exact crossover.
+			step := m.Scan.B + m.Modify.B
+			return at <= step+1e-9
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

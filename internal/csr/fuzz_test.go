@@ -1,0 +1,125 @@
+package csr
+
+import (
+	"testing"
+
+	"h2tap/internal/delta"
+)
+
+// FuzzMerge drives Merge with fuzzer-shaped CSRs and batches: whatever the
+// fuzzer produces (decoded into structurally valid inputs), the output must
+// satisfy the CSR invariants and match the reference map-based merge.
+func FuzzMerge(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 1, 0, 4})
+	f.Add([]byte{0, 0, 0}, []byte{})
+	f.Fuzz(func(t *testing.T, graphBytes, deltaBytes []byte) {
+		const n = 8 // node space
+		// Decode graphBytes into a valid CSR over n nodes: each byte is an
+		// (src, dst) pair in nibbles; duplicates collapse.
+		rows := make([]map[uint64]float64, n)
+		for i := range rows {
+			rows[i] = map[uint64]float64{}
+		}
+		for i, b := range graphBytes {
+			src, dst := uint64(b>>4)%n, uint64(b&0xf)%n
+			rows[src][dst] = float64(i%9 + 1)
+		}
+		old := &CSR{Off: make([]int64, n+1)}
+		for u := 0; u < n; u++ {
+			for dst := uint64(0); dst < n; dst++ {
+				if w, ok := rows[u][dst]; ok {
+					old.Col = append(old.Col, dst)
+					old.Val = append(old.Val, w)
+				}
+			}
+			old.Off[u+1] = int64(len(old.Col))
+		}
+		if err := old.Validate(); err != nil {
+			t.Fatalf("setup produced invalid CSR: %v", err)
+		}
+
+		// Decode deltaBytes into one combined delta per touched node. Each
+		// byte: high nibble picks node (may exceed n for new-node rows),
+		// low nibble picks an action.
+		byNode := map[uint64]*delta.Combined{}
+		for i, b := range deltaBytes {
+			node := uint64(b>>4) % (n + 3)
+			d, ok := byNode[node]
+			if !ok {
+				d = &delta.Combined{Node: node, Inserted: node >= n}
+				byNode[node] = d
+			}
+			if d.Deleted {
+				continue
+			}
+			switch act := b & 0xf; {
+			case act == 15:
+				d.Deleted = true
+				d.Inserted = false
+				d.Ins, d.Del = nil, nil
+			case act%2 == 0: // insert edge act/2
+				dst := uint64(act/2) % n
+				set(d, dst, float64(i%9+1))
+			default: // delete edge act/2
+				dst := uint64(act/2) % n
+				unset(d, dst)
+			}
+		}
+		batch := &delta.Batch{}
+		for node := uint64(0); node < n+3; node++ {
+			if d, ok := byNode[node]; ok && !d.Empty() {
+				batch.Deltas = append(batch.Deltas, *d)
+			}
+		}
+
+		merged, _ := Merge(old, batch)
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("merged CSR invalid: %v\nold: %+v\nbatch: %+v", err, old, batch.Deltas)
+		}
+		want := refMerge(old, batch)
+		if !Equal(merged, want) {
+			t.Fatalf("merge differs from reference\nold: %+v\nbatch: %+v", old, batch.Deltas)
+		}
+	})
+}
+
+// set/unset maintain a Combined's sorted, disjoint Ins/Del lists the way a
+// delta store scan would produce them.
+func set(d *delta.Combined, dst uint64, w float64) {
+	for i := range d.Del {
+		if d.Del[i] == dst {
+			d.Del = append(d.Del[:i], d.Del[i+1:]...)
+			break
+		}
+	}
+	for i := range d.Ins {
+		if d.Ins[i].Dst == dst {
+			d.Ins[i].W = w
+			return
+		}
+		if d.Ins[i].Dst > dst {
+			d.Ins = append(d.Ins[:i], append([]delta.Edge{{Dst: dst, W: w}}, d.Ins[i:]...)...)
+			return
+		}
+	}
+	d.Ins = append(d.Ins, delta.Edge{Dst: dst, W: w})
+}
+
+func unset(d *delta.Combined, dst uint64) {
+	for i := range d.Ins {
+		if d.Ins[i].Dst == dst {
+			d.Ins = append(d.Ins[:i], d.Ins[i+1:]...)
+			break
+		}
+	}
+	for i := range d.Del {
+		if d.Del[i] == dst {
+			return
+		}
+		if d.Del[i] > dst {
+			d.Del = append(d.Del[:i], append([]uint64{dst}, d.Del[i:]...)...)
+			return
+		}
+	}
+	d.Del = append(d.Del, dst)
+}

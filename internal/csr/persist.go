@@ -1,0 +1,84 @@
+package csr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"h2tap/internal/pmem"
+)
+
+// Persistent CSR copy (§6.5): alongside the default volatile CSR, the
+// system keeps a PMem copy used only for recovery, overwritten after each
+// merge. PersistTo is that overwrite — Fig 9c measures its cost.
+
+const pcsrHeader = 16 // numNodes u64, numEdges u64
+
+// PersistTo writes the CSR into pool and returns the offset of the copy.
+// The write is a single bulk persist, charging the media model for the full
+// CSR size.
+func PersistTo(pool *pmem.Pool, c *CSR) (uint64, error) {
+	n := c.NumNodes()
+	m := len(c.Col)
+	size := pcsrHeader + (n+1)*8 + m*16
+	off, err := pool.Alloc(size)
+	if err != nil {
+		return 0, fmt.Errorf("csr: persist: %w", err)
+	}
+	buf := pool.View(off, size)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(n))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(m))
+	at := pcsrHeader
+	for _, o := range c.Off {
+		binary.LittleEndian.PutUint64(buf[at:], uint64(o))
+		at += 8
+	}
+	for _, col := range c.Col {
+		binary.LittleEndian.PutUint64(buf[at:], col)
+		at += 8
+	}
+	for _, v := range c.Val {
+		binary.LittleEndian.PutUint64(buf[at:], math.Float64bits(v))
+		at += 8
+	}
+	if err := pool.Persist(off, size); err != nil {
+		return 0, err
+	}
+	return off, nil
+}
+
+// LoadPersistent reads a CSR previously written with PersistTo — the
+// recovery path: "the delta store can be instantly recovered … the CSR is
+// also lost and would have to be rebuilt" unless this copy exists (§6.5).
+func LoadPersistent(pool *pmem.Pool, off uint64) (*CSR, error) {
+	hdr := pool.View(off, pcsrHeader)
+	n := int(binary.LittleEndian.Uint64(hdr[0:]))
+	m := int(binary.LittleEndian.Uint64(hdr[8:]))
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("csr: corrupt persistent header at %d", off)
+	}
+	size := pcsrHeader + (n+1)*8 + m*16
+	buf := pool.View(off, size)
+	c := &CSR{
+		Off: make([]int64, n+1),
+		Col: make([]uint64, m),
+		Val: make([]float64, m),
+	}
+	at := pcsrHeader
+	for i := range c.Off {
+		c.Off[i] = int64(binary.LittleEndian.Uint64(buf[at:]))
+		at += 8
+	}
+	for i := range c.Col {
+		c.Col[i] = binary.LittleEndian.Uint64(buf[at:])
+		at += 8
+	}
+	for i := range c.Val {
+		c.Val[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[at:]))
+		at += 8
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("csr: recovered CSR invalid: %w", err)
+	}
+	return c, nil
+}

@@ -1,0 +1,258 @@
+// Package delta defines the topology-change types exchanged between the
+// main property graph and the delta-store implementations, and the
+// combined-delta batch types that update propagation hands to the replica
+// data structures.
+//
+// A committing transaction describes its effect on the graph *topology*
+// (the part the GPU replica mirrors, §5.1) as one NodeDelta per node it
+// touched: relationship insertions and deletions keyed by the source node,
+// node insertion/deletion flags. Delta stores persist these; the delta
+// store scan (§5.2) combines per-node deltas from multiple transactions
+// into Combined entries for the merge (§5.4).
+package delta
+
+import (
+	"sort"
+
+	"h2tap/internal/mvto"
+)
+
+// Edge is one directed relationship as the structural replica sees it:
+// destination node and weight (edge value).
+type Edge struct {
+	Dst uint64
+	W   float64
+}
+
+// NodeDelta captures everything one transaction did to one node's topology
+// (paper §5.1: "a delta appended by a transaction T and mapped to the ID of
+// a node N captures all the updates made by T on N").
+type NodeDelta struct {
+	Node     uint64
+	Inserted bool // node newly inserted by this transaction
+	Deleted  bool // node deleted; implies all its outgoing edges are gone
+	Ins      []Edge
+	Del      []uint64 // destination node IDs of deleted outgoing relationships
+}
+
+// TxDelta is the full topology footprint of one committed transaction.
+type TxDelta struct {
+	TS    mvto.TS
+	Nodes []NodeDelta
+}
+
+// Empty reports whether the transaction changed no topology (e.g. it only
+// touched properties); such transactions append nothing to delta stores.
+func (d *TxDelta) Empty() bool { return len(d.Nodes) == 0 }
+
+// Builder accumulates a transaction's NodeDeltas with per-node
+// deduplication, preserving first-touch order.
+type Builder struct {
+	byNode map[uint64]int
+	nodes  []NodeDelta
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{byNode: make(map[uint64]int)}
+}
+
+func (b *Builder) at(node uint64) *NodeDelta {
+	if i, ok := b.byNode[node]; ok {
+		return &b.nodes[i]
+	}
+	b.byNode[node] = len(b.nodes)
+	b.nodes = append(b.nodes, NodeDelta{Node: node})
+	return &b.nodes[len(b.nodes)-1]
+}
+
+// InsertNode records that the transaction created node.
+func (b *Builder) InsertNode(node uint64) { b.at(node).Inserted = true }
+
+// DeleteNode records that the transaction deleted node. Any edge inserts or
+// deletes previously recorded for the node are dropped: the deleted flag
+// subsumes them ("this avoids storing the destination node IDs for all its
+// outgoing relationships", §5.1).
+func (b *Builder) DeleteNode(node uint64) {
+	d := b.at(node)
+	d.Deleted = true
+	d.Ins = nil
+	d.Del = nil
+}
+
+// InsertEdge records an inserted relationship src→dst with the given
+// weight, mapped to the source node (§5.1). If the same transaction deleted
+// that edge earlier, the delete is superseded: the net effect is the
+// insert (a weight update from the replica's point of view). This keeps
+// Ins and Del disjoint, so a NodeDelta is order-free.
+func (b *Builder) InsertEdge(src, dst uint64, w float64) {
+	d := b.at(src)
+	if d.Deleted {
+		return
+	}
+	for i := range d.Del {
+		if d.Del[i] == dst {
+			d.Del = append(d.Del[:i], d.Del[i+1:]...)
+			break
+		}
+	}
+	// Repeated inserts of the same destination in one transaction (weight
+	// updates) collapse to the newest weight, keeping Ins duplicate-free.
+	for i := range d.Ins {
+		if d.Ins[i].Dst == dst {
+			d.Ins[i].W = w
+			return
+		}
+	}
+	d.Ins = append(d.Ins, Edge{Dst: dst, W: w})
+}
+
+// DeleteEdge records a deleted relationship src→dst, mapped to the source
+// node. If the same transaction inserted that edge earlier, the pair
+// cancels out.
+func (b *Builder) DeleteEdge(src, dst uint64) {
+	d := b.at(src)
+	if d.Deleted {
+		return
+	}
+	for i := range d.Ins {
+		if d.Ins[i].Dst == dst {
+			d.Ins = append(d.Ins[:i], d.Ins[i+1:]...)
+			return
+		}
+	}
+	d.Del = append(d.Del, dst)
+}
+
+// Build finalizes the transaction's delta with the commit timestamp.
+// Untouched (all-zero) node entries are dropped.
+func (b *Builder) Build(ts mvto.TS) *TxDelta {
+	out := make([]NodeDelta, 0, len(b.nodes))
+	for _, d := range b.nodes {
+		if !d.Inserted && !d.Deleted && len(d.Ins) == 0 && len(d.Del) == 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	return &TxDelta{TS: ts, Nodes: out}
+}
+
+// Len reports the number of node deltas accumulated so far.
+func (b *Builder) Len() int { return len(b.nodes) }
+
+// Capturer is implemented by every delta-store variant (DELTA_FE, DELTA_I,
+// R) and by the no-op baseline. The main graph invokes Capture from each
+// transaction's commit hook, so stores only ever see committed updates
+// (§5.1: append at commit avoids undo).
+type Capturer interface {
+	Capture(d *TxDelta)
+}
+
+// AdjacencySource provides visible adjacency snapshots. DELTA_I needs it:
+// its deltas store the entire post-update adjacency list of each updated
+// node (§6.3), which only the main graph can supply.
+type AdjacencySource interface {
+	// OutEdgesAt returns the outgoing edges of node visible at ts, sorted
+	// by destination, or nil if the node itself is not visible.
+	OutEdgesAt(node uint64, ts mvto.TS) []Edge
+}
+
+// NopCapturer is the paper's "baseline": transactional updates with no
+// delta mechanism at all.
+type NopCapturer struct{}
+
+// Capture discards the delta.
+func (NopCapturer) Capture(*TxDelta) {}
+
+// Combined is the per-node result of a delta store scan: all updates to one
+// node across every valid-and-visible delta, merged in timestamp order
+// (§5.2).
+type Combined struct {
+	Node     uint64
+	Inserted bool
+	Deleted  bool
+	Ins      []Edge   // sorted by Dst
+	Del      []uint64 // sorted
+}
+
+// Empty reports whether the combined delta is a no-op (e.g. an insert and a
+// delete of the same edge in one propagation window).
+func (c *Combined) Empty() bool {
+	return !c.Inserted && !c.Deleted && len(c.Ins) == 0 && len(c.Del) == 0
+}
+
+// Batch is the output of one delta store scan: the combined deltas for one
+// update-propagation cycle, sorted by node ID (the order Algorithm 2
+// consumes them in).
+type Batch struct {
+	TS      mvto.TS // snapshot timestamp of the propagation transaction
+	Deltas  []Combined
+	Records int // delta records consumed (and invalidated) by the scan
+}
+
+// Empty reports whether the batch carries no updates.
+func (b *Batch) Empty() bool { return len(b.Deltas) == 0 }
+
+// TransferBytes reports the coalesced payload size shipped to the device
+// for dynamic-structure propagation (§5.4): 8-byte destination IDs for
+// inserts and deletes, 8-byte weights for inserts, plus one fixed 32-byte
+// header per combined delta (node id, flags, two counts).
+func (b *Batch) TransferBytes() int64 {
+	var n int64
+	for i := range b.Deltas {
+		d := &b.Deltas[i]
+		n += 32 + int64(len(d.Ins))*16 + int64(len(d.Del))*8
+	}
+	return n
+}
+
+// Combine folds a sequence of NodeDeltas (already restricted to one node,
+// in increasing timestamp order) into a single Combined entry.
+//
+// Edge folding is last-writer-wins per destination: the newest insert or
+// delete of (node, dst) in the window decides the edge's final state.
+// Cross-transaction "cancellation" (dropping an insert/delete pair) would
+// be wrong here, because whether the pair is a no-op depends on whether the
+// edge existed in the replica before the window — which the delta store
+// does not know. The merge makes the surviving entries safe either way: a
+// delete of an absent edge is a no-op, an insert of a present edge
+// overwrites its weight.
+//
+// A node deletion wipes accumulated edge changes (the deleted flag subsumes
+// them, §5.1) and cancels an insert flag from earlier in the window.
+func Combine(node uint64, parts []NodeDelta) Combined {
+	c := Combined{Node: node}
+	type state struct {
+		present bool
+		w       float64
+	}
+	edges := make(map[uint64]state)
+	for _, p := range parts {
+		if p.Inserted {
+			c.Inserted = true
+			c.Deleted = false
+		}
+		if p.Deleted {
+			c.Deleted = true
+			c.Inserted = false
+			edges = make(map[uint64]state)
+			continue
+		}
+		for _, e := range p.Ins {
+			edges[e.Dst] = state{present: true, w: e.W}
+		}
+		for _, dst := range p.Del {
+			edges[dst] = state{present: false}
+		}
+	}
+	for dst, st := range edges {
+		if st.present {
+			c.Ins = append(c.Ins, Edge{Dst: dst, W: st.w})
+		} else {
+			c.Del = append(c.Del, dst)
+		}
+	}
+	sort.Slice(c.Ins, func(i, j int) bool { return c.Ins[i].Dst < c.Ins[j].Dst })
+	sort.Slice(c.Del, func(i, j int) bool { return c.Del[i] < c.Del[j] })
+	return c
+}

@@ -1,0 +1,184 @@
+// Package deltai implements DELTA_I, the update-handling approach of the
+// authors' prior work [40] that §6.3 compares DELTA_FE against: each
+// committing transaction appends, per updated node, the node's *entire
+// post-update adjacency list* to the delta store.
+//
+// The consequences the evaluation measures fall out of that design
+// directly: the append cost and the delta footprint grow with the degree of
+// the updated nodes (Fig 3, Fig 4 — "DELTA_I is not scalable with
+// increasing node degrees"), the scan touches far more data (Fig 5), and
+// deltas for deleted nodes are empty since no relationships remain after
+// the cascade (§6.3 observation). DELTA_I only supports static (CSR)
+// replicas; its merge replaces whole rows.
+package deltai
+
+import (
+	"sort"
+	"sync"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// rec is one DELTA_I delta: the full adjacency state of one node as of one
+// transaction's commit.
+type rec struct {
+	ts      mvto.TS
+	node    uint64
+	deleted bool
+	valid   bool
+	adj     []delta.Edge
+}
+
+// Store is the DELTA_I delta store.
+type Store struct {
+	src delta.AdjacencySource
+
+	mu    sync.Mutex
+	recs  []rec
+	bytes uint64
+}
+
+// New returns a DELTA_I store reading adjacency snapshots from src (the
+// main graph).
+func New(src delta.AdjacencySource) *Store {
+	return &Store{src: src}
+}
+
+var _ delta.Capturer = (*Store)(nil)
+
+// Capture appends one delta per node the transaction updated, each storing
+// the node's full adjacency list at the transaction's commit timestamp —
+// the expensive part of DELTA_I's update storage phase.
+func (s *Store) Capture(d *delta.TxDelta) {
+	if d.Empty() {
+		return
+	}
+	// The adjacency reads happen outside the store lock (they hit the main
+	// graph), but the append itself is serialized: DELTA_I predates the
+	// contention-free reservation design of DELTA_FE.
+	local := make([]rec, 0, len(d.Nodes))
+	var localBytes uint64
+	for i := range d.Nodes {
+		nd := &d.Nodes[i]
+		r := rec{ts: d.TS, node: nd.Node, deleted: nd.Deleted, valid: true}
+		if !nd.Deleted {
+			// Full post-update adjacency list — for a deleted node there
+			// are no relationships left, so its delta is empty (§6.3).
+			r.adj = s.src.OutEdgesAt(nd.Node, d.TS)
+		}
+		localBytes += uint64(len(r.adj)) * 16 // 8-byte dst + 8-byte weight
+		local = append(local, r)
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, local...)
+	s.bytes += localBytes
+	s.mu.Unlock()
+}
+
+// Records reports the number of appended deltas.
+func (s *Store) Records() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.recs))
+}
+
+// ArrayBytes reports the adjacency payload footprint, comparable to
+// DELTA_FE's ArrayBytes (Fig 4's metric).
+func (s *Store) ArrayBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Row is one node's merged state from a scan: the newest visible full
+// adjacency.
+type Row struct {
+	Node    uint64
+	Deleted bool
+	Adj     []delta.Edge
+}
+
+// Snapshot is the result of a DELTA_I scan.
+type Snapshot struct {
+	TS      mvto.TS
+	Rows    []Row // sorted by node
+	Records int
+}
+
+// Scan consumes valid deltas visible to tp. Each consumed delta's full
+// adjacency payload is read and staged (a newer delta for the same node
+// overwrites the staged row) — DELTA_I "stores more data in the update
+// storage phase and, consequently, accesses more data in the update
+// propagation phase" (§6.3), which is exactly this full-payload pass.
+func (s *Store) Scan(tp mvto.TS) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type staged struct {
+		ts  mvto.TS
+		row Row
+	}
+	staging := make(map[uint64]staged)
+	consumed := 0
+	for i := range s.recs {
+		r := &s.recs[i]
+		if !r.valid || r.ts >= tp {
+			continue
+		}
+		r.valid = false
+		consumed++
+		adj := make([]delta.Edge, len(r.adj))
+		copy(adj, r.adj)
+		if cur, ok := staging[r.node]; !ok || cur.ts < r.ts {
+			staging[r.node] = staged{ts: r.ts, row: Row{Node: r.node, Deleted: r.deleted, Adj: adj}}
+		}
+	}
+	snap := &Snapshot{TS: tp, Records: consumed, Rows: make([]Row, 0, len(staging))}
+	for _, st := range staging {
+		snap.Rows = append(snap.Rows, st.row)
+	}
+	sort.Slice(snap.Rows, func(i, j int) bool { return snap.Rows[i].Node < snap.Rows[j].Node })
+	return snap
+}
+
+// Clear empties the store.
+func (s *Store) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = nil
+	s.bytes = 0
+}
+
+// MergeCSR applies a DELTA_I snapshot to a CSR: each row in the snapshot
+// replaces the node's row wholesale (the full-state semantics), untouched
+// rows are copied.
+func MergeCSR(old *csr.CSR, snap *Snapshot) *csr.CSR {
+	oldN := uint64(old.NumNodes())
+	newN := oldN
+	for i := range snap.Rows {
+		if id := snap.Rows[i].Node; id >= newN {
+			newN = id + 1
+		}
+	}
+	out := &csr.CSR{Off: make([]int64, newN+1)}
+	ri := 0
+	for id := uint64(0); id < newN; id++ {
+		if ri < len(snap.Rows) && snap.Rows[ri].Node == id {
+			row := &snap.Rows[ri]
+			ri++
+			if !row.Deleted {
+				for _, e := range row.Adj {
+					out.Col = append(out.Col, e.Dst)
+					out.Val = append(out.Val, e.W)
+				}
+			}
+		} else if id < oldN {
+			col, val := old.Row(id)
+			out.Col = append(out.Col, col...)
+			out.Val = append(out.Val, val...)
+		}
+		out.Off[id+1] = int64(len(out.Col))
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package deltai
+
+import (
+	"math/rand"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+)
+
+func seedGraph(t *testing.T, n int) *graph.Store {
+	t.Helper()
+	s := graph.NewStore()
+	specs := make([]graph.NodeSpec, n)
+	for i := range specs {
+		specs[i] = graph.NodeSpec{Label: "P"}
+	}
+	if _, err := s.BulkLoad(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCaptureStoresFullAdjacency(t *testing.T) {
+	s := seedGraph(t, 4)
+	di := New(s)
+	s.AddCapturer(di)
+
+	// Pre-populate node 0 with two edges (before capture registration has
+	// any deltas of interest — these commits are captured too).
+	tx := s.Begin()
+	tx.AddRel(0, 1, "k", 1)
+	tx.AddRel(0, 2, "k", 2)
+	tx.Commit()
+	// One more insert: DELTA_I must now store the FULL adjacency (3 edges),
+	// not just the new one.
+	tx2 := s.Begin()
+	tx2.AddRel(0, 3, "k", 3)
+	tx2.Commit()
+
+	if di.Records() != 2 {
+		t.Fatalf("records = %d, want 2 (one per txn, same node)", di.Records())
+	}
+	// Footprint: txn1 stored 2 edges, txn2 stored 3 → 5×16 bytes.
+	if di.ArrayBytes() != 5*16 {
+		t.Fatalf("ArrayBytes = %d, want 80", di.ArrayBytes())
+	}
+}
+
+func TestDeletedNodeDeltaIsEmpty(t *testing.T) {
+	s := seedGraph(t, 3)
+	tx := s.Begin()
+	tx.AddRel(0, 1, "k", 1)
+	tx.AddRel(0, 2, "k", 1)
+	tx.Commit()
+
+	di := New(s)
+	s.AddCapturer(di)
+	del := s.Begin()
+	if err := del.DeleteNode(0); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit()
+	// §6.3: "the appended deltas for the deleted nodes are all empty".
+	snap := di.Scan(del.TS() + 1)
+	for _, row := range snap.Rows {
+		if row.Node == 0 {
+			if !row.Deleted || len(row.Adj) != 0 {
+				t.Fatalf("deleted node row = %+v", row)
+			}
+			return
+		}
+	}
+	t.Fatal("no row for deleted node")
+}
+
+func TestScanNewestWins(t *testing.T) {
+	s := seedGraph(t, 4)
+	di := New(s)
+	s.AddCapturer(di)
+	tx1 := s.Begin()
+	tx1.AddRel(0, 1, "k", 1)
+	tx1.Commit()
+	tx2 := s.Begin()
+	tx2.AddRel(0, 2, "k", 1)
+	tx2.Commit()
+
+	snap := di.Scan(tx2.TS() + 1)
+	if snap.Records != 2 || len(snap.Rows) != 1 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	if len(snap.Rows[0].Adj) != 2 {
+		t.Fatalf("newest full state should have 2 edges: %+v", snap.Rows[0])
+	}
+	// Consumed: second scan empty.
+	if again := di.Scan(tx2.TS() + 1); again.Records != 0 {
+		t.Fatal("scan re-consumed records")
+	}
+}
+
+func TestScanVisibility(t *testing.T) {
+	s := seedGraph(t, 4)
+	di := New(s)
+	s.AddCapturer(di)
+	tx1 := s.Begin()
+	tx1.AddRel(0, 1, "k", 1)
+	tx1.Commit()
+	tx2 := s.Begin()
+	tx2.AddRel(2, 3, "k", 1)
+	tx2.Commit()
+
+	snap := di.Scan(tx2.TS()) // tx2 not visible
+	if snap.Records != 1 || snap.Rows[0].Node != 0 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	snap2 := di.Scan(tx2.TS() + 1)
+	if snap2.Records != 1 || snap2.Rows[0].Node != 2 {
+		t.Fatalf("second cycle = %+v", snap2)
+	}
+}
+
+// DELTA_I and DELTA_FE must produce the same replica, each through its own
+// merge path.
+func TestMergeMatchesDeltaFE(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := seedGraph(t, 16)
+		fe := deltastore.NewVolatile()
+		di := New(s)
+		s.AddCapturer(fe)
+		s.AddCapturer(di)
+		base := csr.Build(s, s.Oracle().LastCommitted())
+		feCSR, diCSR := base, base
+
+		r := rand.New(rand.NewSource(seed))
+		for cycle := 0; cycle < 4; cycle++ {
+			for q := 0; q < 40; q++ {
+				tx := s.Begin()
+				a := uint64(r.Intn(int(s.NumNodeSlots())))
+				var err error
+				switch r.Intn(8) {
+				case 0, 1, 2, 3:
+					_, err = tx.AddRel(a, uint64(r.Intn(int(s.NumNodeSlots()))), "k", float64(r.Intn(9)+1))
+				case 4, 5:
+					var id uint64
+					id, err = tx.AddNode("P", nil)
+					if err == nil {
+						_, err = tx.AddRel(a, id, "k", 1)
+					}
+				case 6:
+					rels, oerr := tx.OutRels(a)
+					if oerr != nil || len(rels) == 0 {
+						tx.Abort()
+						continue
+					}
+					err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+				case 7:
+					err = tx.DeleteNode(a)
+				}
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				tx.Commit()
+			}
+			tp := s.Oracle().Begin()
+			feBatch := fe.Scan(tp.TS())
+			diSnap := di.Scan(tp.TS())
+			tp.Commit()
+			feCSR, _ = csr.Merge(feCSR, feBatch)
+			diCSR = MergeCSR(diCSR, diSnap)
+			if err := diCSR.Validate(); err != nil {
+				t.Fatalf("seed %d cycle %d: DELTA_I CSR invalid: %v", seed, cycle, err)
+			}
+			if !csr.Equal(feCSR, diCSR) {
+				t.Fatalf("seed %d cycle %d: DELTA_I and DELTA_FE replicas diverge", seed, cycle)
+			}
+		}
+	}
+}
+
+func TestFootprintGrowsWithDegree(t *testing.T) {
+	// The §6.3 headline: DELTA_I footprint scales with updated-node degree,
+	// DELTA_FE footprint does not.
+	build := func(deg int) (feBytes, diBytes uint64) {
+		s := seedGraph(t, deg+2)
+		tx := s.Begin()
+		for i := 0; i < deg; i++ {
+			tx.AddRel(0, uint64(i+1), "k", 1)
+		}
+		tx.Commit()
+
+		fe := deltastore.NewVolatile()
+		di := New(s)
+		s.AddCapturer(fe)
+		s.AddCapturer(di)
+		tx2 := s.Begin()
+		tx2.AddRel(0, uint64(deg+1), "k", 1)
+		tx2.Commit()
+		return fe.ArrayBytes(), di.ArrayBytes()
+	}
+	feLo, diLo := build(4)
+	feHi, diHi := build(256)
+	if feLo != feHi {
+		t.Fatalf("DELTA_FE footprint degree-sensitive: %d vs %d", feLo, feHi)
+	}
+	if diHi < diLo*10 {
+		t.Fatalf("DELTA_I footprint not degree-proportional: %d vs %d", diLo, diHi)
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := seedGraph(t, 3)
+	di := New(s)
+	di.Capture(&delta.TxDelta{TS: 1, Nodes: []delta.NodeDelta{{Node: 0, Ins: []delta.Edge{{Dst: 1, W: 1}}}}})
+	di.Clear()
+	if di.Records() != 0 || di.ArrayBytes() != 0 {
+		t.Fatal("clear left data")
+	}
+}

@@ -1,0 +1,98 @@
+package deltastore
+
+import (
+	"sort"
+	"sync"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// NaiveStore is an ablation baseline for DELTA_FE's design choices
+// (DESIGN.md §5): it captures the same deltas but (a) stores each delta's
+// payload as per-delta heap slices instead of the CSR-like shared arrays,
+// and (b) serializes appends with a global mutex instead of atomic range
+// reservation. Scan semantics are identical, which isolates the layout and
+// append-path effects in the ablation benchmarks.
+type NaiveStore struct {
+	mu    sync.Mutex
+	recs  []naiveRec
+	bytes uint64
+}
+
+type naiveRec struct {
+	ts    mvto.TS
+	valid bool
+	nd    delta.NodeDelta
+}
+
+// NewNaive returns an empty naive delta store.
+func NewNaive() *NaiveStore { return &NaiveStore{} }
+
+var _ delta.Capturer = (*NaiveStore)(nil)
+
+// Capture appends the transaction's deltas under the global lock.
+func (s *NaiveStore) Capture(d *delta.TxDelta) {
+	if d.Empty() {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range d.Nodes {
+		nd := d.Nodes[i]
+		nd.Ins = append([]delta.Edge(nil), nd.Ins...)
+		nd.Del = append([]uint64(nil), nd.Del...)
+		s.recs = append(s.recs, naiveRec{ts: d.TS, valid: true, nd: nd})
+		s.bytes += uint64(len(nd.Ins))*16 + uint64(len(nd.Del))*8
+	}
+}
+
+// Scan combines valid records visible to tp, mirroring Store.Scan.
+func (s *NaiveStore) Scan(tp mvto.TS) *delta.Batch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type part struct {
+		ts mvto.TS
+		nd delta.NodeDelta
+	}
+	groups := make(map[uint64][]part)
+	consumed := 0
+	for i := range s.recs {
+		r := &s.recs[i]
+		if !r.valid || r.ts >= tp {
+			continue
+		}
+		r.valid = false
+		groups[r.nd.Node] = append(groups[r.nd.Node], part{ts: r.ts, nd: r.nd})
+		consumed++
+	}
+	batch := &delta.Batch{TS: tp, Records: consumed}
+	for node, parts := range groups {
+		sort.Slice(parts, func(i, j int) bool { return parts[i].ts < parts[j].ts })
+		nds := make([]delta.NodeDelta, len(parts))
+		for i := range parts {
+			nds[i] = parts[i].nd
+		}
+		if c := delta.Combine(node, nds); !c.Empty() {
+			batch.Deltas = append(batch.Deltas, c)
+		}
+	}
+	sort.Slice(batch.Deltas, func(i, j int) bool {
+		return batch.Deltas[i].Node < batch.Deltas[j].Node
+	})
+	return batch
+}
+
+// Records reports the number of appended records.
+func (s *NaiveStore) Records() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return uint64(len(s.recs))
+}
+
+// ArrayBytes reports the payload footprint, comparable to Store.ArrayBytes.
+func (s *NaiveStore) ArrayBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -1,0 +1,71 @@
+package deltastore
+
+import (
+	"sync"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// TestCaptureRaceStress hammers Capture from many goroutines with enough
+// volume to cross several chunk boundaries. It guards the regression where
+// the weights array took its own reservation instead of mirroring the
+// inserts reservation: concurrent committers could interleave differently
+// on the two cursors, panicking at chunk boundaries and silently swapping
+// weights between transactions below them.
+func TestCaptureRaceStress(t *testing.T) {
+	weightOf := func(i, j int) float64 { return float64((i*2+j)%251) + 0.5 }
+	deltas := make([]*delta.TxDelta, 4096)
+	for i := range deltas {
+		deltas[i] = &delta.TxDelta{TS: mvto.TS(i + 1), Nodes: []delta.NodeDelta{{
+			Node: uint64(i),
+			Ins: []delta.Edge{
+				{Dst: uint64(i * 3), W: weightOf(i, 0)},
+				{Dst: uint64(i*3 + 1), W: weightOf(i, 1)},
+			},
+			Del: []uint64{uint64(i * 5)},
+		}}}
+	}
+	s := NewVolatile()
+	n := 400_000
+	if testing.Short() {
+		n = 100_000
+	}
+	var wg sync.WaitGroup
+	const clients = 8
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += clients {
+				s.Capture(deltas[i%len(deltas)])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Records() != uint64(n) {
+		t.Fatalf("records = %d, want %d", s.Records(), n)
+	}
+
+	// Weight integrity: every record's weights must be the ones its own
+	// transaction appended (dst encodes the expected weight).
+	checked := 0
+	s.records.ForEach(s.records.Len(), func(_ uint64, rec *record) bool {
+		for j := 0; j < int(rec.insCnt); j++ {
+			dst := *s.inserts.At(rec.insOff + uint64(j))
+			w := *s.weights.At(rec.insOff + uint64(j))
+			i := int(dst) / 3
+			if want := weightOf(i, int(dst)%3); w != want {
+				t.Errorf("record node %d: weight for dst %d = %v, want %v",
+					rec.node, dst, w, want)
+				return false
+			}
+			checked++
+		}
+		return true
+	})
+	if checked != 2*n {
+		t.Fatalf("checked %d weights, want %d", checked, 2*n)
+	}
+}

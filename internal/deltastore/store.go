@@ -1,0 +1,399 @@
+// Package deltastore implements DELTA_FE, the paper's core contribution
+// (§5): a fast and efficient append-only graph delta store with a CSR-like
+// layout.
+//
+// The store buffers the topology changes of committed transactions as
+// fixed-size *delta records* (transaction timestamp, node ID, validity and
+// deleted flags, offsets and counts) whose variable-length payloads — the
+// destination IDs and weights of inserted relationships and the destination
+// IDs of deleted relationships — are outsourced to three shared append-only
+// arrays: inserts, weights and deletes (§5.1, Fig 2). Retrieving a record's
+// updates takes three array lookups.
+//
+// Appends never read or modify existing deltas, so committing transactions
+// reserve disjoint ranges with atomic adds and proceed without contention
+// (§5.1's three performance benefits). The delta store scan (§5.2) runs
+// inside a propagation transaction Tp: it consumes records that are *valid*
+// (not used by a previous propagation cycle) and *visible* (appended by a
+// transaction older than Tp — the MVTO extension of §5.3), combines
+// per-node deltas from different transactions, and marks consumed records
+// invalid.
+package deltastore
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+	"h2tap/internal/storage"
+)
+
+// record is one fixed-size delta record (§5.1). The state word is the
+// publication point: appenders fill every other field first and store the
+// state last; scanners ignore records whose ready bit is unset.
+type record struct {
+	ts     mvto.TS
+	node   uint64
+	insOff uint64
+	delOff uint64
+	insCnt uint32
+	delCnt uint32
+	state  atomic.Uint32
+}
+
+// state bits.
+const (
+	stReady    = 1 << iota // fully written and published
+	stValid                // not yet consumed by a propagation cycle
+	stDeleted              // the node was deleted
+	stInserted             // the node was newly inserted
+)
+
+// RecordSize is the in-memory size of one delta record in bytes, used for
+// footprint accounting.
+const RecordSize = 48
+
+// Store is the DELTA_FE delta store. The zero value is not usable; call
+// NewVolatile or NewPersistent.
+type Store struct {
+	records *storage.ChunkedVector[record]
+	inserts *storage.ChunkedVector[uint64]
+	weights *storage.ChunkedVector[float64]
+	deletes *storage.ChunkedVector[uint64]
+
+	// deltaMode is the §6.4 flag: ON (true) while the cost model says
+	// delta-based propagation beats a CSR rebuild. threshold is the delta
+	// record count at which appenders flip it OFF; 0 means no threshold.
+	deltaMode atomic.Bool
+	threshold atomic.Uint64
+
+	// clearMu lets Clear (rare) exclude appenders and scanners (frequent).
+	clearMu sync.RWMutex
+
+	// consumedPrefix is the record index below which every published
+	// record has been consumed: scans and freshness checks start there
+	// instead of walking the store's whole append-only history. Advanced
+	// only by Scan (single scanner), reset by Clear.
+	consumedPrefix atomic.Uint64
+
+	skippedTxns atomic.Uint64
+
+	persist *persistence // nil for the volatile store
+}
+
+// chunkShift sizes the delta table's fixed chunks at 8192 records (≈390 KB)
+// and the payload arrays at 8192 elements (64 KB): small enough that the
+// first transaction after a clear does not pay a multi-megabyte first-touch
+// zeroing, large enough that multi-million-delta stores stay a handful of
+// directory entries.
+const chunkShift = 13
+
+// NewVolatile returns an empty DRAM-resident delta store with delta mode
+// enabled.
+func NewVolatile() *Store {
+	s := &Store{
+		records: storage.NewChunkedVector[record](chunkShift),
+		inserts: storage.NewChunkedVector[uint64](chunkShift),
+		weights: storage.NewChunkedVector[float64](chunkShift),
+		deletes: storage.NewChunkedVector[uint64](chunkShift),
+	}
+	s.deltaMode.Store(true)
+	return s
+}
+
+var _ delta.Capturer = (*Store)(nil)
+
+// Records reports the number of appended delta records (including consumed
+// ones — the store is append-only until cleared).
+func (s *Store) Records() uint64 { return s.records.Len() }
+
+// ArrayBytes reports the paper's delta memory footprint metric (§6.3): the
+// total size of stored elements in the inserts, weights and deletes arrays,
+// each element being 8 bytes.
+func (s *Store) ArrayBytes() uint64 {
+	return (s.inserts.Len() + s.weights.Len() + s.deletes.Len()) * 8
+}
+
+// TotalBytes reports the full footprint: array elements plus delta records.
+func (s *Store) TotalBytes() uint64 {
+	return s.ArrayBytes() + s.records.Len()*RecordSize
+}
+
+// DeltaMode reports whether the store is accepting deltas (§6.4).
+func (s *Store) DeltaMode() bool { return s.deltaMode.Load() }
+
+// SetThreshold installs the cost-model delta-count threshold; 0 disables
+// thresholding.
+func (s *Store) SetThreshold(n uint64) {
+	s.threshold.Store(n)
+	if s.persist != nil {
+		s.persist.setThreshold(n)
+	}
+}
+
+// Threshold reports the installed threshold.
+func (s *Store) Threshold() uint64 { return s.threshold.Load() }
+
+// SkippedTxns reports how many committing transactions skipped appending
+// because delta mode was off.
+func (s *Store) SkippedTxns() uint64 { return s.skippedTxns.Load() }
+
+// Capture appends one committed transaction's deltas (§5.1). It implements
+// delta.Capturer and is invoked from the transaction's commit hook, so
+// everything it sees is already committed. Appending is lookup-free: the
+// transaction reserves disjoint ranges in the arrays and the record table
+// and publishes each record by storing its state word last.
+func (s *Store) Capture(d *delta.TxDelta) {
+	if d.Empty() {
+		return
+	}
+	s.clearMu.RLock()
+	defer s.clearMu.RUnlock()
+
+	if !s.deltaMode.Load() {
+		s.skippedTxns.Add(1)
+		return
+	}
+	if th := s.threshold.Load(); th > 0 &&
+		s.records.Len()+uint64(len(d.Nodes)) > th {
+		// §6.4: the transaction that would exceed the threshold flips the
+		// delta mode flag off instead of appending; the store is cleared
+		// at once and stays off until the next CSR rebuild re-enables it.
+		if s.deltaMode.CompareAndSwap(true, false) {
+			s.resetLocked()
+			if s.persist != nil {
+				s.persist.setMode(false)
+			}
+		}
+		s.skippedTxns.Add(1)
+		return
+	}
+
+	// Coalesce this transaction's array payloads into single reservations.
+	var insTotal, delTotal int
+	for i := range d.Nodes {
+		insTotal += len(d.Nodes[i].Ins)
+		delTotal += len(d.Nodes[i].Del)
+	}
+	insBase := s.inserts.Reserve(insTotal)
+	// Weights mirror inserts index-for-index, so they must share the
+	// inserts reservation: taking a second independent reservation would
+	// let concurrent committers interleave differently on the two cursors
+	// and write their weights into each other's ranges.
+	s.weights.EnsureLen(insBase + uint64(insTotal))
+	delBase := s.deletes.Reserve(delTotal)
+	recBase := s.records.Reserve(len(d.Nodes))
+
+	insAt, delAt := insBase, delBase
+	for i := range d.Nodes {
+		nd := &d.Nodes[i]
+		for j := range nd.Ins {
+			*s.inserts.At(insAt + uint64(j)) = nd.Ins[j].Dst
+			*s.weights.At(insAt + uint64(j)) = nd.Ins[j].W
+		}
+		for j := range nd.Del {
+			*s.deletes.At(delAt + uint64(j)) = nd.Del[j]
+		}
+
+		rec := s.records.At(recBase + uint64(i))
+		rec.ts = d.TS
+		rec.node = nd.Node
+		rec.insOff, rec.insCnt = insAt, uint32(len(nd.Ins))
+		rec.delOff, rec.delCnt = delAt, uint32(len(nd.Del))
+		state := uint32(stReady | stValid)
+		if nd.Deleted {
+			state |= stDeleted
+		}
+		if nd.Inserted {
+			state |= stInserted
+		}
+		if s.persist != nil {
+			s.persist.mirror(recBase+uint64(i), rec, state, nd)
+		}
+		rec.state.Store(state) // publication point
+
+		insAt += uint64(len(nd.Ins))
+		delAt += uint64(len(nd.Del))
+	}
+	if s.persist != nil {
+		s.persist.commitLens()
+	}
+}
+
+// Scan is the delta store scan (§5.2) run by a propagation transaction with
+// timestamp tp. It combines, per node, every record that is valid and
+// visible (appended by a transaction older than tp and fully published),
+// marks the consumed records invalid, and returns the batch sorted by node
+// ID. Records from transactions newer than tp — including those appended
+// concurrently with the scan — are left for the next cycle (§5.3).
+//
+// Scan may run concurrently with Capture but not with another Scan: update
+// propagation is serialized by the engine (§4.3, one replica version at a
+// time).
+func (s *Store) Scan(tp mvto.TS) *delta.Batch {
+	s.clearMu.RLock()
+	defer s.clearMu.RUnlock()
+
+	// Pass 1: consume valid+visible records, collecting lightweight
+	// references. The payloads stay in the shared arrays until grouping
+	// decides how to materialize them.
+	type hit struct {
+		node uint64
+		ts   mvto.TS
+		rec  *record
+	}
+	limit := s.records.Len()
+	start := s.consumedPrefix.Load()
+	newPrefix := limit
+	hits := make([]hit, 0, 256)
+	s.forEachFrom(start, limit, func(i uint64, rec *record) bool {
+		st := rec.state.Load()
+		if st&stReady == 0 {
+			// Not yet published; a future cycle's business — and a hole the
+			// prefix cannot advance past.
+			if i < newPrefix {
+				newPrefix = i
+			}
+			return true
+		}
+		if rec.ts >= tp {
+			// Not visible to Tp (§5.3): skipped, stays valid.
+			if i < newPrefix {
+				newPrefix = i
+			}
+			return true
+		}
+		if st&stValid == 0 {
+			return true // already consumed in a previous cycle
+		}
+		// Consume: clear the valid bit. Only one scanner runs at a time,
+		// and appenders never revisit published records, so a plain
+		// read-modify-write on the atomic is race-free.
+		rec.state.Store(st &^ stValid)
+		if s.persist != nil {
+			s.persist.invalidate(i)
+		}
+		hits = append(hits, hit{node: rec.node, ts: rec.ts, rec: rec})
+		return true
+	})
+	s.consumedPrefix.Store(newPrefix)
+
+	// Pass 2: group by node (sort keeps per-node parts in timestamp order
+	// for Combine and yields the node-sorted batch Algorithm 2 consumes).
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].node != hits[j].node {
+			return hits[i].node < hits[j].node
+		}
+		return hits[i].ts < hits[j].ts
+	})
+
+	batch := &delta.Batch{TS: tp, Records: len(hits)}
+	for i := 0; i < len(hits); {
+		j := i + 1
+		for j < len(hits) && hits[j].node == hits[i].node {
+			j++
+		}
+		var c delta.Combined
+		if j == i+1 {
+			// Fast path: one transaction touched this node; its NodeDelta
+			// (disjoint Ins/Del by construction) only needs sorting.
+			c = s.materialize(hits[i].rec)
+			sort.Slice(c.Ins, func(a, b int) bool { return c.Ins[a].Dst < c.Ins[b].Dst })
+			sort.Slice(c.Del, func(a, b int) bool { return c.Del[a] < c.Del[b] })
+		} else {
+			parts := make([]delta.NodeDelta, 0, j-i)
+			for k := i; k < j; k++ {
+				m := s.materialize(hits[k].rec)
+				parts = append(parts, delta.NodeDelta{
+					Node: m.Node, Inserted: m.Inserted, Deleted: m.Deleted,
+					Ins: m.Ins, Del: m.Del,
+				})
+			}
+			c = delta.Combine(hits[i].node, parts)
+		}
+		if !c.Empty() {
+			batch.Deltas = append(batch.Deltas, c)
+		}
+		i = j
+	}
+	return batch
+}
+
+// materialize reads one record's payload from the shared arrays — the
+// three-lookup retrieval of §5.1.
+func (s *Store) materialize(rec *record) delta.Combined {
+	st := rec.state.Load()
+	c := delta.Combined{
+		Node:     rec.node,
+		Deleted:  st&stDeleted != 0,
+		Inserted: st&stInserted != 0,
+	}
+	if n := int(rec.insCnt); n > 0 {
+		c.Ins = make([]delta.Edge, n)
+		for j := 0; j < n; j++ {
+			c.Ins[j] = delta.Edge{
+				Dst: *s.inserts.At(rec.insOff + uint64(j)),
+				W:   *s.weights.At(rec.insOff + uint64(j)),
+			}
+		}
+	}
+	if n := int(rec.delCnt); n > 0 {
+		c.Del = make([]uint64, n)
+		s.deletes.ReadInto(rec.delOff, c.Del)
+	}
+	return c
+}
+
+// PendingAt reports whether any published record from a transaction older
+// than tp is still valid — i.e. whether a propagation at tp would have work
+// to do. The engine uses it for the freshness check (§4.3).
+func (s *Store) PendingAt(tp mvto.TS) bool {
+	pending := false
+	s.forEachFrom(s.consumedPrefix.Load(), s.records.Len(), func(_ uint64, rec *record) bool {
+		st := rec.state.Load()
+		if st&stReady != 0 && st&stValid != 0 && rec.ts < tp {
+			pending = true
+			return false
+		}
+		return true
+	})
+	return pending
+}
+
+// forEachFrom visits record indexes [start, limit).
+func (s *Store) forEachFrom(start, limit uint64, fn func(i uint64, rec *record) bool) {
+	s.records.ForEachFrom(start, limit, fn)
+}
+
+// Clear empties the store (all records and arrays). Used when switching to
+// rebuild mode (§6.4) and by tests.
+func (s *Store) Clear() {
+	s.clearMu.Lock()
+	defer s.clearMu.Unlock()
+	s.resetLocked()
+}
+
+// EnableDeltaMode clears the store and turns delta mode back on — the §6.4
+// transition after the CSR has been rebuilt.
+func (s *Store) EnableDeltaMode() {
+	s.clearMu.Lock()
+	defer s.clearMu.Unlock()
+	s.resetLocked()
+	s.deltaMode.Store(true)
+	if s.persist != nil {
+		s.persist.setMode(true)
+	}
+}
+
+func (s *Store) resetLocked() {
+	s.consumedPrefix.Store(0)
+	s.records.Reset()
+	s.inserts.Reset()
+	s.weights.Reset()
+	s.deletes.Reset()
+	if s.persist != nil {
+		s.persist.reset()
+	}
+}

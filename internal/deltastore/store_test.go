@@ -1,0 +1,474 @@
+package deltastore
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+)
+
+func txd(ts mvto.TS, nodes ...delta.NodeDelta) *delta.TxDelta {
+	return &delta.TxDelta{TS: ts, Nodes: nodes}
+}
+
+func TestCaptureAndScanBasic(t *testing.T) {
+	s := NewVolatile()
+	s.Capture(txd(1,
+		delta.NodeDelta{Node: 5, Inserted: true, Ins: []delta.Edge{{Dst: 1, W: 2.0}}},
+		delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 5, W: 5.0}}},
+	))
+	s.Capture(txd(2,
+		delta.NodeDelta{Node: 1, Del: []uint64{30, 51}},
+		delta.NodeDelta{Node: 4, Deleted: true},
+		delta.NodeDelta{Node: 3, Del: []uint64{4}},
+	))
+	if s.Records() != 5 {
+		t.Fatalf("Records = %d, want 5", s.Records())
+	}
+	// Array footprint: inserts 2×8 + weights 2×8 + deletes 3×8.
+	if got := s.ArrayBytes(); got != 2*8+2*8+3*8 {
+		t.Fatalf("ArrayBytes = %d", got)
+	}
+
+	b := s.Scan(10)
+	if b.Records != 5 {
+		t.Fatalf("scan consumed %d records", b.Records)
+	}
+	if len(b.Deltas) != 4 {
+		t.Fatalf("combined deltas = %d, want 4 (nodes 1,3,4,5)", len(b.Deltas))
+	}
+	// Sorted by node.
+	for i, want := range []uint64{1, 3, 4, 5} {
+		if b.Deltas[i].Node != want {
+			t.Fatalf("delta %d node = %d, want %d", i, b.Deltas[i].Node, want)
+		}
+	}
+	// Node 3 combined across two transactions: one insert, one delete.
+	n3 := b.Deltas[1]
+	if len(n3.Ins) != 1 || n3.Ins[0].Dst != 5 || len(n3.Del) != 1 || n3.Del[0] != 4 {
+		t.Fatalf("node 3 combined = %+v", n3)
+	}
+	if !b.Deltas[2].Deleted {
+		t.Fatal("node 4 should be deleted")
+	}
+	if !b.Deltas[3].Inserted {
+		t.Fatal("node 5 should be inserted")
+	}
+}
+
+func TestScanConsumesOnce(t *testing.T) {
+	s := NewVolatile()
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	b1 := s.Scan(5)
+	if b1.Records != 1 {
+		t.Fatalf("first scan consumed %d", b1.Records)
+	}
+	b2 := s.Scan(6)
+	if b2.Records != 0 || !b2.Empty() {
+		t.Fatalf("second scan re-delivered: %+v", b2)
+	}
+}
+
+func TestScanVisibilityWindow(t *testing.T) {
+	s := NewVolatile()
+	s.Capture(txd(3, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	s.Capture(txd(7, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 3, W: 1}}}))
+
+	// Tp with ts 5: only the ts-3 delta is visible (§5.3: appended by a
+	// transaction older than Tp). Equal timestamps are NOT visible.
+	b := s.Scan(5)
+	if b.Records != 1 || len(b.Deltas) != 1 || b.Deltas[0].Ins[0].Dst != 2 {
+		t.Fatalf("scan(5) = %+v", b)
+	}
+	// The skipped delta shows up in the next cycle.
+	b2 := s.Scan(10)
+	if b2.Records != 1 || b2.Deltas[0].Ins[0].Dst != 3 {
+		t.Fatalf("scan(10) = %+v", b2)
+	}
+	// ts == tp is not visible either.
+	s.Capture(txd(20, delta.NodeDelta{Node: 9, Inserted: true}))
+	if b := s.Scan(20); b.Records != 0 {
+		t.Fatalf("delta with ts==tp was visible: %+v", b)
+	}
+}
+
+func TestScanCombinesInTimestampOrder(t *testing.T) {
+	s := NewVolatile()
+	// Appended out of order (commit order differs from timestamp order):
+	// newer delete first, older insert second.
+	s.Capture(txd(5, delta.NodeDelta{Node: 1, Del: []uint64{2}}))
+	s.Capture(txd(4, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	b := s.Scan(10)
+	// ts order: insert(4) then delete(5) → final state is a delete.
+	if len(b.Deltas) != 1 || len(b.Deltas[0].Del) != 1 || b.Deltas[0].Del[0] != 2 {
+		t.Fatalf("ts-ordered combine failed: %+v", b.Deltas)
+	}
+	// The reverse ts order folds to the insert.
+	s.Capture(txd(7, delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 4, W: 9}}}))
+	s.Capture(txd(6, delta.NodeDelta{Node: 3, Del: []uint64{4}}))
+	b2 := s.Scan(10)
+	if len(b2.Deltas) != 1 || len(b2.Deltas[0].Ins) != 1 || b2.Deltas[0].Ins[0].W != 9 {
+		t.Fatalf("reverse ts-ordered combine failed: %+v", b2.Deltas)
+	}
+}
+
+func TestPendingAt(t *testing.T) {
+	s := NewVolatile()
+	if s.PendingAt(100) {
+		t.Fatal("empty store pending")
+	}
+	s.Capture(txd(5, delta.NodeDelta{Node: 1, Inserted: true}))
+	if s.PendingAt(5) {
+		t.Fatal("delta at ts 5 should not be pending for tp=5")
+	}
+	if !s.PendingAt(6) {
+		t.Fatal("delta at ts 5 should be pending for tp=6")
+	}
+	s.Scan(6)
+	if s.PendingAt(100) {
+		t.Fatal("consumed delta still pending")
+	}
+}
+
+func TestThresholdFlipsDeltaMode(t *testing.T) {
+	s := NewVolatile()
+	s.SetThreshold(3)
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Inserted: true}))
+	s.Capture(txd(2, delta.NodeDelta{Node: 2, Inserted: true}))
+	if !s.DeltaMode() {
+		t.Fatal("delta mode off below threshold")
+	}
+	// This txn would push records to 4 > 3: flips mode off, clears store.
+	s.Capture(txd(3, delta.NodeDelta{Node: 3, Inserted: true}, delta.NodeDelta{Node: 4, Inserted: true}))
+	if s.DeltaMode() {
+		t.Fatal("delta mode still on past threshold")
+	}
+	if s.Records() != 0 {
+		t.Fatalf("store not cleared on mode flip: %d records", s.Records())
+	}
+	if s.SkippedTxns() != 1 {
+		t.Fatalf("SkippedTxns = %d", s.SkippedTxns())
+	}
+	// Subsequent transactions skip without clearing again.
+	s.Capture(txd(4, delta.NodeDelta{Node: 5, Inserted: true}))
+	if s.Records() != 0 || s.SkippedTxns() != 2 {
+		t.Fatalf("post-flip capture appended: %d records, %d skipped", s.Records(), s.SkippedTxns())
+	}
+	// §6.4: after the CSR rebuild, delta mode comes back on.
+	s.EnableDeltaMode()
+	if !s.DeltaMode() {
+		t.Fatal("EnableDeltaMode did not re-enable")
+	}
+	s.Capture(txd(5, delta.NodeDelta{Node: 6, Inserted: true}))
+	if s.Records() != 1 {
+		t.Fatalf("capture after re-enable: %d records", s.Records())
+	}
+}
+
+func TestExactThresholdStillAppends(t *testing.T) {
+	s := NewVolatile()
+	s.SetThreshold(2)
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Inserted: true}, delta.NodeDelta{Node: 2, Inserted: true}))
+	if !s.DeltaMode() || s.Records() != 2 {
+		t.Fatalf("append exactly at threshold rejected: mode=%v records=%d", s.DeltaMode(), s.Records())
+	}
+}
+
+func TestEmptyDeltaIgnored(t *testing.T) {
+	s := NewVolatile()
+	s.Capture(&delta.TxDelta{TS: 1})
+	if s.Records() != 0 {
+		t.Fatal("empty tx delta appended records")
+	}
+}
+
+func TestConcurrentCaptureAndScan(t *testing.T) {
+	s := NewVolatile()
+	const writers = 6
+	const perW = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var scans sync.WaitGroup
+	scans.Add(1)
+	totalScanned := 0
+	go func() {
+		defer scans.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := s.Scan(mvto.TS(1 << 40)) // sees everything published
+			totalScanned += b.Records
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				ts := mvto.TS(w*perW + i + 1)
+				s.Capture(txd(ts, delta.NodeDelta{
+					Node: uint64(i % 50),
+					Ins:  []delta.Edge{{Dst: uint64(w), W: 1}},
+				}))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scans.Wait()
+	// One final scan sweeps stragglers.
+	b := s.Scan(mvto.TS(1 << 40))
+	totalScanned += b.Records
+	if totalScanned != writers*perW {
+		t.Fatalf("scanned %d records total, want %d", totalScanned, writers*perW)
+	}
+}
+
+func TestPersistentCaptureScanRecover(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.pool")
+	pool, err := pmem.Create(path, 64<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Persistent() {
+		t.Fatal("store does not report persistent")
+	}
+	s.Capture(txd(1,
+		delta.NodeDelta{Node: 5, Inserted: true, Ins: []delta.Edge{{Dst: 1, W: 2.0}}},
+		delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 5, W: 5.0}}},
+	))
+	s.Capture(txd(2, delta.NodeDelta{Node: 1, Del: []uint64{30, 51}}))
+	if pool.SimTime() <= 0 {
+		t.Fatal("persistent capture charged no simulated media time")
+	}
+
+	// Crash before any scan; recover and verify the scan output matches a
+	// volatile store fed the same deltas.
+	pool.Close()
+	pool2, err := pmem.Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	s2, err := OpenPersistent(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Records() != 3 {
+		t.Fatalf("recovered records = %d, want 3", s2.Records())
+	}
+
+	ref := NewVolatile()
+	ref.Capture(txd(1,
+		delta.NodeDelta{Node: 5, Inserted: true, Ins: []delta.Edge{{Dst: 1, W: 2.0}}},
+		delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 5, W: 5.0}}},
+	))
+	ref.Capture(txd(2, delta.NodeDelta{Node: 1, Del: []uint64{30, 51}}))
+
+	got, want := s2.Scan(10), ref.Scan(10)
+	if !reflect.DeepEqual(got.Deltas, want.Deltas) {
+		t.Fatalf("recovered scan = %+v, want %+v", got.Deltas, want.Deltas)
+	}
+}
+
+func TestPersistentInvalidationSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.pool")
+	pool, err := pmem.Create(path, 64<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	s.Capture(txd(5, delta.NodeDelta{Node: 2, Ins: []delta.Edge{{Dst: 3, W: 1}}}))
+	// Consume only the first (tp=2).
+	if b := s.Scan(2); b.Records != 1 {
+		t.Fatalf("scan(2) consumed %d", b.Records)
+	}
+	pool.Close() // crash
+
+	pool2, err := pmem.Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	s2, err := OpenPersistent(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s2.Scan(100)
+	if b.Records != 1 || b.Deltas[0].Node != 2 {
+		t.Fatalf("post-recovery scan = %+v; consumed delta resurrected?", b)
+	}
+}
+
+func TestPersistentModeFlagSurvives(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.pool")
+	pool, err := pmem.Create(path, 64<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetThreshold(1)
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Inserted: true}, delta.NodeDelta{Node: 2, Inserted: true}))
+	if s.DeltaMode() {
+		t.Fatal("mode should have flipped off")
+	}
+	pool.Close()
+
+	pool2, err := pmem.Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	s2, err := OpenPersistent(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.DeltaMode() {
+		t.Fatal("delta-mode flag did not survive recovery")
+	}
+	if s2.Threshold() != 1 {
+		t.Fatalf("threshold = %d after recovery", s2.Threshold())
+	}
+}
+
+// randomTxDeltas generates a reproducible stream of transaction deltas.
+func randomTxDeltas(seed int64, n int) []*delta.TxDelta {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*delta.TxDelta, n)
+	for i := range out {
+		b := delta.NewBuilder()
+		for k := 0; k < 1+r.Intn(4); k++ {
+			node := uint64(r.Intn(40))
+			switch r.Intn(4) {
+			case 0:
+				b.InsertEdge(node, uint64(r.Intn(40)), float64(r.Intn(10)))
+			case 1:
+				b.DeleteEdge(node, uint64(r.Intn(40)))
+			case 2:
+				b.InsertNode(node)
+			case 3:
+				b.DeleteNode(node)
+			}
+		}
+		out[i] = b.Build(mvto.TS(i + 1))
+	}
+	return out
+}
+
+// The naive ablation store must be semantically equivalent to DELTA_FE.
+func TestNaiveEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		fe := NewVolatile()
+		nv := NewNaive()
+		for _, d := range randomTxDeltas(seed, 200) {
+			fe.Capture(d)
+			nv.Capture(d)
+		}
+		// Scan at a midpoint and at the end; outputs must match exactly.
+		for _, tp := range []mvto.TS{100, 1000} {
+			a, b := fe.Scan(tp), nv.Scan(tp)
+			if a.Records != b.Records {
+				t.Fatalf("seed %d tp %d: consumed %d vs %d", seed, tp, a.Records, b.Records)
+			}
+			if !reflect.DeepEqual(a.Deltas, b.Deltas) {
+				t.Fatalf("seed %d tp %d: batches differ\nfe: %+v\nnaive: %+v",
+					seed, tp, a.Deltas, b.Deltas)
+			}
+		}
+		if fe.Records() != nv.Records() {
+			t.Fatalf("record counts differ: %d vs %d", fe.Records(), nv.Records())
+		}
+	}
+}
+
+// Persistent and volatile stores must produce identical scans for the same
+// capture stream (Fig 11's premise).
+func TestPersistentEquivalence(t *testing.T) {
+	pool, err := pmem.Create(filepath.Join(t.TempDir(), "p.pool"), 128<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ps, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := NewVolatile()
+	for _, d := range randomTxDeltas(42, 300) {
+		ps.Capture(d)
+		vs.Capture(d)
+	}
+	a, b := ps.Scan(10_000), vs.Scan(10_000)
+	if !reflect.DeepEqual(a.Deltas, b.Deltas) {
+		t.Fatal("persistent and volatile scans differ")
+	}
+}
+
+func TestConsumedPrefixSkipsHistory(t *testing.T) {
+	s := NewVolatile()
+	// Two consumed cycles, then a straggler with an old timestamp that the
+	// prefix must NOT skip past (its index is low but it stays valid).
+	s.Capture(txd(10, delta.NodeDelta{Node: 1, Inserted: true}))
+	s.Capture(txd(30, delta.NodeDelta{Node: 2, Inserted: true})) // future ts
+	s.Capture(txd(11, delta.NodeDelta{Node: 3, Inserted: true}))
+	b := s.Scan(20) // consumes ts 10 and 11; ts 30 stays valid at index 1
+	if b.Records != 2 {
+		t.Fatalf("first scan consumed %d", b.Records)
+	}
+	if got := s.consumedPrefix.Load(); got != 1 {
+		t.Fatalf("prefix = %d, want 1 (straggler at index 1 pins it)", got)
+	}
+	if !s.PendingAt(31) {
+		t.Fatal("straggler invisible to PendingAt")
+	}
+	b2 := s.Scan(31)
+	if b2.Records != 1 || b2.Deltas[0].Node != 2 {
+		t.Fatalf("second scan = %+v", b2)
+	}
+	if got := s.consumedPrefix.Load(); got != 3 {
+		t.Fatalf("prefix after full consumption = %d, want 3", got)
+	}
+	if s.PendingAt(1 << 40) {
+		t.Fatal("phantom pending")
+	}
+	// Prefix resets with the store.
+	s.Clear()
+	if s.consumedPrefix.Load() != 0 {
+		t.Fatal("prefix survived Clear")
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := NewVolatile()
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	s.Clear()
+	if s.Records() != 0 || s.ArrayBytes() != 0 || s.TotalBytes() != 0 {
+		t.Fatalf("Clear left data: %d records, %d bytes", s.Records(), s.ArrayBytes())
+	}
+	if b := s.Scan(100); !b.Empty() {
+		t.Fatalf("scan after clear: %+v", b)
+	}
+}

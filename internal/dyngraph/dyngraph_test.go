@@ -1,0 +1,228 @@
+package dyngraph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+)
+
+func smallCSR() *csr.CSR {
+	// 0→{1,2}, 1→{2}, 2→{}, 3→{}
+	return &csr.CSR{
+		Off: []int64{0, 2, 3, 3, 3},
+		Col: []uint64{1, 2, 2},
+		Val: []float64{1, 2, 3},
+	}
+}
+
+func TestFromCSRRoundTrip(t *testing.T) {
+	c := smallCSR()
+	g := FromCSR(c)
+	if g.NumVertexSlots() != 4 || g.NumEdges() != 3 {
+		t.Fatalf("dims = %d/%d", g.NumVertexSlots(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !csr.Equal(g.ToCSR(), c) {
+		t.Fatal("CSR round trip mismatch")
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 0 || g.Degree(99) != 0 {
+		t.Fatal("degree mismatch")
+	}
+}
+
+func TestForEachNeighbor(t *testing.T) {
+	g := FromCSR(smallCSR())
+	var got []uint64
+	g.ForEachNeighbor(0, func(dst uint64, w float64) bool {
+		got = append(got, dst)
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("neighbors of 0 = %v", got)
+	}
+	// Early stop.
+	count := 0
+	g.ForEachNeighbor(0, func(uint64, float64) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Absent vertex: no visits.
+	g.ForEachNeighbor(77, func(uint64, float64) bool { t.Fatal("visited"); return true })
+}
+
+func TestApplyBatchEdgeOps(t *testing.T) {
+	g := FromCSR(smallCSR())
+	st := g.ApplyBatch(&delta.Batch{Deltas: []delta.Combined{
+		{Node: 0, Ins: []delta.Edge{{Dst: 3, W: 9}}, Del: []uint64{1}},
+		{Node: 1, Del: []uint64{2}},
+	}})
+	if st.EdgeInserts != 1 || st.EdgeDeletes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := &csr.CSR{
+		Off: []int64{0, 2, 2, 2, 2},
+		Col: []uint64{2, 3},
+		Val: []float64{2, 9},
+	}
+	if !csr.Equal(g.ToCSR(), want) {
+		t.Fatalf("after edge ops: %+v", g.ToCSR())
+	}
+}
+
+func TestApplyBatchNodeOps(t *testing.T) {
+	g := FromCSR(smallCSR())
+	st := g.ApplyBatch(&delta.Batch{Deltas: []delta.Combined{
+		{Node: 2, Deleted: true},
+		{Node: 6, Inserted: true, Ins: []delta.Edge{{Dst: 0, W: 5}}},
+	}})
+	if st.NodeInserts != 1 || st.NodeDeletes != 1 || st.Ops() != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g.HasVertex(2) {
+		t.Fatal("deleted vertex still present")
+	}
+	if !g.HasVertex(6) || g.Degree(6) != 1 {
+		t.Fatal("inserted vertex missing")
+	}
+	// Gap slots 4, 5 are absent, not empty vertices.
+	if g.HasVertex(4) || g.HasVertex(5) {
+		t.Fatal("gap slots materialized")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyBatchWeightOverwrite(t *testing.T) {
+	g := FromCSR(smallCSR())
+	g.ApplyBatch(&delta.Batch{Deltas: []delta.Combined{
+		{Node: 0, Ins: []delta.Edge{{Dst: 1, W: 42}}},
+	}})
+	if g.NumEdges() != 3 {
+		t.Fatalf("overwrite changed edge count: %d", g.NumEdges())
+	}
+	var w float64
+	g.ForEachNeighbor(0, func(dst uint64, weight float64) bool {
+		if dst == 1 {
+			w = weight
+		}
+		return true
+	})
+	if w != 42 {
+		t.Fatalf("weight = %v", w)
+	}
+}
+
+// Static and dynamic propagation paths must agree: applying a batch to the
+// dynamic structure equals merging it into the CSR (both driven by real
+// transactions through the delta store).
+func TestDynamicMatchesStaticPath(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := graph.NewStore()
+		store := deltastore.NewVolatile()
+		s.AddCapturer(store)
+		specs := make([]graph.NodeSpec, 20)
+		for i := range specs {
+			specs[i] = graph.NodeSpec{Label: "P"}
+		}
+		loadTS, err := s.BulkLoad(specs, []graph.EdgeSpec{{Src: 0, Dst: 1, Weight: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		static := csr.Build(s, loadTS)
+		dynamic := FromCSR(static)
+
+		r := rand.New(rand.NewSource(seed))
+		for cycle := 0; cycle < 5; cycle++ {
+			for q := 0; q < 50; q++ {
+				tx := s.Begin()
+				a := uint64(r.Intn(int(s.NumNodeSlots())))
+				var opErr error
+				switch r.Intn(8) {
+				case 0, 1, 2, 3:
+					_, opErr = tx.AddRel(a, uint64(r.Intn(int(s.NumNodeSlots()))), "k", float64(r.Intn(9)+1))
+				case 4, 5:
+					id, _ := tx.AddNode("P", nil)
+					_, opErr = tx.AddRel(a, id, "k", 1)
+				case 6:
+					rels, err := tx.OutRels(a)
+					if err == nil && len(rels) > 0 {
+						opErr = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+					} else {
+						opErr = err
+						if opErr == nil {
+							tx.Abort()
+							continue
+						}
+					}
+				case 7:
+					opErr = tx.DeleteNode(a)
+				}
+				if opErr != nil {
+					tx.Abort()
+					continue
+				}
+				tx.Commit()
+			}
+			tp := s.Oracle().Begin()
+			batch := store.Scan(tp.TS())
+			tp.Commit()
+
+			var merged *csr.CSR
+			merged, _ = csr.Merge(static, batch)
+			dynamic.ApplyBatch(batch)
+			if err := dynamic.Validate(); err != nil {
+				t.Fatalf("seed %d cycle %d: %v", seed, cycle, err)
+			}
+			if !csr.Equal(dynamic.ToCSR(), merged) {
+				t.Fatalf("seed %d cycle %d: dynamic and static replicas diverged", seed, cycle)
+			}
+			static = merged
+		}
+	}
+}
+
+func TestFromSnapshot(t *testing.T) {
+	s := graph.NewStore()
+	loadTS, err := s.BulkLoad(
+		[]graph.NodeSpec{{Label: "A"}, {Label: "A"}, {Label: "A"}},
+		[]graph.EdgeSpec{{Src: 0, Dst: 1, Weight: 1}, {Src: 2, Dst: 0, Weight: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete node 1 so its slot is a hole.
+	tx := s.Begin()
+	if err := tx.DeleteNode(1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	g := FromSnapshot(s, ts)
+	if g.HasVertex(1) {
+		t.Fatal("deleted node materialized")
+	}
+	if !g.HasVertex(0) || g.Degree(0) != 0 {
+		t.Fatalf("node 0: has=%v deg=%d (edge to deleted 1 should be gone)", g.HasVertex(0), g.Degree(0))
+	}
+	if g.Degree(2) != 1 {
+		t.Fatalf("node 2 degree = %d", g.Degree(2))
+	}
+	if !csr.Equal(g.ToCSR(), csr.Build(s, ts)) {
+		t.Fatal("FromSnapshot differs from CSR build")
+	}
+	_ = loadTS
+	_ = mvto.TS(0)
+}

@@ -1,0 +1,386 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment returns a Table whose rows mirror the
+// series of the corresponding plot; cmd/h2tap-bench prints them and
+// EXPERIMENTS.md records paper-vs-measured shapes.
+//
+// Scaling: the paper's runs use LDBC SNB SF 1–30 and 20k–200k queries on a
+// 32-core server. The default Config divides dataset sizes by Downscale and
+// query counts by QueryScale so the full suite runs in minutes on a laptop;
+// shapes (who wins, scaling trends, crossovers) are preserved because every
+// mechanism is the real implementation, only sizes shrink. Use -full in
+// cmd/h2tap-bench to approach paper sizes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/deltai"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+	"h2tap/internal/ldbc"
+	"h2tap/internal/mvto"
+	"h2tap/internal/relstore"
+	"h2tap/internal/workload"
+)
+
+// Config scales and seeds the experiment suite.
+type Config struct {
+	// Downscale divides the per-SF dataset budgets (default 25).
+	Downscale int
+	// QueryScale divides the paper's query counts (default 100: the
+	// paper's 50k-200k become 500-2000).
+	QueryScale int
+	// RMATScale is the Graph500-like scale for Table 1 (default 15; the
+	// paper uses 24).
+	RMATScale int
+	Seed      int64
+}
+
+// Default returns the laptop-scale configuration. RMATScale 17 keeps
+// Table 1's CPU-analytics-vs-propagation ratios in the paper's regime
+// (compute-heavy analytics dwarf propagation, BFS does not).
+func Default() Config {
+	return Config{Downscale: 25, QueryScale: 100, RMATScale: 17, Seed: 1}
+}
+
+// Full returns a configuration approaching the paper's sizes. Expect long
+// runtimes and tens of GB of memory.
+func Full() Config {
+	return Config{Downscale: 1, QueryScale: 1, RMATScale: 24, Seed: 1}
+}
+
+func (c Config) norm() Config {
+	if c.Downscale == 0 {
+		c.Downscale = 25
+	}
+	if c.QueryScale == 0 {
+		c.QueryScale = 100
+	}
+	if c.RMATScale == 0 {
+		c.RMATScale = 15
+	}
+	return c
+}
+
+// queries scales a paper query count.
+func (c Config) queries(paper int) int {
+	n := paper / c.QueryScale
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Table is one experiment's output: rows mirroring the paper plot's series.
+type Table struct {
+	ID      string // e.g. "fig3"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = fmtDur(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a free-form note printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// JSON renders the table as a structured object (used by h2tap-bench
+// -json for machine-readable regression tracking).
+func (t *Table) JSON() map[string]any {
+	rows := make([]map[string]string, 0, len(t.Rows))
+	for _, r := range t.Rows {
+		m := make(map[string]string, len(t.Columns))
+		for i, c := range t.Columns {
+			if i < len(r) {
+				m[c] = r[i]
+			}
+		}
+		rows = append(rows, m)
+	}
+	return map[string]any{
+		"id":    t.ID,
+		"title": t.Title,
+		"rows":  rows,
+		"notes": t.Notes,
+	}
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	var sep []string
+	for _, wd := range widths {
+		sep = append(sep, strings.Repeat("-", wd))
+	}
+	printRow(sep)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// capturerKind selects the delta mechanism under test.
+type capturerKind int
+
+const (
+	captNone capturerKind = iota // the paper's "Baseline": no delta capture
+	captFE                       // DELTA_FE
+	captI                        // DELTA_I
+	captR                        // relational conversion (§6.8)
+)
+
+func (k capturerKind) String() string {
+	switch k {
+	case captFE:
+		return "DELTA_FE"
+	case captI:
+		return "DELTA_I"
+	case captR:
+		return "R"
+	default:
+		return "Baseline"
+	}
+}
+
+// bench is one prepared store + dataset + capturer, ready to run a
+// workload.
+type bench struct {
+	store  *graph.Store
+	ds     *ldbc.Dataset
+	loadTS mvto.TS
+	base   *csr.CSR
+
+	fe *deltastore.Store
+	di *deltai.Store
+	rl *relstore.Store
+}
+
+// setup loads a fresh store with the SF dataset and registers the chosen
+// capturer. buildCSR controls whether the initial replica CSR is built
+// (needed for propagation experiments).
+func (c Config) setup(sf float64, kind capturerKind, buildCSR bool) *bench {
+	ds := ldbc.GenerateSNB(ldbc.SNBConfig{SF: sf, Downscale: c.Downscale, Seed: c.Seed})
+	s := graph.NewStore()
+	ts, err := ds.Load(s)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: load SF%v: %v", sf, err))
+	}
+	b := &bench{store: s, ds: ds, loadTS: ts}
+	switch kind {
+	case captFE:
+		b.fe = deltastore.NewVolatile()
+		s.AddCapturer(b.fe)
+	case captI:
+		b.di = deltai.New(s)
+		s.AddCapturer(b.di)
+	case captR:
+		b.rl = relstore.New(s)
+		s.AddCapturer(b.rl)
+	}
+	if buildCSR {
+		b.base = csr.Build(s, ts)
+	}
+	return b
+}
+
+// window picks the §6.3 degree window over Person nodes.
+func (b *bench) window(kind workload.WindowKind, frac int) []graph.NodeID {
+	size := len(b.ds.Persons) / frac
+	if size < 10 {
+		size = 10
+	}
+	return workload.DegreeWindow(b.store, b.loadTS, b.ds.Persons, kind, size)
+}
+
+// runOps executes a prepared op stream and reports the §6.3 transactional
+// update time.
+func (b *bench) runOps(ops []workload.Op) workload.Result {
+	return workload.Run(b.store, ops)
+}
+
+// deltaBytes reports the capturer's §6.3 footprint metric.
+func (b *bench) deltaBytes() uint64 {
+	switch {
+	case b.fe != nil:
+		return b.fe.ArrayBytes()
+	case b.di != nil:
+		return b.di.ArrayBytes()
+	case b.rl != nil:
+		return b.rl.ArrayBytes()
+	default:
+		return 0
+	}
+}
+
+// records reports the capturer's appended delta count.
+func (b *bench) records() uint64 {
+	switch {
+	case b.fe != nil:
+		return b.fe.Records()
+	case b.di != nil:
+		return b.di.Records()
+	case b.rl != nil:
+		return b.rl.Records()
+	default:
+		return 0
+	}
+}
+
+// propagate measures one full propagation cycle against the bench's base
+// CSR and returns (scan, merge, records). The merged CSR replaces base.
+func (b *bench) propagate(tp mvto.TS) (scan, merge time.Duration, records int) {
+	switch {
+	case b.fe != nil:
+		t0 := time.Now()
+		batch := b.fe.Scan(tp)
+		scan = time.Since(t0)
+		t1 := time.Now()
+		merged, _ := csr.Merge(b.base, batch)
+		merge = time.Since(t1)
+		b.base = merged
+		return scan, merge, batch.Records
+	case b.di != nil:
+		t0 := time.Now()
+		snap := b.di.Scan(tp)
+		scan = time.Since(t0)
+		t1 := time.Now()
+		merged := deltai.MergeCSR(b.base, snap)
+		merge = time.Since(t1)
+		b.base = merged
+		return scan, merge, snap.Records
+	case b.rl != nil:
+		t0 := time.Now()
+		snap := b.rl.Scan(tp)
+		scan = time.Since(t0)
+		t1 := time.Now()
+		merged := relstore.MergeCSR(b.base, snap)
+		merge = time.Since(t1)
+		b.base = merged
+		return scan, merge, snap.Records
+	default:
+		return 0, 0, 0
+	}
+}
+
+// opPanels enumerates the five Fig 3 panels with their paper query counts.
+type opPanel struct {
+	name    string
+	op      workload.OpKind
+	mixed   bool
+	queries []int // paper-scale counts, scaled by Config.queries
+	windows []workload.WindowKind
+	// winFrac is the update-window size as a fraction of the Person
+	// population (1 = all persons). Node deletion consumes its window, so
+	// it gets the whole population.
+	winFrac int
+}
+
+func panels() []opPanel {
+	lohi := []workload.WindowKind{workload.LoDeg, workload.HiDeg}
+	hi := []workload.WindowKind{workload.HiDeg}
+	return []opPanel{
+		{name: "insert-node", op: workload.InsertNode, queries: []int{50_000, 125_000, 200_000}, windows: lohi, winFrac: windowFrac},
+		{name: "delete-node", op: workload.DeleteNode, queries: []int{50_000, 125_000, 200_000}, windows: lohi, winFrac: 1},
+		{name: "insert-relationship", op: workload.InsertRel, queries: []int{50_000, 125_000, 200_000}, windows: lohi, winFrac: windowFrac},
+		// §6.3: delete relationship and mixed are evaluated for high-degree
+		// windows only (deletes are bounded by the window's out-degree).
+		{name: "delete-relationship", op: workload.DeleteRel, queries: []int{20_000, 70_000, 120_000}, windows: hi, winFrac: windowFrac},
+		{name: "mixed", mixed: true, queries: []int{50_000, 100_000}, windows: hi, winFrac: windowFrac},
+	}
+}
+
+// genOps builds the op stream for a panel.
+func (b *bench) genOps(p opPanel, win []graph.NodeID, n int, seed int64) []workload.Op {
+	g := workload.NewGenerator(win, b.ds.Posts, seed)
+	if p.mixed {
+		return g.Mixed(n)
+	}
+	return g.Ops(p.op, n)
+}
+
+// syntheticDeltas feeds n single-edge-insert deltas into a DELTA_FE store
+// (used by scan-scaling experiments that need delta counts independent of
+// workload execution time).
+func syntheticDeltas(fe *deltastore.Store, n int, nodeRange uint64, seed int64) {
+	r := newRand(seed)
+	for i := 0; i < n; i++ {
+		fe.Capture(&delta.TxDelta{
+			TS: mvto.TS(i + 1),
+			Nodes: []delta.NodeDelta{{
+				Node: uint64(r.Intn(int(nodeRange))),
+				Ins:  []delta.Edge{{Dst: uint64(r.Intn(int(nodeRange))), W: 1}},
+			}},
+		})
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/workload"
+)
+
+// tiny is a configuration small enough for CI smoke runs.
+func tiny() Config {
+	return Config{Downscale: 200, QueryScale: 2000, RMATScale: 9, Seed: 1}
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(tiny())
+			if tab.ID != e.ID {
+				t.Fatalf("table id = %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Columns) {
+					t.Fatalf("row width %d != %d columns: %v", len(r), len(tab.Columns), r)
+				}
+			}
+			var buf bytes.Buffer
+			tab.Fprint(&buf)
+			if !strings.Contains(buf.String(), tab.Title) {
+				t.Fatal("print lost the title")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig3")
+	if err != nil || e.ID != "fig3" {
+		t.Fatalf("ByID(fig3) = %v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestQueryScaling(t *testing.T) {
+	c := Config{QueryScale: 100}.norm()
+	if c.queries(50_000) != 500 {
+		t.Fatalf("queries = %d", c.queries(50_000))
+	}
+	if c.queries(100) != 10 {
+		t.Fatalf("minimum clamp broken: %d", c.queries(100))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Columns: []string{"a", "bbb"}}
+	tab.AddRow(1500*time.Millisecond, 42)
+	tab.AddRow(2500*time.Microsecond, 0.5)
+	tab.Note("hello %d", 7)
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"1.500s", "2.500ms", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	for in, want := range map[uint64]string{
+		10:      "10B",
+		2048:    "2.00KB",
+		3 << 20: "3.00MB",
+		5 << 30: "5.00GB",
+	} {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// Shape assertions on a small-but-meaningful config: the headline claims
+// of the paper must hold in our reproduction.
+func TestShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks need a non-trivial workload")
+	}
+	c := Config{Downscale: 100, QueryScale: 500, RMATScale: 10, Seed: 1}
+
+	// Fig 4 shape: DELTA_I footprint strictly larger than DELTA_FE on the
+	// HiDeg insert-relationship panel.
+	p := panels()[2] // insert-relationship
+	bFE, _, _ := c.cell(p, workload.HiDeg, captFE, 50_000, false)
+	bDI, _, _ := c.cell(p, workload.HiDeg, captI, 50_000, false)
+	if bDI.deltaBytes() <= bFE.deltaBytes() {
+		t.Fatalf("DELTA_I footprint %d not above DELTA_FE %d", bDI.deltaBytes(), bFE.deltaBytes())
+	}
+
+	// Fig 9 shape: rebuild time grows with scale factor.
+	b1 := c.setup(1, captNone, false)
+	b10 := c.setup(10, captNone, false)
+	t0 := time.Now()
+	c1 := csr.Build(b1.store, b1.loadTS)
+	r1 := time.Since(t0)
+	t1 := time.Now()
+	c10 := csr.Build(b10.store, b10.loadTS)
+	r10 := time.Since(t1)
+	if c10.NumEdges() <= c1.NumEdges() {
+		t.Fatal("SF10 graph not larger than SF1")
+	}
+	if r10 <= r1/2 {
+		t.Fatalf("rebuild did not grow with size: SF1 %v, SF10 %v", r1, r10)
+	}
+}

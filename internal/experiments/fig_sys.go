@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"h2tap/internal/analytics"
+	"h2tap/internal/csr"
+	"h2tap/internal/dyngraph"
+	"h2tap/internal/gpu"
+	"h2tap/internal/graph"
+	"h2tap/internal/htap"
+	"h2tap/internal/ldbc"
+	"h2tap/internal/sim"
+	"h2tap/internal/sortledton"
+	"h2tap/internal/workload"
+)
+
+// rmatSetup loads the Graph500-like RMAT graph used by §6.7's comparison.
+func (c Config) rmatSetup() (*graph.Store, *ldbc.Dataset) {
+	ds := ldbc.GenerateRMAT(ldbc.RMATConfig{Scale: c.RMATScale, Seed: c.Seed})
+	s := graph.NewStore()
+	if _, err := ds.Load(s); err != nil {
+		panic(fmt.Sprintf("experiments: load RMAT: %v", err))
+	}
+	return s, ds
+}
+
+// rmatUpdates applies n single-edge update transactions (70% inserts, 30%
+// deletes) to the store, feeding whatever capturers are registered.
+func rmatUpdates(s *graph.Store, n int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	slots := int(s.NumNodeSlots())
+	for i := 0; i < n; i++ {
+		tx := s.Begin()
+		src := uint64(r.Intn(slots))
+		var err error
+		if r.Intn(10) < 7 {
+			_, err = tx.AddRel(src, uint64(r.Intn(slots)), "edge", float64(r.Intn(9)+1))
+		} else {
+			rels, oerr := tx.OutRels(src)
+			if oerr != nil || len(rels) == 0 {
+				tx.Abort()
+				continue
+			}
+			err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+		}
+		if err != nil {
+			tx.Abort()
+			continue
+		}
+		tx.Commit()
+	}
+}
+
+// Table1 — HTAP vs H2TAP analytics latency (§6.7): Sortledton running
+// analytics on CPU concurrently with updates, versus DELTA_FE update
+// propagation plus analytics on the (simulated) GPU, for BFS / PR / SSSP on
+// the Graph500-like RMAT graph with ~2M (scaled) pending deltas. Expected
+// shape: DELTA_FE wins on compute-heavy analytics (PR, SSSP); propagation
+// dominates its latency, so BFS does not pay off.
+func (c Config) Table1() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:    "table1",
+		Title: fmt.Sprintf("HTAP vs H2TAP analytics latency (RMAT scale %d)", c.RMATScale),
+		Columns: []string{"algorithm", "Sortledton-CPU", "DELTA_FE-propagation",
+			"analytics-on-GPU(sim)", "DELTA_FE-sum"},
+	}
+	nUpd := c.queries(2_000_000)
+
+	// H2TAP side: engine over the store, updates, then one propagation.
+	store, _ := c.rmatSetup()
+	eng, err := htap.NewEngine(store, htap.Config{Replica: htap.StaticCSR})
+	if err != nil {
+		panic(err)
+	}
+	rmatUpdates(store, nUpd, c.Seed)
+	prop, err := eng.Propagate()
+	if err != nil {
+		panic(err)
+	}
+	propTotal := prop.Total.Total()
+
+	// Sortledton side: a second store instance with the same data; updates
+	// run concurrently with the analytics (no performance isolation).
+	slStore, _ := c.rmatSetup()
+	sl := sortledton.FromSnapshot(slStore, slStore.Oracle().LastCommitted())
+
+	type algo struct {
+		name string
+		cpu  func() // run on sortledton
+		kind htap.AnalyticsKind
+	}
+	algos := []algo{
+		{"BFS", func() { analytics.BFS(sl, 0) }, htap.BFS},
+		{"PR", func() { analytics.PageRank(sl, 10, 0.85) }, htap.PageRank},
+		{"SSSP", func() { analytics.SSSP(sl, 0) }, htap.SSSP},
+	}
+
+	var cpuTimes, sums []time.Duration
+	var kernels []sim.Duration
+	for _, a := range algos {
+		// Concurrent updater: the §6.7 interference.
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(c.Seed + 99))
+			slots := uint64(sl.NumVertexSlots())
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				src, dst := uint64(r.Intn(int(slots))), uint64(r.Intn(int(slots)))
+				if i%3 == 0 {
+					sl.DeleteEdge(src, dst)
+				} else {
+					sl.InsertEdge(src, dst, 1)
+				}
+			}
+		}()
+		t0 := time.Now()
+		a.cpu()
+		cpuTime := time.Since(t0)
+		close(stop)
+		wg.Wait()
+
+		res, err := eng.RunAnalytics(a.kind, 0)
+		if err != nil {
+			panic(err)
+		}
+		sum := propTotal + time.Duration(res.KernelSim)
+		t.AddRow(a.name, cpuTime, propTotal, time.Duration(res.KernelSim), sum)
+		cpuTimes = append(cpuTimes, cpuTime)
+		kernels = append(kernels, res.KernelSim)
+		sums = append(sums, sum)
+	}
+
+	// §6.7's two dispatch scenarios.
+	maxCPU, sumCPU := time.Duration(0), time.Duration(0)
+	for _, d := range cpuTimes {
+		if d > maxCPU {
+			maxCPU = d
+		}
+		sumCPU += d
+	}
+	maxKernel := sim.Duration(0)
+	for _, k := range kernels {
+		if k > maxKernel {
+			maxKernel = k
+		}
+	}
+	sumFE := time.Duration(0)
+	for _, s := range sums {
+		sumFE += s
+	}
+	t.AddRow("all-arrive-together", maxCPU, propTotal, time.Duration(maxKernel),
+		propTotal+time.Duration(maxKernel))
+	t.AddRow("arrive-sequentially", sumCPU, "-", "-", sumFE)
+	t.Note("expected shape: DELTA_FE wins PR and SSSP (GPU pays off); BFS is dominated by propagation; batching amortizes propagation")
+	return t
+}
+
+// Sec66 — the §6.6 update-handling walkthrough on the SF10 graph with ~2M
+// (scaled) deltas: append overhead, scan, both propagation paths and the
+// rebuild comparison, plus the §1 motivating ratio (CSR rebuild vs SSSP
+// execution).
+func (c Config) Sec66() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "sec66",
+		Title:   "Update handling walkthrough (SF10, ~2M scaled deltas)",
+		Columns: []string{"quantity", "value"},
+	}
+	// The paper's regime: ~2M deltas against the ~30M-edge SF10 graph, a
+	// ≈1:15 delta-to-edge ratio. Scale the update count off the actual
+	// scaled graph size so the rebuild-vs-merge comparison happens in the
+	// same regime (a mixed transaction appends ~1.4 deltas).
+	bFE := c.setup(10, captFE, true)
+	n := int(bFE.base.NumEdges() / 20)
+	if paperN := c.queries(2_000_000); paperN < n {
+		n = paperN
+	}
+
+	// Append overhead: same mixed workload with and without delta capture.
+	p := opPanel{name: "mixed", mixed: true}
+	bBase := c.setup(10, captNone, false)
+	opsB := bBase.genOps(p, bBase.window(workload.HiDeg, windowFrac), n, c.Seed)
+	baseT := bBase.runOps(opsB).Duration
+
+	opsF := bFE.genOps(p, bFE.window(workload.HiDeg, windowFrac), n, c.Seed)
+	feT := bFE.runOps(opsF).Duration
+	over := feT - baseT
+	if over < 0 {
+		over = 0
+	}
+	t.AddRow("update txns executed", n)
+	t.AddRow("deltas appended", bFE.records())
+	t.AddRow("append overhead (DELTA_FE vs baseline)", over)
+
+	// Update propagation phase.
+	dev := gpu.DefaultA100()
+	tp := bFE.store.Oracle().Begin()
+	t0 := time.Now()
+	batch := bFE.fe.Scan(tp.TS())
+	scan := time.Since(t0)
+	t.AddRow("delta store scan", scan)
+
+	// Dynamic path: coalesced transfer + batched ingestion.
+	dynTransfer := dev.HostToDevice(batch.TransferBytes())
+	dyn := dyngraph.FromCSR(bFE.base)
+	st := dyn.ApplyBatch(batch)
+	ingest, err := dev.Launch(sim.KernelIngest, float64(st.Ops()))
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("dynamic: coalesced delta transfer (sim)", time.Duration(dynTransfer))
+	t.AddRow("dynamic: batched ingestion (sim)", time.Duration(ingest))
+	t.AddRow("dynamic: propagation total", scan+time.Duration(dynTransfer+ingest))
+
+	// Static path: merge + CSR transfer, against rebuild + transfer.
+	t1 := time.Now()
+	merged, _ := csr.Merge(bFE.base, batch)
+	merge := time.Since(t1)
+	csrTransfer := dev.HostToDevice(merged.Bytes())
+	staticTotal := scan + merge + time.Duration(csrTransfer)
+	t.AddRow("static: delta merge", merge)
+	t.AddRow("static: CSR transfer to GPU (sim)", time.Duration(csrTransfer))
+	t.AddRow("static: propagation total", staticTotal)
+
+	t2 := time.Now()
+	rebuilt := csr.Build(bFE.store, tp.TS()-1)
+	rebuild := time.Since(t2)
+	tp.Commit()
+	rebuildTotal := rebuild + time.Duration(dev.HostToDevice(rebuilt.Bytes()))
+	t.AddRow("rebuild: CSR rebuild", rebuild)
+	t.AddRow("rebuild: total (rebuild + transfer)", rebuildTotal)
+	red := 100 * (1 - staticTotal.Seconds()/rebuildTotal.Seconds())
+	t.AddRow("static path reduction vs rebuild", fmt.Sprintf("%.0f%%", red))
+
+	// §1 motivation: rebuild vs SSSP-on-GPU execution time.
+	_, work := analytics.SSSP(analytics.CSRGraph{C: merged}, 0)
+	ssspSim, err := dev.Launch(sim.KernelSSSP, work.Edges)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("SSSP on GPU (sim)", time.Duration(ssspSim))
+	t.AddRow("rebuild / SSSP ratio (§1 motivation)",
+		fmt.Sprintf("%.1fx", rebuildTotal.Seconds()/ssspSim.Seconds()))
+	t.Note("paper §6.6: scan 2596ms, dynamic transfer 4.75ms, merge 2064ms, rebuild 33134ms, copy 721ms, 85%% reduction — shapes, not absolutes, are the target")
+	return t
+}

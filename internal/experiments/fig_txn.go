@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"h2tap/internal/workload"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// windowFrac is the fraction of the Person population forming the update
+// window (paper §6.3 slides a fixed window over the degree-sorted IDs).
+const windowFrac = 10
+
+// cell runs one (panel, window, capturer, queries) measurement on a fresh
+// SF1-scale store: the Fig 3 grid's atomic unit. It returns the bench for
+// follow-up measurements (footprint, propagation).
+//
+// Short cells are noisy (GC, first-touch chunk allocation), so measurements
+// under repeatBelow are repeated and the minimum kept — the usual
+// microbenchmarking discipline.
+const repeatBelow = 100 * time.Millisecond
+
+func (c Config) cell(p opPanel, win workload.WindowKind, kind capturerKind, paperQ int, buildCSR bool) (*bench, int, time.Duration) {
+	frac := p.winFrac
+	if frac == 0 {
+		frac = windowFrac
+	}
+	run := func() (*bench, int, time.Duration) {
+		runtime.GC() // park accumulated garbage outside the timed region
+		b := c.setup(1, kind, buildCSR)
+		n := c.queries(paperQ)
+		ops := b.genOps(p, b.window(win, frac), n, c.Seed+int64(paperQ))
+		res := b.runOps(ops)
+		return b, n, res.Duration
+	}
+	b, n, d := run()
+	for rep := 0; d < repeatBelow && rep < 2; rep++ {
+		b2, _, d2 := run()
+		if d2 < d {
+			b, d = b2, d2
+		}
+	}
+	return b, n, d
+}
+
+// Fig3 — Transactional Update Time: DELTA_I vs DELTA_FE vs Baseline across
+// the five operation panels, Lo/HiDeg windows, increasing query counts.
+// Expected shape (§6.3): DELTA_FE ≈ Baseline everywhere and insensitive to
+// degree; DELTA_I slower, degree-sensitive, worst on insert-relationship.
+func (c Config) Fig3() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Transactional update time (SF1)",
+		Columns: []string{"panel", "window", "queries", "Baseline", "DELTA_FE", "DELTA_I"},
+	}
+	for _, p := range panels() {
+		for _, win := range p.windows {
+			for _, q := range p.queries {
+				_, n, base := c.cell(p, win, captNone, q, false)
+				_, _, fe := c.cell(p, win, captFE, q, false)
+				_, _, di := c.cell(p, win, captI, q, false)
+				t.AddRow(p.name, win, n, base, fe, di)
+			}
+		}
+	}
+	t.Note("expected shape: DELTA_FE tracks Baseline and is degree-insensitive; DELTA_I is slower, especially HiDeg insert-relationship")
+	return t
+}
+
+// Fig4 — Delta Memory Footprint: bytes stored in the delta structures after
+// each panel's workload. Expected shape: DELTA_FE orders of magnitude below
+// DELTA_I; DELTA_FE independent of node degree.
+func (c Config) Fig4() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Delta memory footprint (SF1)",
+		Columns: []string{"panel", "window", "queries", "DELTA_FE", "DELTA_I", "ratio"},
+	}
+	for _, p := range panels() {
+		for _, win := range p.windows {
+			for _, q := range p.queries {
+				bFE, n, _ := c.cell(p, win, captFE, q, false)
+				bDI, _, _ := c.cell(p, win, captI, q, false)
+				fe, di := bFE.deltaBytes(), bDI.deltaBytes()
+				ratio := "-"
+				if fe > 0 {
+					ratio = formatRatio(float64(di) / float64(fe))
+				}
+				t.AddRow(p.name, win, n, fmtBytes(fe), fmtBytes(di), ratio)
+			}
+		}
+	}
+	t.Note("expected shape: DELTA_I footprint orders of magnitude larger, growing with node degree; DELTA_FE degree-independent")
+	return t
+}
+
+// Fig5 — Update Propagation Time: delta store scan + CSR merge after each
+// panel's workload, DELTA_I vs DELTA_FE. Expected shape: DELTA_FE faster in
+// all cases and unaffected by node degree.
+func (c Config) Fig5() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Update propagation time (scan + merge, SF1)",
+		Columns: []string{"panel", "window", "queries", "DELTA_FE", "DELTA_I"},
+	}
+	prop := func(p opPanel, win workload.WindowKind, kind capturerKind, q int) (int, time.Duration) {
+		best := time.Duration(1 << 62)
+		var n int
+		for rep := 0; rep < 3; rep++ {
+			var b *bench
+			b, n, _ = c.cell(p, win, kind, q, true)
+			tp := b.store.Oracle().Begin()
+			s, m, _ := b.propagate(tp.TS())
+			tp.Commit()
+			if s+m < best {
+				best = s + m
+			}
+			if best > repeatBelow {
+				break
+			}
+		}
+		return n, best
+	}
+	for _, p := range panels() {
+		for _, win := range p.windows {
+			for _, q := range p.queries {
+				n, fe := prop(p, win, captFE, q)
+				_, di := prop(p, win, captI, q)
+				t.AddRow(p.name, win, n, fe, di)
+			}
+		}
+	}
+	t.Note("expected shape: DELTA_FE propagates faster in all cases, gap widening with query count and degree")
+	return t
+}
+
+// Fig6 — Baseline vs DELTA_FE (HiDeg, SF1) per panel: the two curves the
+// paper shows lying on top of each other.
+func (c Config) Fig6() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig6",
+		Title:   "Transactional update time: Baseline vs DELTA_FE (HiDeg, SF1)",
+		Columns: []string{"panel", "queries", "Baseline", "DELTA_FE", "overhead%"},
+	}
+	for _, p := range panels() {
+		for _, q := range p.queries {
+			_, n, base := c.cell(p, workload.HiDeg, captNone, q, false)
+			_, _, fe := c.cell(p, workload.HiDeg, captFE, q, false)
+			over := 100 * (fe.Seconds() - base.Seconds()) / base.Seconds()
+			t.AddRow(p.name, n, base, fe, over)
+		}
+	}
+	t.Note("expected shape: curves overlap — DELTA_FE append overhead is negligible")
+	return t
+}
+
+// Fig7 — DELTA_I Delta Append Overhead: DELTA_I update time minus Baseline,
+// per panel. Expected shape: overhead grows with query count, correlated
+// with the delta footprint of Fig 4.
+func (c Config) Fig7() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig7",
+		Title:   "DELTA_I delta append overhead (HiDeg, SF1)",
+		Columns: []string{"panel", "queries", "Baseline", "DELTA_I", "overhead"},
+	}
+	for _, p := range panels() {
+		for _, q := range p.queries {
+			_, n, base := c.cell(p, workload.HiDeg, captNone, q, false)
+			_, _, di := c.cell(p, workload.HiDeg, captI, q, false)
+			over := di - base
+			if over < 0 {
+				over = 0
+			}
+			t.AddRow(p.name, n, base, di, over)
+		}
+	}
+	t.Note("expected shape: overhead grows with query count; it is the gap Fig 4's footprint predicts")
+	return t
+}
+
+// Fig8 — Baseline vs DELTA_FE on the larger SF10 graph, mixed workload:
+// validates degree-independence at scale.
+func (c Config) Fig8() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:      "fig8",
+		Title:   "Transactional update time: Baseline vs DELTA_FE (HiDeg, mixed, SF10)",
+		Columns: []string{"queries", "Baseline", "DELTA_FE", "overhead%"},
+	}
+	p := opPanel{name: "mixed", mixed: true}
+	measure := func(kind capturerKind, n int) time.Duration {
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			runtime.GC()
+			b := c.setup(10, kind, false)
+			ops := b.genOps(p, b.window(workload.HiDeg, windowFrac), n, c.Seed)
+			if d := b.runOps(ops).Duration; d < best {
+				best = d
+			}
+			if best > repeatBelow {
+				break
+			}
+		}
+		return best
+	}
+	for _, q := range []int{50_000, 100_000} {
+		n := c.queries(q)
+		base := measure(captNone, n)
+		fe := measure(captFE, n)
+		t.AddRow(n, base, fe, 100*(fe.Seconds()-base.Seconds())/base.Seconds())
+	}
+	t.Note("expected shape: update times remain similar at SF10 — no correlation between appended deltas and DELTA_FE update time")
+	return t
+}
+
+func formatRatio(r float64) string {
+	if r >= 100 {
+		return fmt.Sprintf("%.0fx", r)
+	}
+	return fmt.Sprintf("%.1fx", r)
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one runnable evaluation experiment.
+type Experiment struct {
+	ID    string
+	Desc  string
+	Run   func(Config) *Table
+	Heavy bool // long-running even at default scale
+}
+
+// All enumerates every experiment, in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig3", Desc: "Transactional update time (DELTA_I vs DELTA_FE vs baseline)", Run: Config.Fig3},
+		{ID: "fig4", Desc: "Delta memory footprint", Run: Config.Fig4},
+		{ID: "fig5", Desc: "Update propagation time (scan+merge)", Run: Config.Fig5},
+		{ID: "fig6", Desc: "Baseline vs DELTA_FE update time (HiDeg, SF1)", Run: Config.Fig6},
+		{ID: "fig7", Desc: "DELTA_I delta append overhead", Run: Config.Fig7},
+		{ID: "fig8", Desc: "Baseline vs DELTA_FE update time (mixed, SF10)", Run: Config.Fig8},
+		{ID: "fig9", Desc: "CSR rebuild and copy vs scale factor", Run: Config.Fig9, Heavy: true},
+		{ID: "fig10", Desc: "Update propagation time detail vs #deltas", Run: Config.Fig10},
+		{ID: "fig11", Desc: "Volatile vs persistent delta store", Run: Config.Fig11},
+		{ID: "fig12", Desc: "DELTA_FE vs relational delta store R", Run: Config.Fig12},
+		{ID: "table1", Desc: "HTAP vs H2TAP analytics latency", Run: Config.Table1, Heavy: true},
+		{ID: "sec66", Desc: "Update handling walkthrough (§6.6 numbers)", Run: Config.Sec66},
+		{ID: "costmodel", Desc: "Cost model calibration and threshold (§6.4)", Run: Config.CostModelExp},
+		{ID: "parallel", Desc: "Delta store append throughput vs clients (extension)", Run: Config.ParallelExp},
+		{ID: "freshness", Desc: "Propagation amortization across analytics batches (extension)", Run: Config.FreshnessExp},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

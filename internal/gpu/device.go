@@ -1,0 +1,262 @@
+// Package gpu simulates the analytics accelerator of the paper's testbed
+// (an NVIDIA A100 with 40 GB over PCIe 4.0, §6.1). Computation runs on the
+// host; the device tracks memory occupancy and charges simulated durations
+// for transfers and kernel launches from the calibrated models in
+// internal/sim. DESIGN.md §2 explains why this substitution preserves the
+// paper's measured shapes.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/dyngraph"
+	"h2tap/internal/sim"
+)
+
+// ErrOutOfMemory reports device memory exhaustion — the case §4.3 notes
+// would require partitioning / unified-memory techniques.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// Config describes a simulated device.
+type Config struct {
+	Name     string
+	MemBytes int64
+	PCIe     sim.PCIeModel
+	Kernels  map[string]sim.KernelModel
+}
+
+// Device is a simulated GPU.
+type Device struct {
+	cfg     Config
+	memUsed atomic.Int64
+
+	mu       sync.Mutex
+	simTotal sim.Duration // accumulated simulated busy time
+	launches int64
+	hToD     int64 // bytes moved host→device
+}
+
+// DefaultA100 returns a device with the paper-calibrated defaults: 40 GB of
+// memory, PCIe 4.0 transfer model, Table-1-fitted kernel throughputs.
+func DefaultA100() *Device {
+	return NewDevice(Config{
+		Name:     "sim-a100",
+		MemBytes: 40 << 30,
+		PCIe:     sim.DefaultPCIe(),
+		Kernels:  sim.DefaultKernels(),
+	})
+}
+
+// NewDevice returns a device with the given configuration.
+func NewDevice(cfg Config) *Device {
+	if cfg.Kernels == nil {
+		cfg.Kernels = sim.DefaultKernels()
+	}
+	return &Device{cfg: cfg}
+}
+
+// Name reports the device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// MemUsed reports allocated device memory.
+func (d *Device) MemUsed() int64 { return d.memUsed.Load() }
+
+// MemCapacity reports total device memory.
+func (d *Device) MemCapacity() int64 { return d.cfg.MemBytes }
+
+// SimTime reports the device's accumulated simulated busy time.
+func (d *Device) SimTime() sim.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.simTotal
+}
+
+// Launches reports the number of kernel launches.
+func (d *Device) Launches() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.launches
+}
+
+// BytesToDevice reports the cumulative host→device transfer volume.
+func (d *Device) BytesToDevice() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hToD
+}
+
+func (d *Device) charge(t sim.Duration) {
+	d.mu.Lock()
+	d.simTotal += t
+	d.mu.Unlock()
+}
+
+// Buffer is a device memory allocation.
+type Buffer struct {
+	dev   *Device
+	bytes int64
+	freed atomic.Bool
+}
+
+// Malloc allocates device memory.
+func (d *Device) Malloc(n int64) (*Buffer, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("gpu: Malloc(%d): negative size", n)
+	}
+	for {
+		used := d.memUsed.Load()
+		if used+n > d.cfg.MemBytes {
+			return nil, fmt.Errorf("%w: need %d, %d free", ErrOutOfMemory, n, d.cfg.MemBytes-used)
+		}
+		if d.memUsed.CompareAndSwap(used, used+n) {
+			return &Buffer{dev: d, bytes: n}, nil
+		}
+	}
+}
+
+// Bytes reports the buffer size.
+func (b *Buffer) Bytes() int64 { return b.bytes }
+
+// Free releases the buffer; double-free is a no-op.
+func (b *Buffer) Free() {
+	if b != nil && b.freed.CompareAndSwap(false, true) {
+		b.dev.memUsed.Add(-b.bytes)
+	}
+}
+
+// HostToDevice charges a host→device transfer of n bytes and returns its
+// simulated duration.
+func (d *Device) HostToDevice(n int64) sim.Duration {
+	t := d.cfg.PCIe.Transfer(n)
+	d.mu.Lock()
+	d.simTotal += t
+	d.hToD += n
+	d.mu.Unlock()
+	return t
+}
+
+// DeviceToHost charges a device→host transfer.
+func (d *Device) DeviceToHost(n int64) sim.Duration {
+	t := d.cfg.PCIe.Transfer(n)
+	d.charge(t)
+	return t
+}
+
+// Launch charges a kernel of the given class with the given amount of work
+// (class-specific units; graph kernels use traversed edges).
+func (d *Device) Launch(class string, work float64) (sim.Duration, error) {
+	m, ok := d.cfg.Kernels[class]
+	if !ok {
+		return 0, fmt.Errorf("gpu: unknown kernel class %q", class)
+	}
+	t := m.Run(work)
+	d.mu.Lock()
+	d.simTotal += t
+	d.launches++
+	d.mu.Unlock()
+	return t, nil
+}
+
+// ResidentCSR is a CSR replica resident in device memory — the static
+// replica of Fig 1 (bottom right). Replace swaps in a new CSR, modelling
+// the "new CSR transferred to the GPU to replace the old CSR" step (§5.4).
+type ResidentCSR struct {
+	dev *Device
+	buf *Buffer
+	c   *csr.CSR
+}
+
+// UploadCSR allocates device memory for c and transfers it.
+func UploadCSR(d *Device, c *csr.CSR) (*ResidentCSR, sim.Duration, error) {
+	buf, err := d.Malloc(c.Bytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	t := d.HostToDevice(c.Bytes())
+	return &ResidentCSR{dev: d, buf: buf, c: c}, t, nil
+}
+
+// CSR exposes the device-resident CSR content (host-backed in the
+// simulation) for kernels.
+func (r *ResidentCSR) CSR() *csr.CSR { return r.c }
+
+// Replace uploads the new CSR and frees the old replica's memory.
+func (r *ResidentCSR) Replace(c *csr.CSR) (sim.Duration, error) {
+	buf, err := r.dev.Malloc(c.Bytes())
+	if err != nil {
+		// The A100 holds two SF30 CSRs comfortably; if it cannot, free
+		// first and retry — trading the brief double-residency away.
+		r.buf.Free()
+		buf, err = r.dev.Malloc(c.Bytes())
+		if err != nil {
+			return 0, err
+		}
+	} else {
+		r.buf.Free()
+	}
+	t := r.dev.HostToDevice(c.Bytes())
+	r.buf = buf
+	r.c = c
+	return t, nil
+}
+
+// Free releases the replica's device memory.
+func (r *ResidentCSR) Free() { r.buf.Free() }
+
+// ResidentDyn is a dynamic-structure replica in device memory — the dynamic
+// path of Fig 1 (top right). Ingest coalesces a propagation batch, ships it
+// in a single transfer (§5.4: "copy them to the GPU memory all at once")
+// and charges the batched-ingestion kernel.
+type ResidentDyn struct {
+	dev *Device
+	buf *Buffer
+	g   *dyngraph.Graph
+}
+
+// dynBytes estimates device memory for the hash-table structure: table
+// headers per vertex slot plus bucket entries at 2× load-factor headroom.
+func dynBytes(g *dyngraph.Graph) int64 {
+	return int64(g.NumVertexSlots())*16 + g.NumEdges()*16*2
+}
+
+// UploadDyn allocates and transfers the dynamic structure.
+func UploadDyn(d *Device, g *dyngraph.Graph) (*ResidentDyn, sim.Duration, error) {
+	buf, err := d.Malloc(dynBytes(g))
+	if err != nil {
+		return nil, 0, err
+	}
+	t := d.HostToDevice(int64(g.NumVertexSlots())*16 + g.NumEdges()*16)
+	return &ResidentDyn{dev: d, buf: buf, g: g}, t, nil
+}
+
+// Graph exposes the device-resident dynamic graph.
+func (r *ResidentDyn) Graph() *dyngraph.Graph { return r.g }
+
+// Ingest applies a propagation batch: one coalesced transfer plus the
+// batched update kernel (Algorithm 1).
+func (r *ResidentDyn) Ingest(b *delta.Batch) (sim.Duration, dyngraph.Stats, error) {
+	t := r.dev.HostToDevice(b.TransferBytes())
+	st := r.g.ApplyBatch(b)
+	kt, err := r.dev.Launch(sim.KernelIngest, float64(st.Ops()))
+	if err != nil {
+		return 0, st, err
+	}
+	// Track occupancy growth.
+	if newBytes := dynBytes(r.g); newBytes > r.buf.Bytes() {
+		r.buf.Free()
+		nb, err := r.dev.Malloc(newBytes)
+		if err != nil {
+			return 0, st, err
+		}
+		r.buf = nb
+	}
+	return t + kt, st, nil
+}
+
+// Free releases the replica's device memory.
+func (r *ResidentDyn) Free() { r.buf.Free() }

@@ -1,0 +1,70 @@
+// Package graph implements the CPU-resident main property graph — the
+// transactional store the paper builds on (Poseidon, [39]): labeled nodes
+// and relationships with properties, fixed-size records in chunked tables,
+// and MVTO concurrency control (§2.3). Committing transactions describe
+// their topology changes to registered delta capturers (§4.2 update
+// storage).
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dictionary interns strings (labels, property keys) to dense uint32 codes,
+// the usual trick for keeping fixed-size records fixed-size.
+type Dictionary struct {
+	mu     sync.RWMutex
+	toCode map[string]uint32
+	toStr  []string
+}
+
+// NewDictionary returns an empty dictionary. Code 0 is reserved for "no
+// label".
+func NewDictionary() *Dictionary {
+	return &Dictionary{toCode: map[string]uint32{"": 0}, toStr: []string{""}}
+}
+
+// Code interns s, returning its code.
+func (d *Dictionary) Code(s string) uint32 {
+	d.mu.RLock()
+	c, ok := d.toCode[s]
+	d.mu.RUnlock()
+	if ok {
+		return c
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.toCode[s]; ok {
+		return c
+	}
+	c = uint32(len(d.toStr))
+	d.toCode[s] = c
+	d.toStr = append(d.toStr, s)
+	return c
+}
+
+// Lookup reports the code for s without interning.
+func (d *Dictionary) Lookup(s string) (uint32, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	c, ok := d.toCode[s]
+	return c, ok
+}
+
+// String returns the string for a code.
+func (d *Dictionary) String(c uint32) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(c) >= len(d.toStr) {
+		panic(fmt.Sprintf("graph: dictionary code %d out of range %d", c, len(d.toStr)))
+	}
+	return d.toStr[c]
+}
+
+// Len reports the number of interned strings (including the reserved "").
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.toStr)
+}

@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"h2tap/internal/mvto"
+)
+
+func TestOpsOnFinishedTxnFail(t *testing.T) {
+	s := NewStore()
+	setup := s.Begin()
+	id, _ := setup.AddNode("P", nil)
+	setup.Commit()
+
+	tx := s.Begin()
+	tx.Commit()
+	if _, err := tx.AddNode("P", nil); !errors.Is(err, mvto.ErrTxnDone) {
+		t.Fatalf("AddNode on finished txn = %v", err)
+	}
+	if _, err := tx.AddRel(id, id, "k", 1); !errors.Is(err, mvto.ErrTxnDone) {
+		t.Fatalf("AddRel on finished txn = %v", err)
+	}
+	if err := tx.DeleteNode(id); !errors.Is(err, mvto.ErrTxnDone) {
+		t.Fatalf("DeleteNode on finished txn = %v", err)
+	}
+	if err := tx.DeleteRel(0); !errors.Is(err, mvto.ErrTxnDone) {
+		t.Fatalf("DeleteRel on finished txn = %v", err)
+	}
+	if err := tx.SetNodeProp(id, "k", Int(1)); !errors.Is(err, mvto.ErrTxnDone) {
+		t.Fatalf("SetNodeProp on finished txn = %v", err)
+	}
+}
+
+func TestGetMissingProperty(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("P", map[string]Value{"a": Int(1)})
+	tx.Commit()
+	r := s.Begin()
+	defer r.Abort()
+	v, err := r.GetNodeProp(id, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != KindNil {
+		t.Fatalf("missing property = %v", v)
+	}
+	// Existing key on a node that doesn't have it set.
+	tx2 := s.Begin()
+	id2, _ := tx2.AddNode("P", nil)
+	tx2.Commit()
+	r2 := s.Begin()
+	defer r2.Abort()
+	if v, _ := r2.GetNodeProp(id2, "a"); v.Kind != KindNil {
+		t.Fatalf("unset property = %v", v)
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	for i := 0; i < 5; i++ {
+		b, _ := tx.AddNode("P", nil)
+		tx.AddRel(a, b, "k", 1)
+	}
+	tx.Commit()
+	r := s.Begin()
+	defer r.Abort()
+	count := 0
+	if err := r.Neighbors(a, func(NodeID, float64) bool {
+		count++
+		return count < 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNodeLabelAtSnapshot(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("Person", nil)
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	if lbl, ok := s.NodeLabelAt(id, ts); !ok || lbl != "Person" {
+		t.Fatalf("label = %q, %v", lbl, ok)
+	}
+	if _, ok := s.NodeLabelAt(999, ts); ok {
+		t.Fatal("label of missing node")
+	}
+	del := s.Begin()
+	del.DeleteNode(id)
+	del.Commit()
+	if _, ok := s.NodeLabelAt(id, s.Oracle().LastCommitted()); ok {
+		t.Fatal("label of deleted node")
+	}
+	// Old snapshot still resolves.
+	if _, ok := s.NodeLabelAt(id, ts); !ok {
+		t.Fatal("old snapshot lost the label")
+	}
+}
+
+func TestDeleteNodePoisonsOnConflict(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	rid, _ := tx.AddRel(a, b, "k", 1)
+	tx.Commit()
+
+	// blocker locks the relationship first.
+	blocker := s.Begin()
+	if err := blocker.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := s.Begin()
+	err := victim.DeleteNode(a)
+	if err == nil {
+		t.Fatal("cascade through a locked relationship succeeded")
+	}
+	// The victim is poisoned: commit must refuse and abort.
+	if cerr := victim.Commit(); !errors.Is(cerr, ErrMustAbort) {
+		t.Fatalf("commit of poisoned txn = %v, want ErrMustAbort", cerr)
+	}
+	blocker.Abort()
+
+	// After everything aborted, the graph is intact.
+	ts := s.Oracle().LastCommitted()
+	if !s.NodeExistsAt(a, ts) || len(s.OutEdgesAt(a, ts)) != 1 {
+		t.Fatal("aborted operations damaged the graph")
+	}
+	// And a retry succeeds.
+	retry := s.Begin()
+	if err := retry.DeleteNode(a); err != nil {
+		t.Fatalf("retry after aborts = %v", err)
+	}
+	if err := retry.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteConflictOnNewerVersion(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("P", map[string]Value{"v": Int(0)})
+	tx.Commit()
+
+	older := s.Begin() // lower timestamp
+	newer := s.Begin()
+	if err := newer.SetNodeProp(id, "v", Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	newer.Commit()
+	// older now writes against an object whose newest version is newer
+	// than itself: a write-write conflict.
+	err := older.SetNodeProp(id, "v", Int(1))
+	if !errors.Is(err, ErrWriteConflict) && !errors.Is(err, mvto.ErrLocked) {
+		t.Fatalf("stale write = %v, want ErrWriteConflict", err)
+	}
+	older.Abort()
+}
+
+func TestOutRelsOnDeletedNode(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("P", nil)
+	tx.Commit()
+	del := s.Begin()
+	del.DeleteNode(id)
+	del.Commit()
+	r := s.Begin()
+	defer r.Abort()
+	if _, err := r.OutRels(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("OutRels on deleted node = %v", err)
+	}
+	if err := r.Neighbors(id, func(NodeID, float64) bool { return true }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Neighbors on deleted node = %v", err)
+	}
+}
+
+func TestSelfLoopDirected(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	if _, err := tx.AddRel(a, a, "self", 2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	got := s.OutEdgesAt(a, ts)
+	if len(got) != 1 || got[0].Dst != a || got[0].W != 2 {
+		t.Fatalf("self-loop = %+v", got)
+	}
+	// Deleting the node removes the loop without double-processing.
+	del := s.Begin()
+	if err := del.DeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit()
+	if s.LiveRels() != 0 || s.LiveNodes() != 0 {
+		t.Fatalf("live counts after self-loop delete: %d/%d", s.LiveNodes(), s.LiveRels())
+	}
+}
+
+func TestStressManyVersions(t *testing.T) {
+	// One node updated many times: version chain growth and snapshot
+	// resolution stay correct.
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("P", map[string]Value{"v": Int(0)})
+	tx.Commit()
+	for i := 1; i <= 100; i++ {
+		up := s.Begin()
+		if err := up.SetNodeProp(id, "v", Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		up.Commit()
+	}
+	r := s.Begin()
+	defer r.Abort()
+	v, err := r.GetNodeProp(id, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 100 {
+		t.Fatalf("newest value = %d", v.AsInt())
+	}
+}

@@ -1,0 +1,790 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// recordingCapturer remembers every captured delta.
+type recordingCapturer struct {
+	mu     sync.Mutex
+	deltas []*delta.TxDelta
+}
+
+func (c *recordingCapturer) Capture(d *delta.TxDelta) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.deltas = append(c.deltas, d)
+}
+
+func (c *recordingCapturer) all() []*delta.TxDelta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*delta.TxDelta(nil), c.deltas...)
+}
+
+func TestAddNodeCommitVisibility(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, err := tx.AddNode("Person", map[string]Value{"name": Str("ada")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tx.NodeExists(id) {
+		t.Fatal("node invisible to its own transaction")
+	}
+
+	other := s.Begin()
+	if other.NodeExists(id) {
+		t.Fatal("uncommitted node visible to another transaction")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// MVTO orders by timestamp: other is newer than the writer, so after
+	// commit the insert becomes visible to it.
+	if !other.NodeExists(id) {
+		t.Fatal("committed insert invisible to newer concurrent transaction")
+	}
+	other.Abort()
+
+	later := s.Begin()
+	defer later.Abort()
+	if !later.NodeExists(id) {
+		t.Fatal("committed node invisible to newer transaction")
+	}
+	got, err := later.GetNodeProp(id, "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsString() != "ada" {
+		t.Fatalf("property = %v", got)
+	}
+	if lbl, _ := later.NodeLabel(id); lbl != "Person" {
+		t.Fatalf("label = %q", lbl)
+	}
+	if s.LiveNodes() != 1 {
+		t.Fatalf("LiveNodes = %d", s.LiveNodes())
+	}
+}
+
+func TestInsertInvisibleToOlderTransaction(t *testing.T) {
+	s := NewStore()
+	older := s.Begin() // ts below the writer's
+	writer := s.Begin()
+	id, _ := writer.AddNode("Person", nil)
+	writer.Commit()
+	defer older.Abort()
+	if older.NodeExists(id) {
+		t.Fatal("insert visible to transaction older than its bts")
+	}
+}
+
+func TestAbortUndoesInsert(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("Person", nil)
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	r := s.Begin()
+	defer r.Abort()
+	if r.NodeExists(id) {
+		t.Fatal("aborted node visible")
+	}
+	if s.LiveNodes() != 0 {
+		t.Fatalf("LiveNodes = %d after abort", s.LiveNodes())
+	}
+}
+
+func TestAddRelAdjacency(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Person", nil)
+	c, _ := tx.AddNode("Post", nil)
+	if _, err := tx.AddRel(a, c, "likes", 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.AddRel(a, b, "knows", 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := s.Oracle().LastCommitted()
+	out := s.OutEdgesAt(a, ts)
+	if len(out) != 2 {
+		t.Fatalf("out edges = %d, want 2", len(out))
+	}
+	// Sorted by destination.
+	if out[0].Dst != b || out[1].Dst != c {
+		t.Fatalf("out edges unsorted: %+v", out)
+	}
+	in := s.InEdgesAt(c, ts)
+	if len(in) != 1 || in[0].Dst != a || in[0].W != 2.0 {
+		t.Fatalf("in edges of c = %+v", in)
+	}
+	if s.DegreeAt(a, ts) != 2 {
+		t.Fatalf("degree = %d", s.DegreeAt(a, ts))
+	}
+}
+
+func TestAddRelToMissingNode(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	if _, err := tx.AddRel(a, 999, "knows", 1); err == nil {
+		t.Fatal("AddRel to out-of-range node succeeded")
+	}
+	tx.Abort()
+
+	// A committed-but-deleted destination is also rejected.
+	tx2 := s.Begin()
+	a2, _ := tx2.AddNode("Person", nil)
+	b2, _ := tx2.AddNode("Person", nil)
+	tx2.Commit()
+	tx3 := s.Begin()
+	if err := tx3.DeleteNode(b2); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	tx4 := s.Begin()
+	defer tx4.Abort()
+	if _, err := tx4.AddRel(a2, b2, "knows", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("AddRel to deleted node = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDeleteRelSnapshot(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Post", nil)
+	rid, _ := tx.AddRel(a, b, "likes", 1.0)
+	tx.Commit()
+	preTS := s.Oracle().LastCommitted()
+
+	del := s.Begin()
+	if err := del.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	// Before commit, everyone still sees the edge.
+	if got := s.OutEdgesAt(a, preTS); len(got) != 1 {
+		t.Fatalf("pre-commit snapshot lost the edge: %+v", got)
+	}
+	del.Commit()
+
+	// The old snapshot still sees it; a new one does not.
+	if got := s.OutEdgesAt(a, preTS); len(got) != 1 {
+		t.Fatalf("old snapshot lost the edge after delete: %+v", got)
+	}
+	if got := s.OutEdgesAt(a, s.Oracle().LastCommitted()); len(got) != 0 {
+		t.Fatalf("new snapshot still sees deleted edge: %+v", got)
+	}
+	if s.LiveRels() != 0 {
+		t.Fatalf("LiveRels = %d", s.LiveRels())
+	}
+}
+
+func TestDeleteRelTwiceFails(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Post", nil)
+	rid, _ := tx.AddRel(a, b, "likes", 1.0)
+	tx.Commit()
+
+	d1 := s.Begin()
+	if err := d1.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	d1.Commit()
+	d2 := s.Begin()
+	defer d2.Abort()
+	if err := d2.DeleteRel(rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestConcurrentDeleteConflict(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Post", nil)
+	rid, _ := tx.AddRel(a, b, "likes", 1.0)
+	tx.Commit()
+
+	d1 := s.Begin()
+	d2 := s.Begin()
+	if err := d1.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	err := d2.DeleteRel(rid)
+	if !errors.Is(err, mvto.ErrLocked) {
+		t.Fatalf("conflicting delete = %v, want ErrLocked", err)
+	}
+	d2.Abort()
+	d1.Commit()
+}
+
+func TestDeleteNodeCascades(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Person", nil)
+	c, _ := tx.AddNode("Person", nil)
+	tx.AddRel(b, a, "knows", 1.0) // incoming to a
+	tx.AddRel(a, c, "knows", 1.0) // outgoing from a
+	tx.AddRel(b, c, "knows", 1.0) // unrelated
+	tx.Commit()
+
+	del := s.Begin()
+	if err := del.DeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit()
+
+	ts := s.Oracle().LastCommitted()
+	if s.NodeExistsAt(a, ts) {
+		t.Fatal("deleted node still visible")
+	}
+	if got := s.OutEdgesAt(b, ts); len(got) != 1 || got[0].Dst != c {
+		t.Fatalf("b's surviving edges = %+v, want only b→c", got)
+	}
+	if s.LiveNodes() != 2 || s.LiveRels() != 1 {
+		t.Fatalf("live counts = %d nodes, %d rels", s.LiveNodes(), s.LiveRels())
+	}
+}
+
+func TestWriteDeniedAfterNewerRead(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("Person", map[string]Value{"age": Int(30)})
+	tx.Commit()
+
+	older := s.Begin()
+	newer := s.Begin()
+	if !newer.NodeExists(id) { // records the read with newer's ts
+		t.Fatal("node missing")
+	}
+	err := older.SetNodeProp(id, "age", Int(31))
+	if !errors.Is(err, mvto.ErrReadByNewer) {
+		t.Fatalf("older write after newer read = %v, want ErrReadByNewer", err)
+	}
+	older.Abort()
+	newer.Abort()
+}
+
+func TestSetNodePropVersioning(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("Person", map[string]Value{"age": Int(30)})
+	tx.Commit()
+	oldTS := s.Oracle().LastCommitted()
+
+	up := s.Begin()
+	if err := up.SetNodeProp(id, "age", Int(31)); err != nil {
+		t.Fatal(err)
+	}
+	up.Commit()
+
+	// Reader snapshots: a transaction cannot be created at an old ts, but
+	// version windows are checkable via the snapshot read path plus a fresh
+	// transactional read.
+	r := s.Begin()
+	defer r.Abort()
+	v, err := r.GetNodeProp(id, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 31 {
+		t.Fatalf("new reader sees age %d, want 31", v.AsInt())
+	}
+	// The old version's window closed exactly at the updater's ts.
+	n, _ := s.node(id)
+	if got := n.versions[0].meta.ETS(); got != up.TS() {
+		t.Fatalf("old version ets = %d, want %d", got, up.TS())
+	}
+	_ = oldTS
+}
+
+func TestSetNodePropAbortRestores(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	id, _ := tx.AddNode("Person", map[string]Value{"age": Int(30)})
+	tx.Commit()
+
+	up := s.Begin()
+	if err := up.SetNodeProp(id, "age", Int(99)); err != nil {
+		t.Fatal(err)
+	}
+	up.Abort()
+
+	r := s.Begin()
+	defer r.Abort()
+	v, err := r.GetNodeProp(id, "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 30 {
+		t.Fatalf("aborted update leaked: age = %d", v.AsInt())
+	}
+	// A later writer can lock the object again.
+	up2 := s.Begin()
+	if err := up2.SetNodeProp(id, "age", Int(31)); err != nil {
+		t.Fatalf("write after aborted write = %v", err)
+	}
+	up2.Commit()
+}
+
+func TestDeltaCaptureInsertRel(t *testing.T) {
+	s := NewStore()
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Post", nil)
+	tx.Commit()
+	if len(cap.all()) != 1 {
+		t.Fatalf("captures after node txn = %d", len(cap.all()))
+	}
+
+	tx2 := s.Begin()
+	tx2.AddRel(a, b, "likes", 2.5)
+	tx2.Commit()
+	ds := cap.all()
+	d := ds[len(ds)-1]
+	if d.TS != tx2.TS() {
+		t.Fatalf("delta ts = %d, want %d", d.TS, tx2.TS())
+	}
+	if len(d.Nodes) != 1 || d.Nodes[0].Node != a ||
+		len(d.Nodes[0].Ins) != 1 || d.Nodes[0].Ins[0] != (delta.Edge{Dst: b, W: 2.5}) {
+		t.Fatalf("insert-rel delta = %+v", d.Nodes)
+	}
+}
+
+func TestDeltaCaptureDeleteNode(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Person", nil)
+	tx.AddRel(b, a, "knows", 1) // incoming to a
+	tx.AddRel(a, b, "knows", 1) // outgoing from a
+	tx.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	del := s.Begin()
+	if err := del.DeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit()
+
+	ds := cap.all()
+	if len(ds) != 1 {
+		t.Fatalf("captures = %d", len(ds))
+	}
+	var aDelta, bDelta *delta.NodeDelta
+	for i := range ds[0].Nodes {
+		nd := &ds[0].Nodes[i]
+		switch nd.Node {
+		case a:
+			aDelta = nd
+		case b:
+			bDelta = nd
+		}
+	}
+	if aDelta == nil || !aDelta.Deleted || len(aDelta.Ins) != 0 || len(aDelta.Del) != 0 {
+		t.Fatalf("deleted-node delta = %+v", aDelta)
+	}
+	if bDelta == nil || len(bDelta.Del) != 1 || bDelta.Del[0] != a {
+		t.Fatalf("source-of-incoming delta = %+v", bDelta)
+	}
+}
+
+func TestNoCaptureOnAbortOrPropertyOnly(t *testing.T) {
+	s := NewStore()
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+
+	tx := s.Begin()
+	tx.AddNode("Person", nil)
+	tx.Abort()
+	if len(cap.all()) != 0 {
+		t.Fatal("aborted transaction captured a delta")
+	}
+
+	tx2 := s.Begin()
+	id, _ := tx2.AddNode("Person", map[string]Value{"age": Int(1)})
+	tx2.Commit()
+	before := len(cap.all())
+
+	tx3 := s.Begin()
+	if err := tx3.SetNodeProp(id, "age", Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+	if len(cap.all()) != before {
+		t.Fatal("property-only transaction captured a topology delta")
+	}
+}
+
+func TestInsertAndDeleteSameTxnCancels(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", nil)
+	b, _ := tx.AddNode("Person", nil)
+	tx.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	tx2 := s.Begin()
+	rid, _ := tx2.AddRel(a, b, "knows", 1)
+	if err := tx2.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	if len(cap.all()) != 0 {
+		t.Fatalf("net-zero transaction captured deltas: %+v", cap.all())
+	}
+	if got := s.OutEdgesAt(a, s.Oracle().LastCommitted()); len(got) != 0 {
+		t.Fatalf("edge survived insert+delete: %+v", got)
+	}
+}
+
+func TestDeleteThenReinsertSameTxn(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	tx.AddRel(a, b, "k", 1)
+	tx.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	tx2 := s.Begin()
+	rels, _ := tx2.OutRels(a)
+	if err := tx2.DeleteRel(rels[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.AddRel(a, b, "k", 9); err != nil {
+		t.Fatalf("re-insert after in-txn delete = %v", err)
+	}
+	tx2.Commit()
+
+	ts := s.Oracle().LastCommitted()
+	got := s.OutEdgesAt(a, ts)
+	if len(got) != 1 || got[0].W != 9 {
+		t.Fatalf("edges after delete+reinsert = %+v", got)
+	}
+	// The captured delta must fold to a bare weight-updating insert.
+	ds := cap.all()
+	if len(ds) != 1 || len(ds[0].Nodes) != 1 {
+		t.Fatalf("captures = %+v", ds)
+	}
+	nd := ds[0].Nodes[0]
+	if len(nd.Del) != 0 || len(nd.Ins) != 1 || nd.Ins[0].W != 9 {
+		t.Fatalf("delta = %+v", nd)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	s := NewStore()
+	nodes := []NodeSpec{
+		{Label: "Person"}, {Label: "Person"}, {Label: "Post"},
+	}
+	edges := []EdgeSpec{
+		{Src: 0, Dst: 1, Label: "knows", Weight: 1},
+		{Src: 0, Dst: 2, Label: "likes", Weight: 2},
+		{Src: 1, Dst: 2, Label: "likes", Weight: 3},
+	}
+	ts, err := s.BulkLoad(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveNodes() != 3 || s.LiveRels() != 3 {
+		t.Fatalf("live = %d/%d", s.LiveNodes(), s.LiveRels())
+	}
+	if got := s.OutEdgesAt(0, ts); len(got) != 2 {
+		t.Fatalf("node 0 out = %+v", got)
+	}
+	if ids := s.NodesByLabelAt("Person", ts); len(ids) != 2 {
+		t.Fatalf("Person nodes = %v", ids)
+	}
+	// Loaded data is transactionally usable afterwards.
+	tx := s.Begin()
+	if _, err := tx.AddRel(2, 0, "replyOf", 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+}
+
+func TestBulkLoadRejectsBadEdge(t *testing.T) {
+	s := NewStore()
+	_, err := s.BulkLoad([]NodeSpec{{Label: "A"}}, []EdgeSpec{{Src: 0, Dst: 5}})
+	if err == nil {
+		t.Fatal("bulk load with out-of-range edge succeeded")
+	}
+}
+
+func TestForEachNodeAtOrder(t *testing.T) {
+	s := NewStore()
+	s.BulkLoad([]NodeSpec{{Label: "A"}, {Label: "B"}, {Label: "C"}}, nil)
+	tx := s.Begin()
+	tx.DeleteNode(1)
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	var ids []NodeID
+	s.ForEachNodeAt(ts, func(id NodeID, _ uint32) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 2 {
+		t.Fatalf("visible nodes = %v, want [0 2]", ids)
+	}
+}
+
+func TestConcurrentTransactionsStress(t *testing.T) {
+	s := NewStore()
+	// Seed nodes.
+	specs := make([]NodeSpec, 64)
+	for i := range specs {
+		specs[i] = NodeSpec{Label: "Person"}
+	}
+	if _, err := s.BulkLoad(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	var commits, aborts int64
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			localCommits, localAborts := int64(0), int64(0)
+			for i := 0; i < 300; i++ {
+				tx := s.Begin()
+				src := NodeID(r.Intn(64))
+				dst := NodeID(r.Intn(64))
+				var err error
+				switch r.Intn(3) {
+				case 0:
+					_, err = tx.AddRel(src, dst, "knows", 1)
+				case 1:
+					var rels []RelInfo
+					rels, err = tx.OutRels(src)
+					if err == nil && len(rels) > 0 {
+						err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+					}
+				case 2:
+					err = tx.SetNodeProp(src, "x", Int(int64(i)))
+				}
+				if err != nil {
+					tx.Abort()
+					localAborts++
+					continue
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				localCommits++
+			}
+			mu.Lock()
+			commits += localCommits
+			aborts += localAborts
+			mu.Unlock()
+		}(int64(w))
+	}
+	wg.Wait()
+	if commits == 0 {
+		t.Fatal("no transaction committed under contention")
+	}
+	// Consistency: live counter matches a full snapshot count.
+	ts := s.Oracle().LastCommitted()
+	var visRels int64
+	for id := uint64(0); id < s.NumNodeSlots(); id++ {
+		visRels += int64(len(s.OutEdgesAt(id, ts)))
+	}
+	if visRels != s.LiveRels() {
+		t.Fatalf("snapshot rels = %d, counter = %d", visRels, s.LiveRels())
+	}
+	t.Logf("stress: %d commits, %d aborts, %d live rels", commits, aborts, s.LiveRels())
+}
+
+func TestDictionary(t *testing.T) {
+	d := NewDictionary()
+	a := d.Code("Person")
+	b := d.Code("Post")
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("codes: %d, %d", a, b)
+	}
+	if d.Code("Person") != a {
+		t.Fatal("re-interning changed the code")
+	}
+	if d.String(a) != "Person" {
+		t.Fatalf("String(%d) = %q", a, d.String(a))
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup invented a code")
+	}
+	if d.Len() != 3 { // "", Person, Post
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Float(2.5), "2.5"},
+		{Str("hi"), `"hi"`},
+		{Bool(true), "true"},
+		{Value{}, "nil"},
+	}
+	for _, c := range cases {
+		if c.v.String() != c.want {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.want)
+		}
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Fatal("bool round trip failed")
+	}
+	if !Int(7).Equal(Int(7)) || Int(7).Equal(Int(8)) {
+		t.Fatal("Equal broken")
+	}
+}
+
+// Property-style test: a random committed workload against a map-based
+// model; the visible topology must match exactly.
+func TestRandomWorkloadMatchesModel(t *testing.T) {
+	s := NewStore()
+	const nSeed = 32
+	specs := make([]NodeSpec, nSeed)
+	for i := range specs {
+		specs[i] = NodeSpec{Label: "Person"}
+	}
+	s.BulkLoad(specs, nil)
+
+	type edgeKey struct{ src, dst NodeID }
+	model := map[edgeKey]float64{} // simple graph: (src,dst) unique
+	alive := map[NodeID]bool{}
+	for i := NodeID(0); i < nSeed; i++ {
+		alive[i] = true
+	}
+	nextID := NodeID(nSeed)
+
+	r := rand.New(rand.NewSource(12345))
+	aliveList := func() []NodeID {
+		var ids []NodeID
+		for id, ok := range alive {
+			if ok {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+	for i := 0; i < 800; i++ {
+		tx := s.Begin()
+		ids := aliveList()
+		if len(ids) < 2 {
+			tx.Abort()
+			break
+		}
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // insert rel
+			src := ids[r.Intn(len(ids))]
+			dst := ids[r.Intn(len(ids))]
+			w := float64(r.Intn(100))
+			_, err := tx.AddRel(src, dst, "knows", w)
+			if _, exists := model[edgeKey{src, dst}]; exists {
+				if !errors.Is(err, ErrDuplicateEdge) {
+					t.Fatalf("duplicate edge insert = %v, want ErrDuplicateEdge", err)
+				}
+				tx.Abort()
+				continue
+			}
+			if err != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+			model[edgeKey{src, dst}] = w
+		case 6, 7: // insert node (+edge to it)
+			id, _ := tx.AddNode("Person", nil)
+			src := ids[r.Intn(len(ids))]
+			if _, err := tx.AddRel(src, id, "knows", 1); err != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+			if id != nextID {
+				t.Fatalf("node id %d, expected %d", id, nextID)
+			}
+			nextID++
+			alive[id] = true
+			model[edgeKey{src, id}] = 1
+		case 8: // delete rel
+			src := ids[r.Intn(len(ids))]
+			rels, err := tx.OutRels(src)
+			if err != nil || len(rels) == 0 {
+				tx.Abort()
+				continue
+			}
+			pick := rels[r.Intn(len(rels))]
+			if err := tx.DeleteRel(pick.ID); err != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+			delete(model, edgeKey{pick.Src, pick.Dst})
+		case 9: // delete node
+			id := ids[r.Intn(len(ids))]
+			if err := tx.DeleteNode(id); err != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+			alive[id] = false
+			for k := range model {
+				if k.src == id || k.dst == id {
+					delete(model, k)
+				}
+			}
+		}
+	}
+
+	ts := s.Oracle().LastCommitted()
+	got := map[edgeKey]float64{}
+	for id := uint64(0); id < s.NumNodeSlots(); id++ {
+		if !alive[id] && s.NodeExistsAt(id, ts) {
+			t.Fatalf("node %d should be dead", id)
+		}
+		if alive[id] && !s.NodeExistsAt(id, ts) {
+			t.Fatalf("node %d should be alive", id)
+		}
+		for _, e := range s.OutEdgesAt(id, ts) {
+			if _, dup := got[edgeKey{id, e.Dst}]; dup {
+				t.Fatalf("duplicate (src,dst) pair %d→%d in store", id, e.Dst)
+			}
+			got[edgeKey{id, e.Dst}] = e.W
+		}
+	}
+	if !reflect.DeepEqual(got, model) {
+		t.Fatalf("store topology diverged from model: %d vs %d edges", len(got), len(model))
+	}
+}

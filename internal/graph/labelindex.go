@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+
+	"h2tap/internal/mvto"
+)
+
+// labelIndex maps label codes to the IDs of nodes ever created with that
+// label — the access path behind the paper's "retrieving nodes with
+// specific labels" transactional workload (§1). Node labels are immutable,
+// so posting lists are append-only; deleted and uncommitted nodes are
+// filtered by MVTO visibility at read time, like adjacency entries.
+type labelIndex struct {
+	mu    sync.RWMutex
+	lists map[uint32][]NodeID
+}
+
+func newLabelIndex() *labelIndex {
+	return &labelIndex{lists: make(map[uint32][]NodeID)}
+}
+
+func (ix *labelIndex) add(label uint32, id NodeID) {
+	ix.mu.Lock()
+	ix.lists[label] = append(ix.lists[label], id)
+	ix.mu.Unlock()
+}
+
+func (ix *labelIndex) snapshot(label uint32) []NodeID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.lists[label]
+}
+
+// NodesByLabelAt returns the IDs of nodes with the given label visible at
+// ts, in ID order. Backed by the label index: cost is proportional to the
+// label's population, not the whole node table.
+func (s *Store) NodesByLabelAt(label string, ts mvto.TS) []NodeID {
+	code, ok := s.dict.Lookup(label)
+	if !ok {
+		return nil
+	}
+	candidates := s.labels.snapshot(code)
+	out := make([]NodeID, 0, len(candidates))
+	for _, id := range candidates {
+		if s.NodeExistsAt(id, ts) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountByLabelAt reports how many nodes with the label are visible at ts.
+func (s *Store) CountByLabelAt(label string, ts mvto.TS) int {
+	return len(s.NodesByLabelAt(label, ts))
+}

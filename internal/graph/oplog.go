@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"h2tap/internal/mvto"
+)
+
+// The paper's main graph is durable (Poseidon keeps it in persistent
+// memory, §6.1/§6.5). This file provides the equivalent for the volatile
+// in-memory store: a logical operation log. When a logger is registered,
+// every transaction accumulates its operations and hands them to the logger
+// *before* the MVTO commit finalizes (write-ahead discipline); internal/wal
+// persists them and replays them into Store.Restore on recovery.
+
+// OpKind discriminates logged operations.
+type OpKind uint8
+
+// Logged operation kinds.
+const (
+	OpAddNode OpKind = iota + 1
+	OpAddRel
+	OpDeleteNode
+	OpDeleteRel
+	OpSetNodeProp
+	OpSetRelProp
+	OpSetRelWeight
+)
+
+// LoggedOp is one logical operation of a committed transaction, carrying
+// the IDs the operation actually used so replay is ID-faithful (aborted
+// transactions consume table slots, so replay cannot re-derive IDs).
+type LoggedOp struct {
+	Kind     OpKind
+	ID       uint64 // node ID or relationship ID, per Kind
+	Src, Dst NodeID // OpAddRel
+	Label    string // OpAddNode, OpAddRel
+	Weight   float64
+	Key      string // property ops
+	Val      Value  // property ops
+	Props    map[string]Value
+}
+
+// OpLogger receives the operations of committing transactions. LogCommit
+// runs before the transaction becomes visible; returning an error aborts
+// the commit.
+type OpLogger interface {
+	LogCommit(ts mvto.TS, ops []LoggedOp) error
+}
+
+type opLoggers struct {
+	mu      sync.RWMutex
+	loggers []OpLogger
+}
+
+// AddOpLogger registers a logical operation logger (write-ahead logging).
+// Register during setup, before concurrent transactions.
+func (s *Store) AddOpLogger(l OpLogger) {
+	s.oplog.mu.Lock()
+	s.oplog.loggers = append(s.oplog.loggers, l)
+	s.oplog.mu.Unlock()
+	s.logging.Store(true)
+}
+
+// SetOpLoggers replaces the registered logger set — the log-rotation hook
+// used after a checkpoint swaps in a fresh log file. Callers quiesce
+// committing transactions around the swap.
+func (s *Store) SetOpLoggers(loggers ...OpLogger) {
+	s.oplog.mu.Lock()
+	s.oplog.loggers = append([]OpLogger(nil), loggers...)
+	s.oplog.mu.Unlock()
+	s.logging.Store(len(loggers) > 0)
+}
+
+func (s *Store) logCommit(ts mvto.TS, ops []LoggedOp) error {
+	s.oplog.mu.RLock()
+	loggers := s.oplog.loggers
+	s.oplog.mu.RUnlock()
+	for _, l := range loggers {
+		if err := l.LogCommit(ts, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// logOp appends to the transaction's op list when logging is enabled.
+func (tx *Tx) logOp(op LoggedOp) {
+	if tx.s.logging.Load() {
+		tx.ops = append(tx.ops, op)
+	}
+}
+
+// RestoredNode is one live node in a recovered snapshot.
+type RestoredNode struct {
+	ID    NodeID
+	Label string
+	Props map[string]Value
+}
+
+// RestoredRel is one live relationship in a recovered snapshot.
+type RestoredRel struct {
+	ID       RelID
+	Src, Dst NodeID
+	Label    string
+	Weight   float64
+	Props    map[string]Value
+}
+
+// Restore materializes a recovered snapshot into an empty store: objects
+// land at their recorded IDs (holes stay holes), all visible as of a single
+// recovery timestamp, and the oracle fast-forwards past maxTS so new
+// transactions are newer than everything replayed.
+func (s *Store) Restore(nodes []RestoredNode, rels []RestoredRel, maxTS mvto.TS) error {
+	if s.nodes.Len() != 0 || s.rels.Len() != 0 {
+		return fmt.Errorf("graph: Restore requires an empty store")
+	}
+	s.oracle.AdvanceTo(maxTS)
+	ts := s.oracle.LastCommitted()
+	if ts == 0 {
+		ts = 1
+		s.oracle.AdvanceTo(1)
+	}
+
+	var maxNode, maxRel uint64
+	for i := range nodes {
+		if nodes[i].ID >= maxNode {
+			maxNode = nodes[i].ID + 1
+		}
+	}
+	for i := range rels {
+		if rels[i].ID >= maxRel {
+			maxRel = rels[i].ID + 1
+		}
+		if rels[i].Src >= maxNode || rels[i].Dst >= maxNode {
+			return fmt.Errorf("graph: Restore: relationship %d references node beyond %d", rels[i].ID, maxNode)
+		}
+	}
+	s.nodes.EnsureLen(maxNode)
+	s.rels.EnsureLen(maxRel)
+
+	for i := range nodes {
+		rn := &nodes[i]
+		n := s.nodes.At(rn.ID)
+		n.label = s.dict.Code(rn.Label)
+		v := &objVersion{props: s.internProps(rn.Props)}
+		v.meta.InitInsert(ts)
+		v.meta.Unlock(ts)
+		n.versions = append(n.versions, v)
+		s.labels.add(n.label, rn.ID)
+	}
+	for i := range rels {
+		rr := &rels[i]
+		r := s.rels.At(rr.ID)
+		r.label = s.dict.Code(rr.Label)
+		r.src, r.dst = rr.Src, rr.Dst
+		v := &objVersion{weight: rr.Weight, props: s.internProps(rr.Props)}
+		v.meta.InitInsert(ts)
+		v.meta.Unlock(ts)
+		r.versions = append(r.versions, v)
+
+		sn := s.nodes.At(rr.Src)
+		if len(sn.versions) == 0 {
+			return fmt.Errorf("graph: Restore: relationship %d from dead node %d", rr.ID, rr.Src)
+		}
+		sn.out = append(sn.out, rr.ID)
+		if s.undirected {
+			if rr.Dst != rr.Src {
+				s.nodes.At(rr.Dst).out = append(s.nodes.At(rr.Dst).out, rr.ID)
+			}
+		} else {
+			s.nodes.At(rr.Dst).in = append(s.nodes.At(rr.Dst).in, rr.ID)
+		}
+	}
+	s.liveNodes.Store(int64(len(nodes)))
+	s.liveRels.Store(int64(len(rels)))
+	return nil
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"fmt"
+
+	"h2tap/internal/mvto"
+)
+
+// This file implements the transactional read workloads of §1 beyond point
+// lookups: "retrieving nodes with specific labels and/or property values,
+// traversing the neighborhood of certain nodes, exploring a portion of the
+// graph filtered by specific relationship labels and/or property values".
+// The API is a small fluent traversal: start from a label or explicit IDs,
+// filter by properties, expand along (optionally label-filtered)
+// relationships, and collect. All reads are MVTO transactional reads at the
+// query transaction's timestamp.
+
+// Pred is a property predicate.
+type Pred func(Value) bool
+
+// Eq matches values equal to v.
+func Eq(v Value) Pred { return func(x Value) bool { return x.Equal(v) } }
+
+// IntRange matches integer values in [lo, hi].
+func IntRange(lo, hi int64) Pred {
+	return func(x Value) bool {
+		return x.Kind == KindInt && x.AsInt() >= lo && x.AsInt() <= hi
+	}
+}
+
+// Exists matches any non-nil value.
+func Exists() Pred { return func(x Value) bool { return x.Kind != KindNil } }
+
+// Traversal is a lazy node-set pipeline bound to a transaction.
+type Traversal struct {
+	tx    *Tx
+	ids   []NodeID
+	err   error
+	limit int
+}
+
+// Match starts a traversal from all visible nodes with the given label
+// (via the label index).
+func (tx *Tx) Match(label string) *Traversal {
+	ids := tx.s.NodesByLabelAt(label, tx.m.TS())
+	// Transactional semantics: record reads on the matched nodes.
+	for _, id := range ids {
+		if n, err := tx.s.node(id); err == nil {
+			if v := n.visible(tx.m.TS()); v != nil {
+				v.meta.RecordRead(tx.m.TS())
+			}
+		}
+	}
+	return &Traversal{tx: tx, ids: ids}
+}
+
+// From starts a traversal from explicit node IDs (invisible ones are
+// dropped).
+func (tx *Tx) From(ids ...NodeID) *Traversal {
+	kept := make([]NodeID, 0, len(ids))
+	for _, id := range ids {
+		if tx.NodeExists(id) {
+			kept = append(kept, id)
+		}
+	}
+	return &Traversal{tx: tx, ids: kept}
+}
+
+// Where keeps nodes whose property key satisfies pred.
+func (t *Traversal) Where(key string, pred Pred) *Traversal {
+	if t.err != nil {
+		return t
+	}
+	kept := t.ids[:0:0]
+	for _, id := range t.ids {
+		v, err := t.tx.GetNodeProp(id, key)
+		if err != nil {
+			continue // node vanished between steps: treat as filtered out
+		}
+		if pred(v) {
+			kept = append(kept, id)
+		}
+	}
+	t.ids = kept
+	return t
+}
+
+// WhereLabel keeps nodes with the given label (useful after expansion).
+func (t *Traversal) WhereLabel(label string) *Traversal {
+	if t.err != nil {
+		return t
+	}
+	kept := t.ids[:0:0]
+	for _, id := range t.ids {
+		if l, err := t.tx.NodeLabel(id); err == nil && l == label {
+			kept = append(kept, id)
+		}
+	}
+	t.ids = kept
+	return t
+}
+
+// Out expands to out-neighbors along relationships, optionally filtered by
+// relationship label (empty string = any). The result is deduplicated,
+// preserving first-reached order.
+func (t *Traversal) Out(relLabel string) *Traversal {
+	if t.err != nil {
+		return t
+	}
+	seen := make(map[NodeID]bool)
+	var next []NodeID
+	for _, id := range t.ids {
+		rels, err := t.tx.OutRels(id)
+		if err != nil {
+			continue
+		}
+		for _, r := range rels {
+			if relLabel != "" && r.Label != relLabel {
+				continue
+			}
+			dst := r.Dst
+			if t.tx.s.undirected && dst == id {
+				dst = r.Src
+			}
+			if !seen[dst] {
+				seen[dst] = true
+				next = append(next, dst)
+			}
+		}
+	}
+	t.ids = next
+	return t
+}
+
+// OutWhere expands along relationships whose weight satisfies pred.
+func (t *Traversal) OutWhere(relLabel string, weightPred func(float64) bool) *Traversal {
+	if t.err != nil {
+		return t
+	}
+	seen := make(map[NodeID]bool)
+	var next []NodeID
+	for _, id := range t.ids {
+		rels, err := t.tx.OutRels(id)
+		if err != nil {
+			continue
+		}
+		for _, r := range rels {
+			if relLabel != "" && r.Label != relLabel {
+				continue
+			}
+			if weightPred != nil && !weightPred(r.Weight) {
+				continue
+			}
+			if !seen[r.Dst] {
+				seen[r.Dst] = true
+				next = append(next, r.Dst)
+			}
+		}
+	}
+	t.ids = next
+	return t
+}
+
+// Limit caps the result set (applied at Collect/Count time, preserving
+// order).
+func (t *Traversal) Limit(n int) *Traversal {
+	t.limit = n
+	return t
+}
+
+// Collect returns the traversal's node IDs.
+func (t *Traversal) Collect() ([]NodeID, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	ids := t.ids
+	if t.limit > 0 && len(ids) > t.limit {
+		ids = ids[:t.limit]
+	}
+	out := make([]NodeID, len(ids))
+	copy(out, ids)
+	return out, nil
+}
+
+// Count returns the traversal's cardinality.
+func (t *Traversal) Count() (int, error) {
+	ids, err := t.Collect()
+	return len(ids), err
+}
+
+// CollectProps fetches one property for each result node, in order.
+func (t *Traversal) CollectProps(key string) ([]Value, error) {
+	ids, err := t.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Value, len(ids))
+	for i, id := range ids {
+		v, err := t.tx.GetNodeProp(id, key)
+		if err != nil {
+			return nil, fmt.Errorf("collect %q of node %d: %w", key, id, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// GroupCountByLabel is a BI-style aggregation over a snapshot (§1's
+// "Business-Intelligence-like queries that heavily involve complex grouping
+// and aggregation"): the number of visible nodes per label at ts.
+func (s *Store) GroupCountByLabel(ts mvto.TS) map[string]int {
+	out := make(map[string]int)
+	s.ForEachNodeAt(ts, func(_ NodeID, label uint32) bool {
+		out[s.dict.String(label)]++
+		return true
+	})
+	return out
+}
+
+// DegreeHistogramAt returns counts of visible nodes bucketed by out-degree:
+// bucket i counts nodes with degree in [2^(i-1), 2^i) (bucket 0 = degree 0).
+func (s *Store) DegreeHistogramAt(ts mvto.TS) []int {
+	var hist []int
+	s.ForEachNodeAt(ts, func(id NodeID, _ uint32) bool {
+		deg := s.DegreeAt(id, ts)
+		bucket := 0
+		for d := deg; d > 0; d >>= 1 {
+			bucket++
+		}
+		for len(hist) <= bucket {
+			hist = append(hist, 0)
+		}
+		hist[bucket]++
+		return true
+	})
+	return hist
+}

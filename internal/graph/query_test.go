@@ -1,0 +1,274 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// queryFixture: Persons alice(30), bob(25), carol(35); Posts p1, p2.
+// alice-knows->bob, bob-knows->carol, alice-likes->p1 (w 2), carol-likes->p2 (w 5).
+func queryFixture(t *testing.T) (*Store, map[string]NodeID) {
+	t.Helper()
+	s := NewStore()
+	tx := s.Begin()
+	ids := map[string]NodeID{}
+	add := func(name, label string, age int64) {
+		props := map[string]Value{"name": Str(name)}
+		if age > 0 {
+			props["age"] = Int(age)
+		}
+		id, err := tx.AddNode(label, props)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add("alice", "Person", 30)
+	add("bob", "Person", 25)
+	add("carol", "Person", 35)
+	add("p1", "Post", 0)
+	add("p2", "Post", 0)
+	rel := func(a, b, label string, w float64) {
+		if _, err := tx.AddRel(ids[a], ids[b], label, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rel("alice", "bob", "knows", 1)
+	rel("bob", "carol", "knows", 1)
+	rel("alice", "p1", "likes", 2)
+	rel("carol", "p2", "likes", 5)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s, ids
+}
+
+func TestMatchLabel(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	defer tx.Abort()
+	got, err := tx.Match("Person").Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["alice"], ids["bob"], ids["carol"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Match(Person) = %v, want %v", got, want)
+	}
+	if n, _ := tx.Match("Comment").Count(); n != 0 {
+		t.Fatalf("unknown label count = %d", n)
+	}
+}
+
+func TestWherePropertyFilters(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	defer tx.Abort()
+	got, err := tx.Match("Person").Where("age", IntRange(26, 40)).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeID{ids["alice"], ids["carol"]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("age filter = %v, want %v", got, want)
+	}
+	one, _ := tx.Match("Person").Where("name", Eq(Str("bob"))).Collect()
+	if len(one) != 1 || one[0] != ids["bob"] {
+		t.Fatalf("name filter = %v", one)
+	}
+	all, _ := tx.Match("Person").Where("age", Exists()).Count()
+	if all != 3 {
+		t.Fatalf("Exists count = %d", all)
+	}
+}
+
+func TestOutExpansion(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	defer tx.Abort()
+	// alice --knows--> {bob}; any-label --> {bob, p1}.
+	knows, _ := tx.From(ids["alice"]).Out("knows").Collect()
+	if !reflect.DeepEqual(knows, []NodeID{ids["bob"]}) {
+		t.Fatalf("knows = %v", knows)
+	}
+	anyOut, _ := tx.From(ids["alice"]).Out("").Count()
+	if anyOut != 2 {
+		t.Fatalf("any-label out = %d", anyOut)
+	}
+	// Two-hop: Persons known by someone alice knows.
+	twoHop, _ := tx.From(ids["alice"]).Out("knows").Out("knows").Collect()
+	if !reflect.DeepEqual(twoHop, []NodeID{ids["carol"]}) {
+		t.Fatalf("two-hop = %v", twoHop)
+	}
+	// Expansion + label filter: posts liked by any Person.
+	likedPosts, _ := tx.Match("Person").Out("likes").WhereLabel("Post").Count()
+	if likedPosts != 2 {
+		t.Fatalf("liked posts = %d", likedPosts)
+	}
+}
+
+func TestOutWhereWeight(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	defer tx.Abort()
+	heavy, _ := tx.Match("Person").OutWhere("likes", func(w float64) bool { return w >= 5 }).Collect()
+	if !reflect.DeepEqual(heavy, []NodeID{ids["p2"]}) {
+		t.Fatalf("heavy likes = %v", heavy)
+	}
+}
+
+func TestLimitAndDedup(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	// bob also likes p1 → p1 reachable twice, must appear once.
+	if _, err := tx.AddRel(ids["bob"], ids["p1"], "likes", 1); err != nil {
+		t.Fatal(err)
+	}
+	posts, _ := tx.Match("Person").Out("likes").Collect()
+	if len(posts) != 2 {
+		t.Fatalf("deduplicated posts = %v", posts)
+	}
+	limited, _ := tx.Match("Person").Limit(2).Collect()
+	if len(limited) != 2 {
+		t.Fatalf("limit = %v", limited)
+	}
+	tx.Abort()
+}
+
+func TestQuerySeesOwnWrites(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	dave, _ := tx.AddNode("Person", map[string]Value{"age": Int(40)})
+	tx.AddRel(ids["carol"], dave, "knows", 1)
+	got, _ := tx.From(ids["carol"]).Out("knows").Collect()
+	if !reflect.DeepEqual(got, []NodeID{dave}) {
+		t.Fatalf("own writes invisible to traversal: %v", got)
+	}
+	// Other transactions don't see them.
+	other := s.Begin()
+	defer other.Abort()
+	if n, _ := other.Match("Person").Count(); n != 3 {
+		t.Fatalf("uncommitted node leaked into Match: %d", n)
+	}
+	tx.Abort()
+}
+
+func TestQueryRecordsReads(t *testing.T) {
+	// A Match by a newer transaction must block older writers (rts).
+	s, ids := queryFixture(t)
+	older := s.Begin()
+	newer := s.Begin()
+	if _, err := newer.Match("Person").Collect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := older.SetNodeProp(ids["alice"], "age", Int(99)); err == nil {
+		t.Fatal("older write allowed after newer Match read")
+	}
+	older.Abort()
+	newer.Abort()
+}
+
+func TestCollectProps(t *testing.T) {
+	s, ids := queryFixture(t)
+	tx := s.Begin()
+	defer tx.Abort()
+	names, err := tx.Match("Person").CollectProps("name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0].AsString() != "alice" {
+		t.Fatalf("names = %v", names)
+	}
+	// Missing key yields nil values, not errors.
+	missing, err := tx.From(ids["p1"]).CollectProps("age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 1 || missing[0].Kind != KindNil {
+		t.Fatalf("missing prop = %v", missing)
+	}
+}
+
+func TestRestoreErrorPaths(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	tx.AddNode("P", nil)
+	tx.Commit()
+	if err := s.Restore(nil, nil, 5); err == nil {
+		t.Fatal("Restore on non-empty store accepted")
+	}
+
+	s2 := NewStore()
+	err := s2.Restore(
+		[]RestoredNode{{ID: 0, Label: "P"}},
+		[]RestoredRel{{ID: 0, Src: 0, Dst: 7}}, 5)
+	if err == nil {
+		t.Fatal("Restore with out-of-range endpoint accepted")
+	}
+
+	s3 := NewStore()
+	err = s3.Restore(
+		[]RestoredNode{{ID: 1, Label: "P"}}, // ID 0 is a hole
+		[]RestoredRel{{ID: 0, Src: 0, Dst: 1}}, 5)
+	if err == nil {
+		t.Fatal("Restore with edge from hole node accepted")
+	}
+}
+
+func TestExportAtSnapshots(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", map[string]Value{"x": Int(1)})
+	b, _ := tx.AddNode("P", nil)
+	tx.AddRel(a, b, "k", 2)
+	tx.Commit()
+	preTS := s.Oracle().LastCommitted()
+	del := s.Begin()
+	del.DeleteNode(b)
+	del.Commit()
+
+	// Export at the old snapshot sees both nodes; at the new one, one.
+	n1, r1 := s.ExportAt(preTS)
+	if len(n1) != 2 || len(r1) != 1 {
+		t.Fatalf("old snapshot export = %d/%d", len(n1), len(r1))
+	}
+	if n1[0].Props["x"].AsInt() != 1 {
+		t.Fatalf("export lost props: %+v", n1[0])
+	}
+	n2, r2 := s.ExportAt(s.Oracle().LastCommitted())
+	if len(n2) != 1 || len(r2) != 0 {
+		t.Fatalf("new snapshot export = %d/%d", len(n2), len(r2))
+	}
+}
+
+func TestGroupCountByLabel(t *testing.T) {
+	s, ids := queryFixture(t)
+	ts := s.Oracle().LastCommitted()
+	got := s.GroupCountByLabel(ts)
+	if got["Person"] != 3 || got["Post"] != 2 {
+		t.Fatalf("group count = %v", got)
+	}
+	// Deletion shifts the counts at newer snapshots only.
+	del := s.Begin()
+	if err := del.DeleteNode(ids["p1"]); err != nil {
+		t.Fatal(err)
+	}
+	del.Commit()
+	if got := s.GroupCountByLabel(s.Oracle().LastCommitted()); got["Post"] != 1 {
+		t.Fatalf("post-delete group count = %v", got)
+	}
+	if got := s.GroupCountByLabel(ts); got["Post"] != 2 {
+		t.Fatalf("old snapshot group count = %v", got)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	s, _ := queryFixture(t)
+	hist := s.DegreeHistogramAt(s.Oracle().LastCommitted())
+	// Degrees: alice 2, bob 1, carol 1, p1 0, p2 0.
+	// Buckets: 0 → [deg 0]=2, 1 → [deg 1]=2, 2 → [deg 2]=1.
+	want := []int{2, 2, 1}
+	if !reflect.DeepEqual(hist, want) {
+		t.Fatalf("histogram = %v, want %v", hist, want)
+	}
+}

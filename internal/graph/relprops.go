@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+
+	"h2tap/internal/mvto"
+)
+
+// GetRelInfo reads a visible relationship's identity and current weight.
+func (tx *Tx) GetRelInfo(id RelID) (RelInfo, error) {
+	r, err := tx.s.rel(id)
+	if err != nil {
+		return RelInfo{}, err
+	}
+	rv := r.visible(tx.m.TS())
+	if rv == nil {
+		return RelInfo{}, fmt.Errorf("%w: relationship %d", ErrNotFound, id)
+	}
+	rv.meta.RecordRead(tx.m.TS())
+	return RelInfo{
+		ID: id, Src: r.src, Dst: r.dst,
+		Weight: rv.weight, Label: tx.s.dict.String(r.label),
+	}, nil
+}
+
+// GetRelProp reads one property of a visible relationship.
+func (tx *Tx) GetRelProp(id RelID, key string) (Value, error) {
+	r, err := tx.s.rel(id)
+	if err != nil {
+		return Value{}, err
+	}
+	rv := r.visible(tx.m.TS())
+	if rv == nil {
+		return Value{}, fmt.Errorf("%w: relationship %d", ErrNotFound, id)
+	}
+	rv.meta.RecordRead(tx.m.TS())
+	code, ok := tx.s.dict.Lookup(key)
+	if !ok {
+		return Value{}, nil
+	}
+	return rv.props[code], nil
+}
+
+// SetRelProp updates one property of a relationship under the §2.3 Update
+// protocol. Properties do not reach the structural replica, so no delta is
+// captured (§5.1).
+func (tx *Tx) SetRelProp(id RelID, key string, val Value) error {
+	if tx.m.Status() != mvto.Active {
+		return mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	r, err := tx.s.rel(id)
+	if err != nil {
+		return err
+	}
+	next := &objVersion{}
+	next.meta.InitInsert(ts)
+	keyCode := tx.s.dict.Code(key)
+	old, err := beginWrite(&r.chain, &r.versions, ts, next, func(newest *objVersion) {
+		props := make(map[uint32]Value, len(newest.props)+1)
+		for k, v := range newest.props {
+			props[k] = v
+		}
+		props[keyCode] = val
+		next.props = props
+		next.weight = newest.weight
+	})
+	if err != nil {
+		return fmt.Errorf("update relationship %d: %w", id, err)
+	}
+	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, next, ts) })
+	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
+	tx.logOp(LoggedOp{Kind: OpSetRelProp, ID: id, Key: key, Val: val})
+	return nil
+}
+
+// SetRelWeight updates a relationship's weight (edge value). Unlike plain
+// properties the weight is mirrored by the structural replica, so the
+// change is captured as an insert delta for the same (src, dst) pair — the
+// merge's overwrite semantics turn it into a weight update on the replica.
+func (tx *Tx) SetRelWeight(id RelID, weight float64) error {
+	if tx.m.Status() != mvto.Active {
+		return mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	r, err := tx.s.rel(id)
+	if err != nil {
+		return err
+	}
+	next := &objVersion{weight: weight}
+	next.meta.InitInsert(ts)
+	old, err := beginWrite(&r.chain, &r.versions, ts, next, func(newest *objVersion) {
+		next.props = newest.props // property state carries over unchanged
+	})
+	if err != nil {
+		return fmt.Errorf("update relationship %d weight: %w", id, err)
+	}
+	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, next, ts) })
+	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
+	tx.b.InsertEdge(r.src, r.dst, weight)
+	if tx.s.undirected && r.src != r.dst {
+		tx.b.InsertEdge(r.dst, r.src, weight)
+	}
+	tx.logOp(LoggedOp{Kind: OpSetRelWeight, ID: id, Weight: weight})
+	return nil
+}

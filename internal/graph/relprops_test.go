@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"h2tap/internal/mvto"
+)
+
+func relFixture(t *testing.T) (*Store, NodeID, NodeID, RelID) {
+	t.Helper()
+	s := NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	rid, err := tx.AddRel(a, b, "knows", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return s, a, b, rid
+}
+
+func TestRelPropRoundTrip(t *testing.T) {
+	s, _, _, rid := relFixture(t)
+	up := s.Begin()
+	if err := up.SetRelProp(rid, "since", Int(2019)); err != nil {
+		t.Fatal(err)
+	}
+	up.Commit()
+
+	r := s.Begin()
+	defer r.Abort()
+	v, err := r.GetRelProp(rid, "since")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AsInt() != 2019 {
+		t.Fatalf("since = %v", v)
+	}
+	// The weight is untouched by property updates.
+	info, err := r.GetRelInfo(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Weight != 1.5 {
+		t.Fatalf("weight = %v", info.Weight)
+	}
+}
+
+func TestSetRelWeightVersioned(t *testing.T) {
+	s, a, _, rid := relFixture(t)
+	preTS := s.Oracle().LastCommitted()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	up := s.Begin()
+	if err := up.SetRelWeight(rid, 9.0); err != nil {
+		t.Fatal(err)
+	}
+	up.Commit()
+
+	// Old snapshot sees the old weight; new snapshot the new one.
+	if got := s.OutEdgesAt(a, preTS); got[0].W != 1.5 {
+		t.Fatalf("old snapshot weight = %v", got[0].W)
+	}
+	if got := s.OutEdgesAt(a, s.Oracle().LastCommitted()); got[0].W != 9.0 {
+		t.Fatalf("new snapshot weight = %v", got[0].W)
+	}
+	// The change reaches the replica as an insert-with-overwrite delta.
+	ds := cap.all()
+	if len(ds) != 1 || len(ds[0].Nodes) != 1 ||
+		len(ds[0].Nodes[0].Ins) != 1 || ds[0].Nodes[0].Ins[0].W != 9.0 {
+		t.Fatalf("weight-update delta = %+v", ds)
+	}
+}
+
+func TestSetRelWeightTwiceInOneTxn(t *testing.T) {
+	s, _, b, rid := relFixture(t)
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	up := s.Begin()
+	if err := up.SetRelWeight(rid, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.SetRelWeight(rid, 7); err != nil {
+		t.Fatal(err)
+	}
+	up.Commit()
+	nd := cap.all()[0].Nodes[0]
+	if len(nd.Ins) != 1 || nd.Ins[0].Dst != b || nd.Ins[0].W != 7 {
+		t.Fatalf("duplicate weight updates not collapsed: %+v", nd)
+	}
+}
+
+func TestSetRelWeightAbort(t *testing.T) {
+	s, a, _, rid := relFixture(t)
+	up := s.Begin()
+	up.SetRelWeight(rid, 42)
+	up.Abort()
+	if got := s.OutEdgesAt(a, s.Oracle().LastCommitted()); got[0].W != 1.5 {
+		t.Fatalf("aborted weight update leaked: %v", got[0].W)
+	}
+}
+
+func TestRelOpsOnDeletedRel(t *testing.T) {
+	s, _, _, rid := relFixture(t)
+	del := s.Begin()
+	del.DeleteRel(rid)
+	del.Commit()
+	tx := s.Begin()
+	defer tx.Abort()
+	if _, err := tx.GetRelInfo(rid); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetRelInfo on deleted rel = %v", err)
+	}
+	if err := tx.SetRelWeight(rid, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetRelWeight on deleted rel = %v", err)
+	}
+	if err := tx.SetRelProp(rid, "k", Int(1)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SetRelProp on deleted rel = %v", err)
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	s := NewStore()
+	tx := s.Begin()
+	var people, posts []NodeID
+	for i := 0; i < 5; i++ {
+		id, _ := tx.AddNode("Person", nil)
+		people = append(people, id)
+	}
+	for i := 0; i < 3; i++ {
+		id, _ := tx.AddNode("Post", nil)
+		posts = append(posts, id)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+
+	if got := s.NodesByLabelAt("Person", ts); len(got) != 5 {
+		t.Fatalf("Person = %v", got)
+	}
+	if got := s.CountByLabelAt("Post", ts); got != 3 {
+		t.Fatalf("Post count = %d", got)
+	}
+	if got := s.NodesByLabelAt("Comment", ts); got != nil {
+		t.Fatalf("unknown label = %v", got)
+	}
+
+	// Deleted nodes drop out of the index view; old snapshots keep them.
+	del := s.Begin()
+	del.DeleteNode(people[0])
+	del.Commit()
+	now := s.Oracle().LastCommitted()
+	if got := s.CountByLabelAt("Person", now); got != 4 {
+		t.Fatalf("Person count after delete = %d", got)
+	}
+	if got := s.CountByLabelAt("Person", ts); got != 5 {
+		t.Fatalf("old snapshot Person count = %d", got)
+	}
+
+	// Aborted nodes never appear.
+	ab := s.Begin()
+	ab.AddNode("Person", nil)
+	ab.Abort()
+	if got := s.CountByLabelAt("Person", s.Oracle().LastCommitted()); got != 4 {
+		t.Fatalf("aborted node visible in index: %d", got)
+	}
+
+	// Results are ID-ordered.
+	ids := s.NodesByLabelAt("Person", mvto.TS(now))
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("index result unordered: %v", ids)
+		}
+	}
+}

@@ -1,0 +1,498 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// Transaction errors (beyond the mvto protocol errors, which are wrapped).
+var (
+	// ErrNotFound reports an access to a node or relationship that is not
+	// visible to the transaction.
+	ErrNotFound = errors.New("graph: object not found")
+	// ErrWriteConflict reports a write to an object whose newest version is
+	// newer than the writing transaction (a write-write conflict under
+	// timestamp ordering).
+	ErrWriteConflict = errors.New("graph: write-write conflict with newer version")
+	// ErrMustAbort reports a commit attempt on a transaction that failed
+	// partway through a multi-object operation and can only abort.
+	ErrMustAbort = errors.New("graph: transaction must abort")
+	// ErrDuplicateEdge reports an insert of a relationship that already
+	// exists. The replica model identifies an edge by (source,
+	// destination) — delta records store only destination IDs for deletes
+	// (§5.1) — so the main graph keeps (src, dst) pairs unique.
+	ErrDuplicateEdge = errors.New("graph: relationship already exists")
+)
+
+// beginWrite performs the §2.3 Update/Delete protocol against an object's
+// version chain for transaction ts: verify the newest version is writable
+// (unlocked or self-locked, visible, not read by a newer transaction),
+// close its validity window at ts, and append the prepared next version
+// (which the caller created locked by ts). The old version stays unlocked,
+// so readers with timestamps in [bts, ts) keep reading it — "the old
+// version of o is unlocked for read transactions", §2.3 — while the lock on
+// the new version excludes concurrent writers.
+// prep, if non-nil, runs under the chain lock after all checks pass and
+// before the append, letting the caller derive the next version's payload
+// from the verified newest version without a read-then-write race.
+func beginWrite(chain *mvto.VersionChain, versions *[]*objVersion, ts mvto.TS, next *objVersion, prep func(newest *objVersion)) (*objVersion, error) {
+	chain.Lock()
+	defer chain.Unlock()
+	vs := *versions
+	if len(vs) == 0 {
+		return nil, ErrNotFound
+	}
+	newest := vs[len(vs)-1]
+	if holder := newest.meta.LockedBy(); holder != 0 && holder != ts {
+		return nil, mvto.ErrLocked
+	}
+	if !newest.meta.VisibleTo(ts) {
+		if newest.meta.BTS() > ts {
+			return nil, ErrWriteConflict
+		}
+		return nil, ErrNotFound // deleted (tombstone) or self-deleted
+	}
+	if err := newest.meta.CheckWrite(ts); err != nil {
+		return nil, err
+	}
+	if prep != nil {
+		prep(newest)
+	}
+	newest.meta.SetETS(ts)
+	*versions = append(vs, next)
+	return newest, nil
+}
+
+// undoWrite reverses beginWrite on abort: the new version leaves the chain
+// and the old version's validity window reopens.
+func undoWrite(chain *mvto.VersionChain, versions *[]*objVersion, old, next *objVersion, ts mvto.TS) {
+	removeVersion(chain, versions, next)
+	old.meta.SetETS(mvto.Infinity)
+	next.meta.Unlock(ts)
+}
+
+func removeVersion(chain *mvto.VersionChain, versions *[]*objVersion, v *objVersion) {
+	chain.Lock()
+	defer chain.Unlock()
+	vs := *versions
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i] == v {
+			*versions = append(vs[:i], vs[i+1:]...)
+			return
+		}
+	}
+}
+
+// RelInfo describes one relationship from a transactional read.
+type RelInfo struct {
+	ID     RelID
+	Src    NodeID
+	Dst    NodeID
+	Weight float64
+	Label  string
+}
+
+// Tx is a read-write transaction on the Store. It follows the MVTO access
+// conditions of §2.3 and, at commit, hands its topology footprint to the
+// store's delta capturers (§4.2). A Tx is used by one goroutine.
+type Tx struct {
+	s        *Store
+	m        *mvto.Txn
+	b        *delta.Builder
+	ops      []LoggedOp // logical op log, populated when a logger is registered
+	poisoned error
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{s: s, m: s.oracle.Begin(), b: delta.NewBuilder()}
+}
+
+// TS reports the transaction timestamp.
+func (tx *Tx) TS() mvto.TS { return tx.m.TS() }
+
+// Commit commits the transaction: object versions are finalized and
+// unlocked, then the topology delta is captured by every registered
+// capturer — "the updates are also captured in the delta store during
+// commit at the same time as they are persisted to the main graph" (§4.2).
+func (tx *Tx) Commit() error {
+	if tx.poisoned != nil {
+		tx.m.Abort()
+		return fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
+	}
+	// Write-ahead: the op log persists before the commit becomes visible.
+	// A logging failure aborts the transaction.
+	if len(tx.ops) > 0 {
+		if err := tx.s.logCommit(tx.m.TS(), tx.ops); err != nil {
+			tx.m.Abort()
+			return fmt.Errorf("graph: write-ahead log: %w", err)
+		}
+	}
+	d := tx.b.Build(tx.m.TS())
+	tx.m.OnCommit(func(mvto.TS) { tx.s.capture(d) })
+	return tx.m.Commit()
+}
+
+// Abort rolls the transaction back. No deltas are appended for aborted
+// transactions (§5.1).
+func (tx *Tx) Abort() error { return tx.m.Abort() }
+
+// AddNode creates a node with the given label and properties, returning its
+// ID. The node is visible to this transaction immediately and to others
+// after commit.
+func (tx *Tx) AddNode(label string, props map[string]Value) (NodeID, error) {
+	if tx.m.Status() != mvto.Active {
+		return 0, mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	v := &objVersion{props: tx.s.internProps(props)}
+	v.meta.InitInsert(ts)
+
+	id := tx.s.nodes.Reserve(1)
+	n := tx.s.nodes.At(id)
+	n.label = tx.s.dict.Code(label)
+	n.appendVersion(v)
+	tx.s.labels.add(n.label, id)
+
+	tx.m.OnAbort(func() {
+		removeVersion(&n.chain, &n.versions, v)
+		v.meta.Unlock(ts)
+	})
+	tx.m.OnCommit(func(mvto.TS) {
+		v.meta.Unlock(ts)
+		tx.s.liveNodes.Add(1)
+	})
+	tx.b.InsertNode(id)
+	tx.logOp(LoggedOp{Kind: OpAddNode, ID: id, Label: label, Props: props})
+	return id, nil
+}
+
+// AddRel creates a relationship src→dst with the given label and weight.
+// Both endpoints must be visible to the transaction; reading them is
+// recorded so older transactions cannot delete them afterwards.
+func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, error) {
+	if tx.m.Status() != mvto.Active {
+		return 0, mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	sn, err := tx.s.node(src)
+	if err != nil {
+		return 0, err
+	}
+	dn, err := tx.s.node(dst)
+	if err != nil {
+		return 0, err
+	}
+	sv, dv := sn.visible(ts), dn.visible(ts)
+	if sv == nil {
+		return 0, fmt.Errorf("%w: source node %d", ErrNotFound, src)
+	}
+	if dv == nil {
+		return 0, fmt.Errorf("%w: destination node %d", ErrNotFound, dst)
+	}
+	sv.meta.RecordRead(ts)
+	dv.meta.RecordRead(ts)
+
+	for _, rid := range sn.snapshotOut() {
+		r := tx.s.rels.At(rid)
+		dup := r.dst == dst
+		if tx.s.undirected {
+			dup = r.other(src) == dst
+		}
+		if dup && r.visible(ts) != nil {
+			return 0, fmt.Errorf("%w: %d→%d", ErrDuplicateEdge, src, dst)
+		}
+	}
+
+	v := &objVersion{weight: weight}
+	v.meta.InitInsert(ts)
+	id := tx.s.rels.Reserve(1)
+	r := tx.s.rels.At(id)
+	r.label = tx.s.dict.Code(label)
+	r.src, r.dst = src, dst
+	r.appendVersion(v)
+
+	// Adjacency lists are append-only; an aborted insert leaves a
+	// permanently invisible entry, which readers filter by version.
+	// Undirected edges enter both endpoints' out lists (§5.1); directed
+	// edges enter the source's out list and the destination's in list.
+	sn.chain.Lock()
+	sn.out = append(sn.out, id)
+	sn.chain.Unlock()
+	if tx.s.undirected {
+		if dst != src {
+			dn.chain.Lock()
+			dn.out = append(dn.out, id)
+			dn.chain.Unlock()
+		}
+	} else {
+		dn.chain.Lock()
+		dn.in = append(dn.in, id)
+		dn.chain.Unlock()
+	}
+
+	tx.m.OnAbort(func() {
+		removeVersion(&r.chain, &r.versions, v)
+		v.meta.Unlock(ts)
+	})
+	tx.m.OnCommit(func(mvto.TS) {
+		v.meta.Unlock(ts)
+		tx.s.liveRels.Add(1)
+	})
+	// §5.1: a directed insert appends a single delta mapped to the source;
+	// an undirected insert appends two, one mapped to each endpoint.
+	tx.b.InsertEdge(src, dst, weight)
+	if tx.s.undirected && dst != src {
+		tx.b.InsertEdge(dst, src, weight)
+	}
+	tx.logOp(LoggedOp{Kind: OpAddRel, ID: id, Src: src, Dst: dst, Label: label, Weight: weight})
+	return id, nil
+}
+
+// deleteRel performs the §2.3 Delete protocol on a relationship record.
+func (tx *Tx) deleteRel(id RelID, r *rel) error {
+	ts := tx.m.TS()
+	tomb := &objVersion{}
+	tomb.meta.InitTombstone(ts)
+	old, err := beginWrite(&r.chain, &r.versions, ts, tomb, nil)
+	if err != nil {
+		return err
+	}
+	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, tomb, ts) })
+	tx.m.OnCommit(func(mvto.TS) {
+		tomb.meta.Unlock(ts)
+		tx.s.liveRels.Add(-1)
+	})
+	tx.logOp(LoggedOp{Kind: OpDeleteRel, ID: id})
+	return nil
+}
+
+// DeleteRel deletes a relationship by ID.
+func (tx *Tx) DeleteRel(id RelID) error {
+	if tx.m.Status() != mvto.Active {
+		return mvto.ErrTxnDone
+	}
+	r, err := tx.s.rel(id)
+	if err != nil {
+		return err
+	}
+	if err := tx.deleteRel(id, r); err != nil {
+		return fmt.Errorf("delete relationship %d: %w", id, err)
+	}
+	tx.b.DeleteEdge(r.src, r.dst)
+	if tx.s.undirected && r.src != r.dst {
+		tx.b.DeleteEdge(r.dst, r.src)
+	}
+	return nil
+}
+
+// DeleteNode deletes a node and, cascading, every relationship attached to
+// it — the paper's Delete Node operation (§6.2). The captured delta is one
+// deleted-flag record for the node itself (its outgoing edges are implied,
+// §5.1) plus one delete entry per incoming edge, mapped to that edge's
+// source node.
+//
+// If a cascaded relationship delete conflicts with a concurrent
+// transaction, DeleteNode returns the conflict error and the transaction is
+// poisoned: it can only abort.
+func (tx *Tx) DeleteNode(id NodeID) error {
+	if tx.m.Status() != mvto.Active {
+		return mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	n, err := tx.s.node(id)
+	if err != nil {
+		return err
+	}
+	tomb := &objVersion{}
+	tomb.meta.InitTombstone(ts)
+	old, err := beginWrite(&n.chain, &n.versions, ts, tomb, nil)
+	if err != nil {
+		return fmt.Errorf("delete node %d: %w", id, err)
+	}
+	tx.m.OnAbort(func() { undoWrite(&n.chain, &n.versions, old, tomb, ts) })
+	tx.m.OnCommit(func(mvto.TS) {
+		tomb.meta.Unlock(ts)
+		tx.s.liveNodes.Add(-1)
+	})
+
+	// Cascade over attached relationships. Failures leave the transaction
+	// abort-only; the registered undo hooks clean up everything done so
+	// far. The node's own side needs no explicit deltas — its deleted flag
+	// subsumes its outgoing edges (§5.1) — but each *other* endpoint whose
+	// adjacency loses an edge gets a delete delta mapped to it.
+	// tx.deleteRel distinguishes the cascade's three cases: ErrNotFound
+	// means the relationship is already (visibly) gone and is skipped;
+	// a lock or write conflict — including a version invisible only
+	// because an in-flight transaction holds it — poisons the transaction.
+	for _, rid := range n.snapshotOut() {
+		r := tx.s.rels.At(rid)
+		if err := tx.deleteRel(rid, r); err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			tx.poisoned = err
+			return fmt.Errorf("delete node %d: cascade out-edge %d: %w", id, rid, err)
+		}
+		if tx.s.undirected {
+			if other := r.other(id); other != id {
+				tx.b.DeleteEdge(other, id)
+			}
+		}
+	}
+	if !tx.s.undirected {
+		for _, rid := range n.snapshotIn() {
+			r := tx.s.rels.At(rid)
+			if r.src == id {
+				continue // self-loop, already handled via the out list
+			}
+			if err := tx.deleteRel(rid, r); err != nil {
+				if errors.Is(err, ErrNotFound) {
+					continue
+				}
+				tx.poisoned = err
+				return fmt.Errorf("delete node %d: cascade in-edge %d: %w", id, rid, err)
+			}
+			tx.b.DeleteEdge(r.src, id)
+		}
+	}
+
+	tx.b.DeleteNode(id)
+	tx.logOp(LoggedOp{Kind: OpDeleteNode, ID: id})
+	return nil
+}
+
+// NodeExists reports whether node id is visible to this transaction,
+// recording the read.
+func (tx *Tx) NodeExists(id NodeID) bool {
+	n, err := tx.s.node(id)
+	if err != nil {
+		return false
+	}
+	v := n.visible(tx.m.TS())
+	if v == nil {
+		return false
+	}
+	v.meta.RecordRead(tx.m.TS())
+	return true
+}
+
+// NodeLabel returns the label of a visible node.
+func (tx *Tx) NodeLabel(id NodeID) (string, error) {
+	n, err := tx.s.node(id)
+	if err != nil {
+		return "", err
+	}
+	v := n.visible(tx.m.TS())
+	if v == nil {
+		return "", fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	v.meta.RecordRead(tx.m.TS())
+	return tx.s.dict.String(n.label), nil
+}
+
+// GetNodeProp reads one property of a visible node.
+func (tx *Tx) GetNodeProp(id NodeID, key string) (Value, error) {
+	n, err := tx.s.node(id)
+	if err != nil {
+		return Value{}, err
+	}
+	v := n.visible(tx.m.TS())
+	if v == nil {
+		return Value{}, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	v.meta.RecordRead(tx.m.TS())
+	code, ok := tx.s.dict.Lookup(key)
+	if !ok {
+		return Value{}, nil
+	}
+	return v.props[code], nil
+}
+
+// SetNodeProp updates one property of a node, creating a new version under
+// the §2.3 Update protocol. Property changes do not alter topology and
+// produce no delta (§5.1: deltas capture changes that alter the topology).
+func (tx *Tx) SetNodeProp(id NodeID, key string, val Value) error {
+	if tx.m.Status() != mvto.Active {
+		return mvto.ErrTxnDone
+	}
+	ts := tx.m.TS()
+	n, err := tx.s.node(id)
+	if err != nil {
+		return err
+	}
+	next := &objVersion{}
+	next.meta.InitInsert(ts)
+	keyCode := tx.s.dict.Code(key)
+	old, err := beginWrite(&n.chain, &n.versions, ts, next, func(newest *objVersion) {
+		props := make(map[uint32]Value, len(newest.props)+1)
+		for k, v := range newest.props {
+			props[k] = v
+		}
+		props[keyCode] = val
+		next.props = props
+	})
+	if err != nil {
+		return fmt.Errorf("update node %d: %w", id, err)
+	}
+	tx.m.OnAbort(func() { undoWrite(&n.chain, &n.versions, old, next, ts) })
+	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
+	tx.logOp(LoggedOp{Kind: OpSetNodeProp, ID: id, Key: key, Val: val})
+	return nil
+}
+
+// OutRels lists the visible outgoing relationships of a node, recording
+// reads on them.
+func (tx *Tx) OutRels(id NodeID) ([]RelInfo, error) {
+	ts := tx.m.TS()
+	n, err := tx.s.node(id)
+	if err != nil {
+		return nil, err
+	}
+	nv := n.visible(ts)
+	if nv == nil {
+		return nil, fmt.Errorf("%w: node %d", ErrNotFound, id)
+	}
+	nv.meta.RecordRead(ts)
+	var out []RelInfo
+	for _, rid := range n.snapshotOut() {
+		r := tx.s.rels.At(rid)
+		if rv := r.visible(ts); rv != nil {
+			rv.meta.RecordRead(ts)
+			out = append(out, RelInfo{
+				ID: rid, Src: r.src, Dst: r.dst,
+				Weight: rv.weight, Label: tx.s.dict.String(r.label),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Neighbors visits the visible out-neighbors of a node (a local traversal,
+// the typical transactional graph read).
+func (tx *Tx) Neighbors(id NodeID, fn func(dst NodeID, weight float64) bool) error {
+	rels, err := tx.OutRels(id)
+	if err != nil {
+		return err
+	}
+	for _, r := range rels {
+		if !fn(r.Dst, r.Weight) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (s *Store) internProps(props map[string]Value) map[uint32]Value {
+	if len(props) == 0 {
+		return nil
+	}
+	m := make(map[uint32]Value, len(props))
+	for k, v := range props {
+		m[s.dict.Code(k)] = v
+	}
+	return m
+}

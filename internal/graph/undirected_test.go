@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"h2tap/internal/delta"
+)
+
+func TestUndirectedAdjacencySymmetric(t *testing.T) {
+	s := NewUndirectedStore()
+	if !s.Undirected() {
+		t.Fatal("mode flag")
+	}
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	c, _ := tx.AddNode("P", nil)
+	if _, err := tx.AddRel(a, b, "knows", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.AddRel(c, a, "knows", 3); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+
+	// Every endpoint sees the edge with the correct "other" node.
+	for _, tc := range []struct {
+		node NodeID
+		want []delta.Edge
+	}{
+		{a, []delta.Edge{{Dst: b, W: 2}, {Dst: c, W: 3}}},
+		{b, []delta.Edge{{Dst: a, W: 2}}},
+		{c, []delta.Edge{{Dst: a, W: 3}}},
+	} {
+		got := s.OutEdgesAt(tc.node, ts)
+		if len(got) != len(tc.want) {
+			t.Fatalf("node %d edges = %+v, want %+v", tc.node, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("node %d edges = %+v, want %+v", tc.node, got, tc.want)
+			}
+		}
+	}
+	// InEdgesAt mirrors OutEdgesAt in undirected mode.
+	in := s.InEdgesAt(b, ts)
+	if len(in) != 1 || in[0].Dst != a {
+		t.Fatalf("InEdgesAt = %+v", in)
+	}
+}
+
+func TestUndirectedDuplicateEitherOrientation(t *testing.T) {
+	s := NewUndirectedStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	tx.AddRel(a, b, "knows", 1)
+	if _, err := tx.AddRel(b, a, "knows", 1); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("reverse-orientation duplicate = %v, want ErrDuplicateEdge", err)
+	}
+	tx.Abort()
+}
+
+func TestUndirectedCaptureTwoDeltas(t *testing.T) {
+	s := NewUndirectedStore()
+	tx0 := s.Begin()
+	a, _ := tx0.AddNode("P", nil)
+	b, _ := tx0.AddNode("P", nil)
+	tx0.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	tx := s.Begin()
+	if _, err := tx.AddRel(a, b, "knows", 5); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	ds := cap.all()
+	if len(ds) != 1 {
+		t.Fatalf("captures = %d", len(ds))
+	}
+	// §5.1: "for an undirected graph, the transaction appends two deltas"
+	// — one mapped to each endpoint.
+	nodes := ds[0].Nodes
+	if len(nodes) != 2 {
+		t.Fatalf("node deltas = %+v, want 2", nodes)
+	}
+	if nodes[0].Node != a || nodes[0].Ins[0].Dst != b ||
+		nodes[1].Node != b || nodes[1].Ins[0].Dst != a {
+		t.Fatalf("two-delta encoding wrong: %+v", nodes)
+	}
+}
+
+func TestUndirectedDeleteRelCaptureBothSides(t *testing.T) {
+	s := NewUndirectedStore()
+	tx0 := s.Begin()
+	a, _ := tx0.AddNode("P", nil)
+	b, _ := tx0.AddNode("P", nil)
+	rid, _ := tx0.AddRel(a, b, "knows", 1)
+	tx0.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	tx := s.Begin()
+	if err := tx.DeleteRel(rid); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	nodes := cap.all()[0].Nodes
+	if len(nodes) != 2 || nodes[0].Del[0] != b || nodes[1].Del[0] != a {
+		t.Fatalf("undirected delete deltas = %+v", nodes)
+	}
+	ts := s.Oracle().LastCommitted()
+	if len(s.OutEdgesAt(a, ts)) != 0 || len(s.OutEdgesAt(b, ts)) != 0 {
+		t.Fatal("edge survived on one side")
+	}
+}
+
+func TestUndirectedDeleteNodeCascade(t *testing.T) {
+	s := NewUndirectedStore()
+	tx0 := s.Begin()
+	a, _ := tx0.AddNode("P", nil)
+	b, _ := tx0.AddNode("P", nil)
+	c, _ := tx0.AddNode("P", nil)
+	tx0.AddRel(a, b, "knows", 1)
+	tx0.AddRel(c, a, "knows", 1)
+	tx0.AddRel(b, c, "knows", 1)
+	tx0.Commit()
+
+	cap := &recordingCapturer{}
+	s.AddCapturer(cap)
+	tx := s.Begin()
+	if err := tx.DeleteNode(a); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	if s.NodeExistsAt(a, ts) {
+		t.Fatal("node survived")
+	}
+	// b and c each keep exactly their mutual edge.
+	if got := s.OutEdgesAt(b, ts); len(got) != 1 || got[0].Dst != c {
+		t.Fatalf("b edges = %+v", got)
+	}
+	if got := s.OutEdgesAt(c, ts); len(got) != 1 || got[0].Dst != b {
+		t.Fatalf("c edges = %+v", got)
+	}
+	// Deltas: a Deleted (no edge lists), plus Del entries mapped to b and c.
+	var aD, bD, cD *delta.NodeDelta
+	for i := range cap.all()[0].Nodes {
+		nd := &cap.all()[0].Nodes[i]
+		switch nd.Node {
+		case a:
+			aD = nd
+		case b:
+			bD = nd
+		case c:
+			cD = nd
+		}
+	}
+	if aD == nil || !aD.Deleted || len(aD.Del) != 0 {
+		t.Fatalf("deleted-node delta = %+v", aD)
+	}
+	if bD == nil || len(bD.Del) != 1 || bD.Del[0] != a {
+		t.Fatalf("b delta = %+v", bD)
+	}
+	if cD == nil || len(cD.Del) != 1 || cD.Del[0] != a {
+		t.Fatalf("c delta = %+v", cD)
+	}
+}
+
+func TestUndirectedSelfLoop(t *testing.T) {
+	s := NewUndirectedStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	if _, err := tx.AddRel(a, a, "self", 1); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	if got := s.OutEdgesAt(a, ts); len(got) != 1 || got[0].Dst != a {
+		t.Fatalf("self-loop edges = %+v (must appear exactly once)", got)
+	}
+}
+
+func TestUndirectedBulkLoad(t *testing.T) {
+	s := NewUndirectedStore()
+	ts, err := s.BulkLoad(
+		[]NodeSpec{{Label: "P"}, {Label: "P"}, {Label: "P"}},
+		[]EdgeSpec{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 2}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.OutEdgesAt(1, ts); len(got) != 2 {
+		t.Fatalf("middle node edges = %+v", got)
+	}
+	if got := s.OutEdgesAt(0, ts); len(got) != 1 || got[0].Dst != 1 {
+		t.Fatalf("endpoint edges = %+v", got)
+	}
+}
+
+// The undirected random workload keeps the adjacency symmetric and the
+// model exact — the undirected counterpart of the directed model test.
+func TestUndirectedRandomWorkloadSymmetry(t *testing.T) {
+	s := NewUndirectedStore()
+	specs := make([]NodeSpec, 24)
+	for i := range specs {
+		specs[i] = NodeSpec{Label: "P"}
+	}
+	s.BulkLoad(specs, nil)
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 500; i++ {
+		tx := s.Begin()
+		a := NodeID(r.Intn(int(s.NumNodeSlots())))
+		b := NodeID(r.Intn(int(s.NumNodeSlots())))
+		var err error
+		switch r.Intn(4) {
+		case 0, 1:
+			_, err = tx.AddRel(a, b, "k", float64(r.Intn(9)+1))
+		case 2:
+			rels, oerr := tx.OutRels(a)
+			if oerr != nil || len(rels) == 0 {
+				tx.Abort()
+				continue
+			}
+			err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+		case 3:
+			err = tx.DeleteNode(a)
+		}
+		if err != nil {
+			tx.Abort()
+			continue
+		}
+		tx.Commit()
+	}
+	ts := s.Oracle().LastCommitted()
+	// Symmetry: u has edge to v with weight w iff v has edge to u with w.
+	type key struct{ u, v NodeID }
+	seen := map[key]float64{}
+	for u := NodeID(0); u < s.NumNodeSlots(); u++ {
+		for _, e := range s.OutEdgesAt(u, ts) {
+			seen[key{u, e.Dst}] = e.W
+		}
+	}
+	for k, w := range seen {
+		if k.u == k.v {
+			continue
+		}
+		if w2, ok := seen[key{k.v, k.u}]; !ok || w2 != w {
+			t.Fatalf("asymmetric edge %d—%d: %v vs %v (present %v)", k.u, k.v, w, w2, ok)
+		}
+	}
+}

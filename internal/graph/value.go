@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates property value types.
+type Kind uint8
+
+// Property value kinds.
+const (
+	KindNil Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Value is a property value: a small tagged union, kept flat so property
+// maps stay allocation-light.
+type Value struct {
+	Kind Kind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{Kind: KindInt, i: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, i: i}
+}
+
+// AsInt reports the integer payload (valid for KindInt and KindBool).
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat reports the float payload.
+func (v Value) AsFloat() float64 { return v.f }
+
+// AsString reports the string payload.
+func (v Value) AsString() string { return v.s }
+
+// AsBool reports the boolean payload.
+func (v Value) AsBool() bool { return v.i != 0 }
+
+// Equal reports deep equality.
+func (v Value) Equal(o Value) bool { return v == o }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.i != 0)
+	default:
+		return fmt.Sprintf("value(kind=%d)", v.Kind)
+	}
+}

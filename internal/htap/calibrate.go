@@ -1,0 +1,76 @@
+package htap
+
+import (
+	"math/rand"
+	"time"
+
+	"h2tap/internal/costmodel"
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+)
+
+// Calibrate measures the four §6.4 cost components on the current graph and
+// fits the cost model: CSR rebuild and copy against graph size, delta store
+// scan and merge-modify against delta count. Scan and merge samples use a
+// scratch delta store fed synthetic single-edge deltas, so calibration
+// leaves the production delta store untouched.
+func Calibrate(store *graph.Store) (*costmodel.Model, error) {
+	ts := store.Oracle().LastCommitted()
+	var cal costmodel.Calibration
+
+	// Rebuild and copy vs graph size: two points, the empty snapshot and
+	// the current graph (linear interpolation matches the memcpy-bound
+	// behaviour the paper measures in Fig 9).
+	emptyStart := time.Now()
+	empty := csr.Build(store, 0)
+	cal.AddRebuild(float64(empty.NumEdges()), time.Since(emptyStart).Seconds())
+
+	fullStart := time.Now()
+	full := csr.Build(store, ts)
+	cal.AddRebuild(float64(full.NumEdges()), time.Since(fullStart).Seconds())
+
+	copyStart := time.Now()
+	_ = empty.Copy()
+	cal.AddCopy(float64(empty.NumEdges()), time.Since(copyStart).Seconds())
+	copyStart = time.Now()
+	_ = full.Copy()
+	copySecs := time.Since(copyStart).Seconds()
+	cal.AddCopy(float64(full.NumEdges()), copySecs)
+
+	// Scan and modify vs delta count: synthetic single-insert deltas over
+	// the existing node range at three sizes.
+	n := store.NumNodeSlots()
+	if n < 2 {
+		n = 2
+	}
+	r := rand.New(rand.NewSource(0x43414c))
+	for _, deltas := range []int{1 << 10, 1 << 12, 1 << 14} {
+		scratch := deltastore.NewVolatile()
+		for i := 0; i < deltas; i++ {
+			scratch.Capture(&delta.TxDelta{
+				TS: mvto.TS(i + 1),
+				Nodes: []delta.NodeDelta{{
+					Node: uint64(r.Intn(int(n))),
+					Ins:  []delta.Edge{{Dst: uint64(r.Intn(int(n))), W: 1}},
+				}},
+			})
+		}
+		scanStart := time.Now()
+		batch := scratch.Scan(mvto.TS(deltas + 2))
+		cal.AddScan(float64(deltas), time.Since(scanStart).Seconds())
+
+		mergeStart := time.Now()
+		merged, _ := csr.Merge(full, batch)
+		mergeSecs := time.Since(mergeStart).Seconds()
+		_ = merged
+		modify := mergeSecs - copySecs
+		if modify < 0 {
+			modify = 0
+		}
+		cal.AddModify(float64(deltas), modify)
+	}
+	return cal.Fit()
+}

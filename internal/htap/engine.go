@@ -1,0 +1,471 @@
+// Package htap wires the substrates into the paper's H2TAP system (Fig 1):
+// transactions execute on the CPU main property graph, committing their
+// topology changes into the DELTA_FE delta store; analytics execute on a
+// GPU-resident structural replica (static CSR or dynamic hash-table graph)
+// that update propagation keeps fresh (§4.2, §4.3). The engine implements
+// the propagation transaction, the freshness check, the cost-model-driven
+// merge-vs-rebuild decision (§6.4), and the optional persistent CSR copy
+// for recovery (§6.5).
+package htap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"h2tap/internal/analytics"
+	"h2tap/internal/costmodel"
+	"h2tap/internal/csr"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/dyngraph"
+	"h2tap/internal/gpu"
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+)
+
+// ReplicaKind selects the GPU-side data structure (§5.4).
+type ReplicaKind int
+
+// Replica kinds.
+const (
+	// StaticCSR keeps a CSR replica updated by delta merge + full transfer.
+	StaticCSR ReplicaKind = iota
+	// DynamicHash keeps a hash-table-per-vertex replica updated by
+	// coalesced delta transfer + batched ingestion.
+	DynamicHash
+)
+
+// String names the replica kind.
+func (k ReplicaKind) String() string {
+	if k == DynamicHash {
+		return "dynamic"
+	}
+	return "static-csr"
+}
+
+// AnalyticsKind identifies a graph algorithm.
+type AnalyticsKind string
+
+// The supported analytics: the §6.2 Graphalytics selection (BFS, PageRank,
+// SSSP) plus the remaining Graphalytics kernels (WCC, CDLP, LCC).
+const (
+	BFS      AnalyticsKind = "bfs"
+	PageRank AnalyticsKind = "pagerank"
+	SSSP     AnalyticsKind = "sssp"
+	WCC      AnalyticsKind = "wcc"
+	CDLP     AnalyticsKind = "cdlp"
+	LCC      AnalyticsKind = "lcc"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	Replica ReplicaKind
+	// Device is the simulated GPU; nil selects gpu.DefaultA100.
+	Device *gpu.Device
+	// DeltaStore is the DELTA_FE instance; nil selects a fresh volatile
+	// store. Pass a pmem-backed store for the §6.5 persistent variant.
+	DeltaStore *deltastore.Store
+	// CostModel, when set, installs the §6.4 threshold so overflowing
+	// delta counts switch propagation to rebuild mode.
+	CostModel *costmodel.Model
+	// PersistPool, when set (static replica only), maintains the §6.5
+	// persistent CSR copy after each propagation.
+	PersistPool *pmem.Pool
+	// PageRankIters and Damping parameterize PageRank (defaults 10, 0.85).
+	PageRankIters int
+	Damping       float64
+}
+
+// PropagationReport describes one update-propagation cycle (§4.2's second
+// phase; the metric of Figs 5, 10 and §6.6).
+type PropagationReport struct {
+	Triggered bool
+	// Rebuild reports that the cost model had switched the delta store off
+	// and this cycle rebuilt the CSR instead of merging (§6.4).
+	Rebuild bool
+	TS      mvto.TS
+
+	Records int // delta records consumed
+	Deltas  int // combined per-node deltas
+
+	ScanWall    time.Duration // delta store scan (§5.2)
+	MergeWall   time.Duration // CSR merge (§5.4) or rebuild
+	MergeStats  csr.MergeStats
+	PersistWall time.Duration // §6.5 persistent CSR copy (off critical path)
+
+	TransferSim sim.Duration // replica transfer / coalesced delta transfer
+	IngestSim   sim.Duration // dynamic-structure ingest kernel
+
+	Total sim.Latency // critical-path cost: scan+merge wall, transfer+ingest sim
+}
+
+// Result is one analytics execution with its latency breakdown — the Table
+// 1 decomposition (update propagation + analytics on GPU).
+type Result struct {
+	Kind        AnalyticsKind
+	Propagation PropagationReport
+	KernelSim   sim.Duration  // simulated GPU execution time
+	HostWall    time.Duration // host time spent computing the real result
+
+	// Exactly one of the following is set, matching Kind.
+	Levels []int32   // BFS
+	Dists  []float64 // SSSP
+	Ranks  []float64 // PageRank
+	Comp   []uint64  // WCC and CDLP (components / community labels)
+	Coef   []float64 // LCC
+
+	Work analytics.WorkStats
+}
+
+// TotalLatency is the modeled end-to-end latency: propagation critical path
+// plus the device kernel.
+func (r *Result) TotalLatency() time.Duration {
+	return r.Propagation.Total.Total() + time.Duration(r.KernelSim)
+}
+
+// Engine is the H2TAP system.
+type Engine struct {
+	store *graph.Store
+	ds    *deltastore.Store
+	dev   *gpu.Device
+	cfg   Config
+
+	// replicaMu guards replica swaps; kernels hold it shared for the
+	// duration of a run (one replica version at a time, §4.3).
+	replicaMu sync.RWMutex
+	staticRep *gpu.ResidentCSR
+	hostCSR   *csr.CSR // the CPU copy the merge reads (§5.4)
+	dynRep    *gpu.ResidentDyn
+	replicaTS mvto.TS
+
+	// propMu serializes propagation cycles.
+	propMu sync.Mutex
+
+	propagations int64
+	rebuilds     int64
+}
+
+// Errors.
+var (
+	// ErrUnknownAnalytics reports an unsupported analytics kind.
+	ErrUnknownAnalytics = errors.New("htap: unknown analytics kind")
+)
+
+// NewEngine builds the engine over an existing main graph and initializes
+// the replica from the current committed snapshot. The engine registers the
+// delta store as a capturer; transactions must go through store.Begin as
+// usual.
+func NewEngine(store *graph.Store, cfg Config) (*Engine, error) {
+	return newEngine(store, cfg, true)
+}
+
+// NewEngineWithExistingCapturer builds the engine over a store whose delta
+// store (cfg.DeltaStore) is already registered as a capturer. Deltas
+// captured before engine start are discarded: the initial replica build
+// covers them, and re-propagating them could undo later deletions.
+func NewEngineWithExistingCapturer(store *graph.Store, cfg Config) (*Engine, error) {
+	if cfg.DeltaStore == nil {
+		return nil, errors.New("htap: NewEngineWithExistingCapturer requires cfg.DeltaStore")
+	}
+	return newEngine(store, cfg, false)
+}
+
+func newEngine(store *graph.Store, cfg Config, register bool) (*Engine, error) {
+	if cfg.Device == nil {
+		cfg.Device = gpu.DefaultA100()
+	}
+	if cfg.DeltaStore == nil {
+		cfg.DeltaStore = deltastore.NewVolatile()
+	}
+	if cfg.PageRankIters == 0 {
+		cfg.PageRankIters = 10
+	}
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	e := &Engine{store: store, ds: cfg.DeltaStore, dev: cfg.Device, cfg: cfg}
+	if register {
+		store.AddCapturer(e.ds)
+	}
+
+	ts := store.Oracle().LastCommitted()
+	// Consume any deltas the initial snapshot already covers (pre-engine
+	// captures and recovered records from a pre-crash session whose
+	// replica state we are rebuilding from scratch here).
+	e.ds.Scan(ts + 1)
+	base := csr.Build(store, ts)
+	if cfg.CostModel != nil {
+		e.ds.SetThreshold(clampThreshold(cfg.CostModel.Threshold(float64(base.NumEdges()))))
+	}
+	switch cfg.Replica {
+	case StaticCSR:
+		rep, _, err := gpu.UploadCSR(cfg.Device, base)
+		if err != nil {
+			return nil, fmt.Errorf("htap: initial replica upload: %w", err)
+		}
+		e.staticRep = rep
+		e.hostCSR = base
+	case DynamicHash:
+		rep, _, err := gpu.UploadDyn(cfg.Device, dyngraph.FromCSR(base))
+		if err != nil {
+			return nil, fmt.Errorf("htap: initial replica upload: %w", err)
+		}
+		e.dynRep = rep
+	default:
+		return nil, fmt.Errorf("htap: unknown replica kind %d", cfg.Replica)
+	}
+	e.replicaTS = ts + 1 // covers all commits < ts+1, i.e. ≤ ts
+	return e, nil
+}
+
+// Store exposes the main graph.
+func (e *Engine) Store() *graph.Store { return e.store }
+
+// DeltaStore exposes the delta store.
+func (e *Engine) DeltaStore() *deltastore.Store { return e.ds }
+
+// Device exposes the simulated GPU.
+func (e *Engine) Device() *gpu.Device { return e.dev }
+
+// ReplicaTS reports the freshness watermark: the replica reflects every
+// transaction with timestamp below it.
+func (e *Engine) ReplicaTS() mvto.TS {
+	e.replicaMu.RLock()
+	defer e.replicaMu.RUnlock()
+	return e.replicaTS
+}
+
+// Propagations reports completed propagation cycles.
+func (e *Engine) Propagations() int64 {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+	return e.propagations
+}
+
+// Rebuilds reports propagation cycles that used the rebuild path.
+func (e *Engine) Rebuilds() int64 {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+	return e.rebuilds
+}
+
+// Fresh reports whether the replica already reflects every committed
+// transaction — the §4.3 freshness check.
+func (e *Engine) Fresh() bool {
+	last := e.store.Oracle().LastCommitted()
+	if e.ReplicaTS() > last {
+		return true
+	}
+	if !e.ds.DeltaMode() {
+		// Rebuild mode: commits are not being captured, so the replica is
+		// stale until the next propagation rebuilds it (§6.4).
+		return false
+	}
+	// The watermark lags but there may be nothing to apply (e.g. only
+	// property updates committed, which don't alter topology).
+	return !e.ds.PendingAt(last + 1)
+}
+
+// Propagate runs one update-propagation cycle unconditionally: scan the
+// delta store within a propagation transaction and apply the batch to the
+// replica (merge+replace for static, coalesce+ingest for dynamic). If the
+// cost model flipped the delta store into rebuild mode, the CSR is rebuilt
+// instead and delta mode re-enabled (§6.4).
+func (e *Engine) Propagate() (*PropagationReport, error) {
+	e.propMu.Lock()
+	defer e.propMu.Unlock()
+
+	tp := e.store.Oracle().Begin()
+	defer tp.Commit()
+	rep := &PropagationReport{Triggered: true, TS: tp.TS()}
+
+	if !e.ds.DeltaMode() {
+		if err := e.rebuild(tp.TS(), rep); err != nil {
+			return rep, err
+		}
+		e.propagations++
+		e.rebuilds++
+		return rep, nil
+	}
+
+	scanStart := time.Now()
+	batch := e.ds.Scan(tp.TS())
+	rep.ScanWall = time.Since(scanStart)
+	rep.Records = batch.Records
+	rep.Deltas = len(batch.Deltas)
+	rep.Total.AddWall(rep.ScanWall)
+
+	switch e.cfg.Replica {
+	case StaticCSR:
+		mergeStart := time.Now()
+		merged, st := csr.Merge(e.hostCSR, batch)
+		rep.MergeWall = time.Since(mergeStart)
+		rep.MergeStats = st
+		rep.Total.AddWall(rep.MergeWall)
+
+		e.replicaMu.Lock()
+		t, err := e.staticRep.Replace(merged)
+		if err != nil {
+			e.replicaMu.Unlock()
+			return rep, fmt.Errorf("htap: replica replace: %w", err)
+		}
+		e.hostCSR = merged
+		e.replicaTS = tp.TS()
+		e.replicaMu.Unlock()
+		rep.TransferSim = t
+		rep.Total.AddSim(t)
+
+		// §6.5: the persistent CSR copy is only for recovery and does not
+		// gate analytics, so it is reported outside the critical path.
+		if e.cfg.PersistPool != nil {
+			pStart := time.Now()
+			if _, err := csr.PersistTo(e.cfg.PersistPool, merged); err != nil {
+				return rep, fmt.Errorf("htap: persistent CSR copy: %w", err)
+			}
+			rep.PersistWall = time.Since(pStart)
+		}
+	case DynamicHash:
+		e.replicaMu.Lock()
+		t, _, err := e.dynRep.Ingest(batch)
+		if err != nil {
+			e.replicaMu.Unlock()
+			return rep, fmt.Errorf("htap: dynamic ingest: %w", err)
+		}
+		e.replicaTS = tp.TS()
+		e.replicaMu.Unlock()
+		rep.TransferSim = t
+		rep.Total.AddSim(t)
+	}
+	e.propagations++
+	return rep, nil
+}
+
+// rebuild is the §6.4 fallback: build a fresh CSR from the main graph at
+// the propagation snapshot, ship it, clear the delta store and re-enable
+// delta mode.
+func (e *Engine) rebuild(tp mvto.TS, rep *PropagationReport) error {
+	rep.Rebuild = true
+	start := time.Now()
+	rebuilt := csr.Build(e.store, tp-1)
+	rep.MergeWall = time.Since(start)
+	rep.Total.AddWall(rep.MergeWall)
+
+	e.replicaMu.Lock()
+	switch e.cfg.Replica {
+	case StaticCSR:
+		t, err := e.staticRep.Replace(rebuilt)
+		if err != nil {
+			e.replicaMu.Unlock()
+			return fmt.Errorf("htap: rebuild replace: %w", err)
+		}
+		e.hostCSR = rebuilt
+		rep.TransferSim = t
+	case DynamicHash:
+		old := e.dynRep
+		fresh, t, err := gpu.UploadDyn(e.dev, dyngraph.FromCSR(rebuilt))
+		if err != nil {
+			e.replicaMu.Unlock()
+			return fmt.Errorf("htap: rebuild dynamic upload: %w", err)
+		}
+		old.Free()
+		e.dynRep = fresh
+		rep.TransferSim = t
+	}
+	e.replicaTS = tp
+	e.replicaMu.Unlock()
+	rep.Total.AddSim(rep.TransferSim)
+
+	e.ds.EnableDeltaMode()
+	if e.cfg.CostModel != nil {
+		e.ds.SetThreshold(clampThreshold(e.cfg.CostModel.Threshold(float64(rebuilt.NumEdges()))))
+	}
+	return nil
+}
+
+// clampThreshold maps the cost model's "always rebuild" answer (0) to the
+// smallest enforceable threshold: in the delta store 0 means "no
+// threshold", so a literal 0 would never flip delta mode.
+func clampThreshold(th uint64) uint64 {
+	if th == 0 {
+		return 1
+	}
+	return th
+}
+
+// RunAnalytics executes one analytics request with §4.3 semantics: if the
+// replica is stale with respect to the request's arrival time, update
+// propagation runs first; the kernel then executes on the (simulated)
+// device. src is the source vertex for BFS and SSSP.
+func (e *Engine) RunAnalytics(kind AnalyticsKind, src uint64) (*Result, error) {
+	res := &Result{Kind: kind}
+	if !e.Fresh() {
+		rep, err := e.Propagate()
+		if err != nil {
+			return nil, err
+		}
+		res.Propagation = *rep
+	}
+	if err := e.runKernel(res, kind, src); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runKernel executes the algorithm on the current replica under a shared
+// lock (concurrent analytics on the same replica version, §4.3 case 2).
+func (e *Engine) runKernel(res *Result, kind AnalyticsKind, src uint64) error {
+	e.replicaMu.RLock()
+	defer e.replicaMu.RUnlock()
+
+	var view analytics.Graph
+	switch e.cfg.Replica {
+	case StaticCSR:
+		view = analytics.CSRGraph{C: e.staticRep.CSR()}
+	case DynamicHash:
+		view = e.dynRep.Graph()
+	}
+
+	start := time.Now()
+	var class string
+	switch kind {
+	case BFS:
+		res.Levels, res.Work = analytics.BFS(view, src)
+		class = sim.KernelBFS
+	case PageRank:
+		res.Ranks, res.Work = analytics.PageRank(view, e.cfg.PageRankIters, e.cfg.Damping)
+		class = sim.KernelPageRank
+	case SSSP:
+		res.Dists, res.Work = analytics.SSSP(view, src)
+		class = sim.KernelSSSP
+	case WCC:
+		res.Comp, res.Work = analytics.WCC(view)
+		class = sim.KernelWCC
+	case CDLP:
+		res.Comp, res.Work = analytics.CDLP(view, e.cfg.PageRankIters)
+		class = sim.KernelCDLP
+	case LCC:
+		res.Coef, res.Work = analytics.LCC(view)
+		class = sim.KernelLCC
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownAnalytics, kind)
+	}
+	res.HostWall = time.Since(start)
+
+	kt, err := e.dev.Launch(class, res.Work.Edges)
+	if err != nil {
+		return err
+	}
+	res.KernelSim = kt
+	return nil
+}
+
+// HostCSR exposes the CPU-side CSR copy (static replica only), for
+// benchmarking the merge in isolation.
+func (e *Engine) HostCSR() *csr.CSR {
+	e.replicaMu.RLock()
+	defer e.replicaMu.RUnlock()
+	return e.hostCSR
+}

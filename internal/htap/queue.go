@@ -1,0 +1,129 @@
+package htap
+
+import (
+	"errors"
+	"sync"
+
+	"h2tap/internal/mvto"
+)
+
+// ErrQueueClosed reports a submission to a closed queue.
+var ErrQueueClosed = errors.New("htap: analytics queue closed")
+
+// Queue dispatches analytics with the §4.3 semantics: requests are served
+// in arrival order from a queue; a request whose arrival time the replica
+// already covers executes concurrently with any running analytics (same
+// replica version); a stale request triggers update propagation in a
+// pipelined fashion — the scan and merge overlap with running analytics,
+// and the replica swap waits for them to drain (the engine's reader/writer
+// lock enforces "the replica is updated when B finishes").
+type Queue struct {
+	e    *Engine
+	reqs chan *Ticket
+
+	mu      sync.Mutex
+	closed  bool
+	drained sync.WaitGroup // dispatcher + in-flight kernels
+}
+
+// Ticket is a submitted analytics request.
+type Ticket struct {
+	kind    AnalyticsKind
+	src     uint64
+	arrival mvto.TS
+
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Wait blocks until the request finishes and returns its result.
+func (t *Ticket) Wait() (*Result, error) {
+	<-t.done
+	return t.res, t.err
+}
+
+// NewQueue starts a dispatcher over the engine.
+func NewQueue(e *Engine) *Queue {
+	q := &Queue{e: e, reqs: make(chan *Ticket, 128)}
+	q.drained.Add(1)
+	go q.dispatch()
+	return q
+}
+
+// Submit enqueues an analytics request, recording its arrival time (the
+// freshness reference point of §4.3).
+func (q *Queue) Submit(kind AnalyticsKind, src uint64) (*Ticket, error) {
+	t := &Ticket{
+		kind:    kind,
+		src:     src,
+		arrival: q.e.store.Oracle().LastCommitted(),
+		done:    make(chan struct{}),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	q.drained.Add(1)
+	q.reqs <- t
+	return t, nil
+}
+
+// Close stops accepting requests and waits for all in-flight analytics to
+// finish.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.reqs)
+	}
+	q.mu.Unlock()
+	q.drained.Wait()
+}
+
+// freshAt reports whether the replica covers every transaction committed up
+// to the arrival timestamp.
+func (e *Engine) freshAt(arrival mvto.TS) bool {
+	if e.ReplicaTS() > arrival {
+		return true
+	}
+	if !e.ds.DeltaMode() {
+		return false
+	}
+	return !e.ds.PendingAt(arrival + 1)
+}
+
+func (q *Queue) dispatch() {
+	defer q.drained.Done()
+	for t := range q.reqs {
+		t := t
+		if q.e.freshAt(t.arrival) {
+			// §4.3 case 2: execute concurrently on the same replica
+			// version; the dispatcher moves on immediately.
+			go func() {
+				defer q.drained.Done()
+				t.res = &Result{Kind: t.kind}
+				t.err = q.e.runKernel(t.res, t.kind, t.src)
+				close(t.done)
+			}()
+			continue
+		}
+		// Stale: propagate with respect to the arrival time. The scan and
+		// merge run now (pipelined with any executing analytics); the
+		// replica swap inside Propagate blocks on their shared locks.
+		rep, err := q.e.Propagate()
+		if err != nil {
+			t.err = err
+			close(t.done)
+			q.drained.Done()
+			continue
+		}
+		go func() {
+			defer q.drained.Done()
+			t.res = &Result{Kind: t.kind, Propagation: *rep}
+			t.err = q.e.runKernel(t.res, t.kind, t.src)
+			close(t.done)
+		}()
+	}
+}

@@ -1,0 +1,219 @@
+// Package ldbc generates the evaluation datasets of §6.2 — an LDBC Social
+// Network Benchmark–like property graph at configurable scale factors, and
+// a Graph 500–style RMAT graph for the analytics workload (§6.2's
+// Graphalytics runs) — deterministically and fully synthetic (DESIGN.md §2
+// documents the substitution for the real LDBC datasets).
+//
+// The SNB-like graph preserves what the update-handling experiments depend
+// on: entity types (Person, Post) connected by knows/likes/hasCreator
+// relationships, a heavily skewed (Zipfian) degree distribution so the
+// LoDeg/HiDeg windows of §6.3 are meaningful, and linear scaling of nodes
+// and edges with the scale factor (Fig 9's x-axis).
+package ldbc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+)
+
+// Labels used by the generated property graph.
+const (
+	LabelPerson = "Person"
+	LabelPost   = "Post"
+
+	RelKnows      = "knows"
+	RelLikes      = "likes"
+	RelHasCreator = "hasCreator"
+)
+
+// Dataset is a generated graph ready for bulk loading.
+type Dataset struct {
+	Nodes   []graph.NodeSpec
+	Edges   []graph.EdgeSpec
+	Persons []uint64 // node IDs labeled Person
+	Posts   []uint64 // node IDs labeled Post
+}
+
+// NumNodes reports the node count.
+func (d *Dataset) NumNodes() int { return len(d.Nodes) }
+
+// NumEdges reports the edge count.
+func (d *Dataset) NumEdges() int { return len(d.Edges) }
+
+// Load bulk-loads the dataset into a fresh position in the store and
+// returns the load commit timestamp.
+func (d *Dataset) Load(s *graph.Store) (mvto.TS, error) {
+	return s.BulkLoad(d.Nodes, d.Edges)
+}
+
+// SNBConfig parameterizes the SNB-like generator.
+type SNBConfig struct {
+	// SF is the scale factor (the paper uses 1, 3, 10, 30).
+	SF float64
+	// Downscale divides the per-SF node budgets so experiments fit
+	// laptop-scale runs; 0 selects the default of 10. Downscale 1
+	// approaches the real SNB topology sizes.
+	Downscale int
+	// Seed makes generation deterministic; same seed, same graph.
+	Seed int64
+}
+
+// Per-SF budgets before downscaling, approximating SNB's composition
+// (persons ≪ posts, person degree dominated by likes).
+const (
+	personsPerSF = 10_000
+	postsPerSF   = 40_000
+	knowsMean    = 20 // knows edges per person (Zipf-skewed)
+	likesMean    = 28 // likes edges per person (Zipf-skewed)
+)
+
+// GenerateSNB produces the SNB-like dataset.
+func GenerateSNB(cfg SNBConfig) *Dataset {
+	if cfg.SF <= 0 {
+		panic(fmt.Sprintf("ldbc: non-positive scale factor %v", cfg.SF))
+	}
+	down := cfg.Downscale
+	if down == 0 {
+		down = 10
+	}
+	nPersons := int(personsPerSF*cfg.SF) / down
+	if nPersons < 10 {
+		nPersons = 10
+	}
+	nPosts := int(postsPerSF*cfg.SF) / down
+	if nPosts < 20 {
+		nPosts = 20
+	}
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x534e42))
+
+	d := &Dataset{
+		Nodes:   make([]graph.NodeSpec, 0, nPersons+nPosts),
+		Persons: make([]uint64, 0, nPersons),
+		Posts:   make([]uint64, 0, nPosts),
+	}
+	for i := 0; i < nPersons; i++ {
+		d.Persons = append(d.Persons, uint64(len(d.Nodes)))
+		d.Nodes = append(d.Nodes, graph.NodeSpec{
+			Label: LabelPerson,
+			Props: map[string]graph.Value{
+				"id":        graph.Int(int64(i)),
+				"birthYear": graph.Int(int64(1950 + r.Intn(60))),
+			},
+		})
+	}
+	for i := 0; i < nPosts; i++ {
+		d.Posts = append(d.Posts, uint64(len(d.Nodes)))
+		d.Nodes = append(d.Nodes, graph.NodeSpec{
+			Label: LabelPost,
+			Props: map[string]graph.Value{
+				"id":     graph.Int(int64(i)),
+				"length": graph.Int(int64(r.Intn(2000))),
+			},
+		})
+	}
+
+	// Zipf-skewed degrees: a few celebrities, a long tail — the skew the
+	// LoDeg/HiDeg windows of §6.3 slide over. Destination choice is also
+	// skewed (popular people / viral posts).
+	degZipf := rand.NewZipf(r, 1.3, 4, uint64(knowsMean*4))
+	likeZipf := rand.NewZipf(r, 1.2, 4, uint64(likesMean*4))
+	personPick := rand.NewZipf(r, 1.1, 8, uint64(nPersons-1))
+	postPick := rand.NewZipf(r, 1.1, 8, uint64(nPosts-1))
+
+	addUnique := func(src uint64, used map[uint64]bool, dst uint64, label string, w float64) {
+		if dst == src || used[dst] {
+			return
+		}
+		used[dst] = true
+		d.Edges = append(d.Edges, graph.EdgeSpec{Src: src, Dst: dst, Label: label, Weight: w})
+	}
+
+	for _, p := range d.Persons {
+		used := make(map[uint64]bool)
+		nKnows := int(degZipf.Uint64()) + 1
+		for k := 0; k < nKnows; k++ {
+			q := d.Persons[personPick.Uint64()]
+			addUnique(p, used, q, RelKnows, 1+float64(r.Intn(9)))
+		}
+		nLikes := int(likeZipf.Uint64()) + 1
+		for k := 0; k < nLikes; k++ {
+			q := d.Posts[postPick.Uint64()]
+			addUnique(p, used, q, RelLikes, 1)
+		}
+	}
+	// Every post has a creator (gives posts out-degree 1).
+	for _, post := range d.Posts {
+		creator := d.Persons[personPick.Uint64()]
+		d.Edges = append(d.Edges, graph.EdgeSpec{
+			Src: post, Dst: creator, Label: RelHasCreator, Weight: 1,
+		})
+	}
+	return d
+}
+
+// RMATConfig parameterizes the Graph 500–style recursive-matrix generator.
+type RMATConfig struct {
+	// Scale: 2^Scale vertices (Graph 500 scale 24 in the paper; the
+	// default harness uses a smaller scale, same generator).
+	Scale int
+	// EdgeFactor: edges per vertex (Graph 500 uses 16). 0 selects 16.
+	EdgeFactor int
+	// A, B, C are the RMAT quadrant probabilities (defaults 0.57, 0.19,
+	// 0.19 — the Graph 500 values).
+	A, B, C float64
+	Seed    int64
+}
+
+// GenerateRMAT produces a weighted directed RMAT graph with duplicate edges
+// and self-loops removed (keeping the main graph's simple-edge invariant).
+func GenerateRMAT(cfg RMATConfig) *Dataset {
+	if cfg.Scale <= 0 || cfg.Scale > 30 {
+		panic(fmt.Sprintf("ldbc: bad RMAT scale %d", cfg.Scale))
+	}
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = 16
+	}
+	if cfg.A == 0 && cfg.B == 0 && cfg.C == 0 {
+		cfg.A, cfg.B, cfg.C = 0.57, 0.19, 0.19
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	r := rand.New(rand.NewSource(cfg.Seed ^ 0x524d4154))
+
+	d := &Dataset{Nodes: make([]graph.NodeSpec, n), Edges: make([]graph.EdgeSpec, 0, m)}
+	for i := range d.Nodes {
+		d.Nodes[i] = graph.NodeSpec{Label: "Vertex"}
+	}
+	seen := make(map[uint64]bool, m)
+	for k := 0; k < m; k++ {
+		var src, dst uint64
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < cfg.A: // top-left
+			case p < cfg.A+cfg.B: // top-right
+				dst |= 1 << bit
+			case p < cfg.A+cfg.B+cfg.C: // bottom-left
+				src |= 1 << bit
+			default: // bottom-right
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		if src == dst {
+			continue
+		}
+		key := src<<32 | dst
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		d.Edges = append(d.Edges, graph.EdgeSpec{
+			Src: src, Dst: dst, Label: "edge", Weight: 1 + float64(r.Intn(9)),
+		})
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package ldbc
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"h2tap/internal/graph"
+)
+
+func TestSNBDeterministic(t *testing.T) {
+	a := GenerateSNB(SNBConfig{SF: 1, Downscale: 50, Seed: 7})
+	b := GenerateSNB(SNBConfig{SF: 1, Downscale: 50, Seed: 7})
+	if !reflect.DeepEqual(a.Edges, b.Edges) || len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("same seed produced different datasets")
+	}
+	c := GenerateSNB(SNBConfig{SF: 1, Downscale: 50, Seed: 8})
+	if reflect.DeepEqual(a.Edges, c.Edges) {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestSNBComposition(t *testing.T) {
+	d := GenerateSNB(SNBConfig{SF: 1, Downscale: 50, Seed: 1})
+	if len(d.Persons)+len(d.Posts) != d.NumNodes() {
+		t.Fatal("node partition inconsistent")
+	}
+	if len(d.Posts) <= len(d.Persons) {
+		t.Fatalf("posts (%d) should outnumber persons (%d)", len(d.Posts), len(d.Persons))
+	}
+	// All edge endpoints valid; no self-loops; no duplicate (src,dst).
+	type key struct{ s, d uint64 }
+	seen := map[key]bool{}
+	for _, e := range d.Edges {
+		if e.Src >= uint64(d.NumNodes()) || e.Dst >= uint64(d.NumNodes()) {
+			t.Fatalf("edge endpoint out of range: %+v", e)
+		}
+		if e.Src == e.Dst {
+			t.Fatalf("self-loop: %+v", e)
+		}
+		k := key{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatalf("duplicate edge %+v", e)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSNBScaling(t *testing.T) {
+	d1 := GenerateSNB(SNBConfig{SF: 1, Downscale: 50, Seed: 1})
+	d3 := GenerateSNB(SNBConfig{SF: 3, Downscale: 50, Seed: 1})
+	if d3.NumNodes() < 2*d1.NumNodes() || d3.NumEdges() < 2*d1.NumEdges() {
+		t.Fatalf("SF3 (%d nodes, %d edges) not ≈3× SF1 (%d, %d)",
+			d3.NumNodes(), d3.NumEdges(), d1.NumNodes(), d1.NumEdges())
+	}
+}
+
+func TestSNBDegreeSkew(t *testing.T) {
+	d := GenerateSNB(SNBConfig{SF: 1, Downscale: 10, Seed: 1})
+	deg := make(map[uint64]int)
+	for _, e := range d.Edges {
+		deg[e.Src]++
+	}
+	var degs []int
+	for _, p := range d.Persons {
+		degs = append(degs, deg[p])
+	}
+	sort.Ints(degs)
+	lo := degs[len(degs)/10]              // 10th percentile
+	hi := degs[len(degs)-1-len(degs)/100] // 99th percentile
+	if hi < lo*3 {
+		t.Fatalf("degree distribution not skewed: p10=%d p99=%d", lo, hi)
+	}
+}
+
+func TestSNBLoadsIntoStore(t *testing.T) {
+	d := GenerateSNB(SNBConfig{SF: 1, Downscale: 100, Seed: 1})
+	s := graph.NewStore()
+	ts, err := d.Load(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LiveNodes() != int64(d.NumNodes()) || s.LiveRels() != int64(d.NumEdges()) {
+		t.Fatalf("loaded %d/%d, want %d/%d",
+			s.LiveNodes(), s.LiveRels(), d.NumNodes(), d.NumEdges())
+	}
+	persons := s.NodesByLabelAt(LabelPerson, ts)
+	if len(persons) != len(d.Persons) {
+		t.Fatalf("Person nodes = %d, want %d", len(persons), len(d.Persons))
+	}
+}
+
+func TestRMATBasics(t *testing.T) {
+	d := GenerateRMAT(RMATConfig{Scale: 10, EdgeFactor: 8, Seed: 3})
+	if d.NumNodes() != 1024 {
+		t.Fatalf("nodes = %d", d.NumNodes())
+	}
+	if d.NumEdges() < 4*1024 || d.NumEdges() > 8*1024 {
+		t.Fatalf("edges = %d, want within (4k, 8k] after dedup", d.NumEdges())
+	}
+	type key struct{ s, d uint64 }
+	seen := map[key]bool{}
+	for _, e := range d.Edges {
+		if e.Src == e.Dst {
+			t.Fatal("self-loop survived")
+		}
+		if e.Src >= 1024 || e.Dst >= 1024 {
+			t.Fatal("endpoint out of range")
+		}
+		k := key{e.Src, e.Dst}
+		if seen[k] {
+			t.Fatal("duplicate edge survived")
+		}
+		seen[k] = true
+		if e.Weight < 1 {
+			t.Fatal("non-positive weight")
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	d := GenerateRMAT(RMATConfig{Scale: 12, Seed: 1})
+	deg := make([]int, 1<<12)
+	for _, e := range d.Edges {
+		deg[e.Src]++
+	}
+	sort.Ints(deg)
+	max := deg[len(deg)-1]
+	median := deg[len(deg)/2]
+	if max < median*5 {
+		t.Fatalf("RMAT not skewed: max=%d median=%d", max, median)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := GenerateRMAT(RMATConfig{Scale: 8, Seed: 9})
+	b := GenerateRMAT(RMATConfig{Scale: 8, Seed: 9})
+	if !reflect.DeepEqual(a.Edges, b.Edges) {
+		t.Fatal("same seed differs")
+	}
+}
+
+func TestBadConfigsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"snb-zero-sf": func() { GenerateSNB(SNBConfig{SF: 0}) },
+		"rmat-scale":  func() { GenerateRMAT(RMATConfig{Scale: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

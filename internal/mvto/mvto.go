@@ -1,0 +1,276 @@
+// Package mvto implements the Multi-Version Timestamp Ordering concurrency
+// control protocol described in §2.3 of the paper, as used by the Poseidon
+// main graph store. Each graph object version carries metadata (txn-id
+// write lock, begin/end timestamps, read timestamp); transactions obtain
+// monotonically increasing timestamps from an Oracle and follow the
+// insert/update/read/delete access conditions from the paper.
+//
+// The same timestamps order deltas in the delta store: a propagation
+// transaction Tp may only consume deltas appended by transactions older
+// than itself (§5.3), which this package's Oracle timestamps make a single
+// integer comparison.
+package mvto
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// TS is a transaction timestamp. Timestamp 0 is reserved to mean "no
+// transaction" (an unlocked object); Infinity marks an open end timestamp.
+type TS uint64
+
+// Infinity is the end timestamp of a version that has not been superseded.
+const Infinity TS = math.MaxUint64
+
+// Access errors returned by the protocol checks.
+var (
+	// ErrLocked reports that the object is write-locked by another
+	// transaction.
+	ErrLocked = errors.New("mvto: object locked by another transaction")
+	// ErrReadByNewer reports a write denied because a newer transaction
+	// already read the object (rts > t).
+	ErrReadByNewer = errors.New("mvto: object read by a newer transaction")
+	// ErrNotVisible reports that no version of the object is visible to the
+	// reading transaction.
+	ErrNotVisible = errors.New("mvto: no visible version")
+	// ErrTxnDone reports an operation on a finished transaction.
+	ErrTxnDone = errors.New("mvto: transaction already committed or aborted")
+)
+
+// Meta is the per-version concurrency-control metadata from §2.3. All
+// fields are atomics so readers never block writers.
+type Meta struct {
+	txnID atomic.Uint64 // timestamp of the write transaction holding the lock; 0 if unlocked
+	bts   atomic.Uint64 // begin timestamp
+	ets   atomic.Uint64 // end timestamp
+	rts   atomic.Uint64 // read timestamp of the newest reader
+}
+
+// InitInsert initializes the metadata for a freshly inserted version: the
+// inserting transaction t holds the lock, bts=t, ets=∞ (paper §2.3 Insert).
+func (m *Meta) InitInsert(t TS) {
+	m.txnID.Store(uint64(t))
+	m.bts.Store(uint64(t))
+	m.ets.Store(uint64(Infinity))
+	m.rts.Store(0)
+}
+
+// InitTombstone initializes the metadata of the deletion marker version:
+// bts=ets=t, locked by t (paper §2.3 Delete).
+func (m *Meta) InitTombstone(t TS) {
+	m.txnID.Store(uint64(t))
+	m.bts.Store(uint64(t))
+	m.ets.Store(uint64(t))
+	m.rts.Store(0)
+}
+
+// TryLock attempts to write-lock the version for transaction t. It succeeds
+// if the version is unlocked or t already holds the lock.
+func (m *Meta) TryLock(t TS) bool {
+	if m.txnID.CompareAndSwap(0, uint64(t)) {
+		return true
+	}
+	return m.txnID.Load() == uint64(t)
+}
+
+// Unlock releases t's write lock. Unlocking a version not held by t is a
+// no-op, making unlock idempotent across commit/abort paths.
+func (m *Meta) Unlock(t TS) {
+	m.txnID.CompareAndSwap(uint64(t), 0)
+}
+
+// LockedBy reports the timestamp of the lock holder, or 0 if unlocked.
+func (m *Meta) LockedBy() TS { return TS(m.txnID.Load()) }
+
+// BTS reports the begin timestamp.
+func (m *Meta) BTS() TS { return TS(m.bts.Load()) }
+
+// ETS reports the end timestamp.
+func (m *Meta) ETS() TS { return TS(m.ets.Load()) }
+
+// RTS reports the newest reader timestamp.
+func (m *Meta) RTS() TS { return TS(m.rts.Load()) }
+
+// SetETS sets the end timestamp (used when a version is superseded at
+// commit, or restored to ∞ on abort).
+func (m *Meta) SetETS(t TS) { m.ets.Store(uint64(t)) }
+
+// VisibleTo reports whether this version is visible to a reader with
+// timestamp t under §2.3's Read rule: the version must not be locked by
+// another transaction (a version locked by t itself is visible to t), and
+// t must lie in [bts, ets).
+func (m *Meta) VisibleTo(t TS) bool {
+	if holder := m.txnID.Load(); holder != 0 && holder != uint64(t) {
+		return false
+	}
+	return TS(m.bts.Load()) <= t && t < TS(m.ets.Load())
+}
+
+// RecordRead registers a read by transaction t, advancing rts monotonically
+// so that no transaction older than t may subsequently write the version.
+func (m *Meta) RecordRead(t TS) {
+	for {
+		cur := m.rts.Load()
+		if cur >= uint64(t) || m.rts.CompareAndSwap(cur, uint64(t)) {
+			return
+		}
+	}
+}
+
+// CheckWrite verifies §2.3's Update/Delete precondition for transaction t
+// against this (current) version: t can lock it and no newer transaction
+// has read it.
+func (m *Meta) CheckWrite(t TS) error {
+	if holder := m.txnID.Load(); holder != 0 && holder != uint64(t) {
+		return ErrLocked
+	}
+	if TS(m.rts.Load()) > t {
+		return ErrReadByNewer
+	}
+	return nil
+}
+
+// Status is the lifecycle state of a transaction.
+type Status int32
+
+// Transaction lifecycle states.
+const (
+	Active Status = iota
+	Committed
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Oracle issues transaction timestamps and tracks the high-water mark of
+// committed transactions.
+type Oracle struct {
+	next          atomic.Uint64
+	lastCommitted atomic.Uint64
+}
+
+// NewOracle returns an oracle whose first timestamp is 1 (0 is reserved for
+// "unlocked").
+func NewOracle() *Oracle {
+	return &Oracle{}
+}
+
+// Begin starts a transaction with a fresh unique timestamp.
+func (o *Oracle) Begin() *Txn {
+	return &Txn{ts: TS(o.next.Add(1)), oracle: o}
+}
+
+// Next peeks at the timestamp the next Begin would receive, without
+// consuming it.
+func (o *Oracle) Next() TS { return TS(o.next.Load() + 1) }
+
+// LastCommitted reports the highest timestamp that has committed.
+func (o *Oracle) LastCommitted() TS { return TS(o.lastCommitted.Load()) }
+
+// AdvanceTo fast-forwards the oracle past ts (recovery: new transactions
+// must be newer than anything replayed from a log).
+func (o *Oracle) AdvanceTo(ts TS) {
+	for {
+		cur := o.next.Load()
+		if cur >= uint64(ts) || o.next.CompareAndSwap(cur, uint64(ts)) {
+			break
+		}
+	}
+	o.noteCommit(ts)
+}
+
+func (o *Oracle) noteCommit(t TS) {
+	for {
+		cur := o.lastCommitted.Load()
+		if cur >= uint64(t) || o.lastCommitted.CompareAndSwap(cur, uint64(t)) {
+			return
+		}
+	}
+}
+
+// Txn is a transaction: a timestamp plus the undo log and commit hooks that
+// the storage layers register as the transaction touches objects.
+//
+// A Txn is used by a single goroutine; the objects it locks are protected
+// from other transactions by the MVTO metadata, not by the Txn itself.
+type Txn struct {
+	ts     TS
+	oracle *Oracle
+	status atomic.Int32
+
+	undo     []func() // applied in reverse order on abort
+	onCommit []func(TS)
+}
+
+// TS reports the transaction's timestamp.
+func (t *Txn) TS() TS { return t.ts }
+
+// Status reports the transaction's lifecycle state.
+func (t *Txn) Status() Status { return Status(t.status.Load()) }
+
+// OnAbort registers an undo action to run if the transaction aborts.
+// Actions run in reverse registration order.
+func (t *Txn) OnAbort(fn func()) { t.undo = append(t.undo, fn) }
+
+// OnCommit registers an action to run when the transaction commits. The
+// delta store registers its append here so deltas enter the store at commit
+// time and never need undoing (paper §5.1).
+func (t *Txn) OnCommit(fn func(TS)) { t.onCommit = append(t.onCommit, fn) }
+
+// Commit finishes the transaction: commit hooks run (version finalization,
+// delta capture), then the oracle's committed high-water mark advances.
+func (t *Txn) Commit() error {
+	if !t.status.CompareAndSwap(int32(Active), int32(Committed)) {
+		return ErrTxnDone
+	}
+	for _, fn := range t.onCommit {
+		fn(t.ts)
+	}
+	t.oracle.noteCommit(t.ts)
+	t.undo = nil
+	t.onCommit = nil
+	return nil
+}
+
+// Abort rolls the transaction back by applying the undo log in reverse.
+// Aborting a finished transaction is an error.
+func (t *Txn) Abort() error {
+	if !t.status.CompareAndSwap(int32(Active), int32(Aborted)) {
+		return ErrTxnDone
+	}
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		t.undo[i]()
+	}
+	t.undo = nil
+	t.onCommit = nil
+	return nil
+}
+
+// VersionChain is a small helper owned by each logical graph object: the
+// list of its versions, newest first, plus the mutex that serializes
+// structural changes (appending a version). Reads walk the chain without
+// taking the mutex; the atomics in Meta make that safe.
+type VersionChain struct {
+	mu sync.Mutex
+}
+
+// Lock serializes version-chain structural changes.
+func (c *VersionChain) Lock() { c.mu.Lock() }
+
+// Unlock releases the structural lock.
+func (c *VersionChain) Unlock() { c.mu.Unlock() }

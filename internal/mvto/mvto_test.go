@@ -1,0 +1,346 @@
+package mvto
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestOracleMonotonicTimestamps(t *testing.T) {
+	o := NewOracle()
+	t1 := o.Begin()
+	t2 := o.Begin()
+	if t1.TS() == 0 {
+		t.Fatal("timestamp 0 issued; 0 is reserved for unlocked")
+	}
+	if t2.TS() <= t1.TS() {
+		t.Fatalf("timestamps not increasing: %d then %d", t1.TS(), t2.TS())
+	}
+}
+
+func TestOracleConcurrentBeginUnique(t *testing.T) {
+	o := NewOracle()
+	const workers, per = 8, 2000
+	ch := make(chan TS, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ch <- o.Begin().TS()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ch)
+	seen := make(map[TS]bool, workers*per)
+	for ts := range ch {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		seen[ts] = true
+	}
+}
+
+func TestInsertVisibility(t *testing.T) {
+	o := NewOracle()
+	writer := o.Begin()
+	var m Meta
+	m.InitInsert(writer.TS())
+
+	// While locked by the writer, the version is visible to the writer but
+	// not to others (paper §2.3 Insert: "o remains locked by T until the
+	// end of T").
+	if !m.VisibleTo(writer.TS()) {
+		t.Fatal("inserted version not visible to inserting transaction")
+	}
+	reader := o.Begin()
+	if m.VisibleTo(reader.TS()) {
+		t.Fatal("uncommitted insert visible to another transaction")
+	}
+
+	m.Unlock(writer.TS())
+	if err := writer.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.VisibleTo(reader.TS()) {
+		t.Fatal("committed insert not visible to newer reader")
+	}
+}
+
+func TestInsertInvisibleToOlderReader(t *testing.T) {
+	o := NewOracle()
+	older := o.Begin()
+	writer := o.Begin()
+	var m Meta
+	m.InitInsert(writer.TS())
+	m.Unlock(writer.TS())
+	if m.VisibleTo(older.TS()) {
+		t.Fatal("insert visible to a transaction older than its bts")
+	}
+}
+
+func TestUpdateDeniedAfterNewerRead(t *testing.T) {
+	o := NewOracle()
+	var m Meta
+	w0 := o.Begin()
+	m.InitInsert(w0.TS())
+	m.Unlock(w0.TS())
+	w0.Commit()
+
+	oldWriter := o.Begin()
+	newReader := o.Begin()
+	m.RecordRead(newReader.TS())
+	if err := m.CheckWrite(oldWriter.TS()); !errors.Is(err, ErrReadByNewer) {
+		t.Fatalf("CheckWrite after newer read = %v, want ErrReadByNewer", err)
+	}
+	// A writer at least as new as the reader is fine.
+	newerWriter := o.Begin()
+	if err := m.CheckWrite(newerWriter.TS()); err != nil {
+		t.Fatalf("CheckWrite for newer writer = %v", err)
+	}
+}
+
+func TestWriteDeniedWhileLocked(t *testing.T) {
+	o := NewOracle()
+	var m Meta
+	a := o.Begin()
+	b := o.Begin()
+	m.InitInsert(a.TS())
+	if err := m.CheckWrite(b.TS()); !errors.Is(err, ErrLocked) {
+		t.Fatalf("CheckWrite on locked object = %v, want ErrLocked", err)
+	}
+	// The lock holder itself passes the check.
+	if err := m.CheckWrite(a.TS()); err != nil {
+		t.Fatalf("holder CheckWrite = %v", err)
+	}
+}
+
+func TestTryLockSemantics(t *testing.T) {
+	o := NewOracle()
+	var m Meta
+	a, b := o.Begin(), o.Begin()
+	if !m.TryLock(a.TS()) {
+		t.Fatal("lock of unlocked object failed")
+	}
+	if !m.TryLock(a.TS()) {
+		t.Fatal("re-lock by holder failed")
+	}
+	if m.TryLock(b.TS()) {
+		t.Fatal("lock stolen from holder")
+	}
+	m.Unlock(b.TS()) // not the holder: must be a no-op
+	if m.LockedBy() != a.TS() {
+		t.Fatal("unlock by non-holder released the lock")
+	}
+	m.Unlock(a.TS())
+	if m.LockedBy() != 0 {
+		t.Fatal("unlock by holder did not release")
+	}
+	if !m.TryLock(b.TS()) {
+		t.Fatal("lock after release failed")
+	}
+}
+
+func TestVersionSupersedeWindow(t *testing.T) {
+	// Old version [b, u), new version [u, ∞): a reader between b and u sees
+	// only the old version; a reader at/after u sees only the new one.
+	o := NewOracle()
+	var old, new_ Meta
+	w0 := o.Begin()
+	old.InitInsert(w0.TS())
+	old.Unlock(w0.TS())
+	w0.Commit()
+
+	midReader := o.Begin()
+
+	updater := o.Begin()
+	new_.InitInsert(updater.TS())
+	old.SetETS(updater.TS())
+	new_.Unlock(updater.TS())
+	updater.Commit()
+
+	lateReader := o.Begin()
+
+	if !old.VisibleTo(midReader.TS()) || new_.VisibleTo(midReader.TS()) {
+		t.Fatal("mid reader should see old version only")
+	}
+	if old.VisibleTo(lateReader.TS()) || !new_.VisibleTo(lateReader.TS()) {
+		t.Fatal("late reader should see new version only")
+	}
+}
+
+func TestTombstoneInvisible(t *testing.T) {
+	o := NewOracle()
+	var m Meta
+	d := o.Begin()
+	m.InitTombstone(d.TS())
+	m.Unlock(d.TS())
+	d.Commit()
+	r := o.Begin()
+	if m.VisibleTo(r.TS()) {
+		t.Fatal("tombstone version (bts=ets) visible to reader")
+	}
+	if m.VisibleTo(d.TS()) {
+		t.Fatal("tombstone visible even to its writer after unlock: bts=ets window is empty")
+	}
+}
+
+func TestRecordReadMonotone(t *testing.T) {
+	var m Meta
+	m.RecordRead(10)
+	m.RecordRead(5)
+	if m.RTS() != 10 {
+		t.Fatalf("rts regressed to %d", m.RTS())
+	}
+	m.RecordRead(12)
+	if m.RTS() != 12 {
+		t.Fatalf("rts = %d, want 12", m.RTS())
+	}
+}
+
+func TestRecordReadConcurrentMax(t *testing.T) {
+	var m Meta
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				m.RecordRead(TS(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.RTS() != 8000 {
+		t.Fatalf("concurrent rts = %d, want max 8000", m.RTS())
+	}
+}
+
+func TestCommitHooksAndOrder(t *testing.T) {
+	o := NewOracle()
+	tx := o.Begin()
+	var order []string
+	tx.OnCommit(func(ts TS) {
+		if ts != tx.TS() {
+			t.Errorf("commit hook ts = %d, want %d", ts, tx.TS())
+		}
+		order = append(order, "a")
+	})
+	tx.OnCommit(func(TS) { order = append(order, "b") })
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("commit hooks ran %v, want [a b]", order)
+	}
+	if o.LastCommitted() != tx.TS() {
+		t.Fatalf("LastCommitted = %d, want %d", o.LastCommitted(), tx.TS())
+	}
+}
+
+func TestAbortRunsUndoInReverse(t *testing.T) {
+	o := NewOracle()
+	tx := o.Begin()
+	var order []int
+	tx.OnAbort(func() { order = append(order, 1) })
+	tx.OnAbort(func() { order = append(order, 2) })
+	committed := false
+	tx.OnCommit(func(TS) { committed = true })
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if committed {
+		t.Fatal("commit hook ran on abort")
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order %v, want [2 1]", order)
+	}
+	if o.LastCommitted() != 0 {
+		t.Fatal("aborted txn advanced LastCommitted")
+	}
+}
+
+func TestDoubleFinishErrors(t *testing.T) {
+	o := NewOracle()
+	tx := o.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit = %v, want ErrTxnDone", err)
+	}
+	if err := tx.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("abort after commit = %v, want ErrTxnDone", err)
+	}
+
+	tx2 := o.Begin()
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("commit after abort = %v, want ErrTxnDone", err)
+	}
+	if tx2.Status() != Aborted {
+		t.Fatalf("status = %v, want aborted", tx2.Status())
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{
+		Active: "active", Committed: "committed", Aborted: "aborted", Status(99): "unknown",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}
+
+// Property: visibility window respects [bts, ets) exactly for unlocked
+// versions.
+func TestQuickVisibilityWindow(t *testing.T) {
+	f := func(b, e, r uint32) bool {
+		bts, ets, rts := TS(b), TS(e), TS(r)
+		if bts > ets {
+			bts, ets = ets, bts
+		}
+		var m Meta
+		m.bts.Store(uint64(bts))
+		m.ets.Store(uint64(ets))
+		want := bts <= rts && rts < ets
+		return m.VisibleTo(rts) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LastCommitted is the max of all committed timestamps regardless
+// of commit order.
+func TestQuickLastCommittedIsMax(t *testing.T) {
+	f := func(perm []bool) bool {
+		o := NewOracle()
+		txs := make([]*Txn, 12)
+		for i := range txs {
+			txs[i] = o.Begin()
+		}
+		var max TS
+		for i, tx := range txs {
+			commit := i >= len(perm) || perm[i]
+			if commit {
+				tx.Commit()
+				if tx.TS() > max {
+					max = tx.TS()
+				}
+			} else {
+				tx.Abort()
+			}
+		}
+		return o.LastCommitted() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

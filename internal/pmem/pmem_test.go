@@ -1,0 +1,334 @@
+package pmem
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"h2tap/internal/sim"
+)
+
+func testPool(t *testing.T, capacity int64) *Pool {
+	t.Helper()
+	p, err := Create(filepath.Join(t.TempDir(), "test.pool"), capacity, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	p, err := Create(path, 1<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := p.Alloc(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off%64 != 0 {
+		t.Fatalf("allocation not cache-line aligned: %d", off)
+	}
+	if err := p.Store(off, []byte("hello persistent world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetRoot(off, 22); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	rOff, rLen := p2.Root()
+	if rOff != off || rLen != 22 {
+		t.Fatalf("recovered root = (%d, %d), want (%d, 22)", rOff, rLen, off)
+	}
+	if got := string(p2.View(rOff, rLen)); got != "hello persistent world" {
+		t.Fatalf("recovered data = %q", got)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk")
+	if err := os.WriteFile(path, make([]byte, 8192), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, sim.DefaultPMem()); !errors.Is(err, ErrBadPool) {
+		t.Fatalf("Open(garbage) = %v, want ErrBadPool", err)
+	}
+	if _, err := Open(filepath.Join(dir, "missing"), sim.DefaultPMem()); err == nil {
+		t.Fatal("Open(missing) succeeded")
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	p := testPool(t, headerSize+256)
+	if _, err := p.Alloc(200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Alloc(200); !errors.Is(err, ErrOutOfSpace) {
+		t.Fatalf("over-allocation = %v, want ErrOutOfSpace", err)
+	}
+}
+
+func TestAllocCursorSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	p, err := Create(path, 1<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.Alloc(100)
+	b, _ := p.Alloc(100)
+	if b <= a {
+		t.Fatalf("allocations overlap: %d then %d", a, b)
+	}
+	// Simulated crash: drop the Pool without Close. Write-through already
+	// made the cursor durable.
+	p.f.Close()
+
+	p2, err := Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	c, err := p2.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= b {
+		t.Fatalf("post-recovery allocation %d overlaps pre-crash %d", c, b)
+	}
+}
+
+func TestPersistChargesSimTime(t *testing.T) {
+	p := testPool(t, 1<<20)
+	p.ResetSimTime()
+	off, _ := p.Alloc(4096)
+	if err := p.Persist(off, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if p.SimTime() <= 0 {
+		t.Fatal("Persist charged no simulated time")
+	}
+	before := p.SimTime()
+	if err := p.Persist(off, 0); err != nil {
+		t.Fatal(err)
+	}
+	if p.SimTime() != before {
+		t.Fatal("zero-length persist charged time")
+	}
+}
+
+func TestUintFloatAccessors(t *testing.T) {
+	p := testPool(t, 1<<20)
+	off, _ := p.Alloc(64)
+	if err := p.PutUint64(off, 0xdeadbeefcafe); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GetUint64(off); got != 0xdeadbeefcafe {
+		t.Fatalf("GetUint64 = %#x", got)
+	}
+	if err := p.PutFloat64(off+8, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GetFloat64(off + 8); got != 3.25 {
+		t.Fatalf("GetFloat64 = %v", got)
+	}
+}
+
+func TestViewBoundsPanic(t *testing.T) {
+	p := testPool(t, 1<<20)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-bounds View did not panic")
+		}
+	}()
+	p.View(uint64(p.Capacity())-4, 8)
+}
+
+func TestVectorAppendReadRoundTrip(t *testing.T) {
+	p := testPool(t, 1<<22)
+	v, err := NewVector(p, 8, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	start, err := v.Reserve(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("first Reserve start = %d", start)
+	}
+	for i := uint64(0); i < n; i++ {
+		if err := v.PutUint64(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.CommitLen(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if got := v.GetUint64(i); got != i*i {
+			t.Fatalf("element %d = %d, want %d", i, got, i*i)
+		}
+	}
+	if v.Len() != n || v.DurableLen() != n {
+		t.Fatalf("Len = %d, DurableLen = %d, want %d", v.Len(), v.DurableLen(), n)
+	}
+}
+
+func TestVectorRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.pool")
+	p, err := Create(path, 1<<22, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewVector(p, 8, 8, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metaOff := v.Off()
+	for i := 0; i < 100; i++ {
+		idx, err := v.Reserve(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := v.PutUint64(idx, uint64(i)*7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Persist length for the first 60 only, then write 40 more without
+	// committing — those are lost on crash, as intended.
+	v.cursor.Store(60)
+	if err := v.CommitLen(); err != nil {
+		t.Fatal(err)
+	}
+	p.f.Close() // crash
+
+	p2, err := Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	v2, err := OpenVector(p2, metaOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() != 60 || v2.DurableLen() != 60 {
+		t.Fatalf("recovered length = %d/%d, want 60", v2.Len(), v2.DurableLen())
+	}
+	for i := uint64(0); i < 60; i++ {
+		if got := v2.GetUint64(i); got != i*7 {
+			t.Fatalf("recovered element %d = %d, want %d", i, got, i*7)
+		}
+	}
+	// The vector keeps working after recovery.
+	idx, err := v2.Reserve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 60 {
+		t.Fatalf("post-recovery append index = %d, want 60", idx)
+	}
+}
+
+func TestVectorFloatElements(t *testing.T) {
+	p := testPool(t, 1<<22)
+	v, err := NewVector(p, 8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := v.Reserve(3)
+	for i := uint64(0); i < 3; i++ {
+		if err := v.PutFloat64(idx+i, float64(i)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 3; i++ {
+		if got := v.GetFloat64(i); got != float64(i)+0.5 {
+			t.Fatalf("float element %d = %v", i, got)
+		}
+	}
+}
+
+func TestVectorDirectoryFull(t *testing.T) {
+	p := testPool(t, 1<<22)
+	v, err := NewVector(p, 8, 4, 2) // capacity 8 elements
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Reserve(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Reserve(1); !errors.Is(err, ErrVectorFull) {
+		t.Fatalf("over-reserve = %v, want ErrVectorFull", err)
+	}
+	if v.Len() != 8 {
+		t.Fatalf("failed Reserve leaked cursor: Len = %d", v.Len())
+	}
+}
+
+func TestVectorReset(t *testing.T) {
+	p := testPool(t, 1<<22)
+	v, err := NewVector(p, 8, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := v.Reserve(5)
+	_ = idx
+	v.CommitLen()
+	if err := v.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 0 || v.DurableLen() != 0 {
+		t.Fatalf("after Reset: Len = %d, DurableLen = %d", v.Len(), v.DurableLen())
+	}
+	idx2, err := v.Reserve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2 != 0 {
+		t.Fatalf("append after Reset at index %d, want 0", idx2)
+	}
+}
+
+func TestVectorWriteSizeMismatch(t *testing.T) {
+	p := testPool(t, 1<<22)
+	v, err := NewVector(p, 16, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Reserve(1)
+	if err := v.Write(0, make([]byte, 8)); err == nil {
+		t.Fatal("Write with wrong element size succeeded")
+	}
+	if err := v.Write(0, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Read(0); len(got) != 16 {
+		t.Fatalf("Read returned %d bytes", len(got))
+	}
+}
+
+func TestVectorGeometryValidation(t *testing.T) {
+	p := testPool(t, 1<<22)
+	if _, err := NewVector(p, 0, 4, 8); err == nil {
+		t.Fatal("zero element size accepted")
+	}
+	if _, err := NewVector(p, 8, 0, 8); err == nil {
+		t.Fatal("zero chunk size accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/delta"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+)
+
+func seedGraph(t *testing.T, n int) *graph.Store {
+	t.Helper()
+	s := graph.NewStore()
+	specs := make([]graph.NodeSpec, n)
+	for i := range specs {
+		specs[i] = graph.NodeSpec{Label: "P"}
+	}
+	if _, err := s.BulkLoad(specs, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCaptureStoresFullObjects(t *testing.T) {
+	s := seedGraph(t, 4)
+	rs := New(s)
+	s.AddCapturer(rs)
+
+	tx := s.Begin()
+	tx.AddRel(0, 1, "k", 1)
+	tx.AddRel(0, 2, "k", 2)
+	tx.Commit()
+	tx2 := s.Begin()
+	tx2.AddRel(0, 3, "k", 3)
+	tx2.Commit()
+
+	if rs.Records() != 2 {
+		t.Fatalf("records = %d, want 2 (one version row per txn)", rs.Records())
+	}
+	// Full-object rows: record image + full adjacency each time.
+	want := uint64(2*128 + (2+3)*16)
+	if rs.ArrayBytes() != want {
+		t.Fatalf("ArrayBytes = %d, want %d", rs.ArrayBytes(), want)
+	}
+}
+
+func TestFootprintExceedsDeltaFE(t *testing.T) {
+	s := seedGraph(t, 4)
+	rs := New(s)
+	fe := deltastore.NewVolatile()
+	s.AddCapturer(rs)
+	s.AddCapturer(fe)
+	tx := s.Begin()
+	tx.AddRel(0, 1, "k", 1)
+	tx.Commit()
+	if rs.ArrayBytes() < fe.ArrayBytes()*4 {
+		t.Fatalf("R footprint %d not ≫ DELTA_FE %d", rs.ArrayBytes(), fe.ArrayBytes())
+	}
+}
+
+func TestScanVisibilityAndConsumption(t *testing.T) {
+	s := seedGraph(t, 4)
+	rs := New(s)
+	s.AddCapturer(rs)
+	tx1 := s.Begin()
+	tx1.AddRel(0, 1, "k", 1)
+	tx1.Commit()
+	tx2 := s.Begin()
+	tx2.AddRel(2, 3, "k", 1)
+	tx2.Commit()
+
+	snap := rs.Scan(tx2.TS()) // tx2 invisible
+	if snap.Records != 1 || len(snap.Rows) != 1 || snap.Rows[0].Node != 0 {
+		t.Fatalf("snap = %+v", snap)
+	}
+	snap2 := rs.Scan(tx2.TS() + 1)
+	if snap2.Records != 1 || snap2.Rows[0].Node != 2 {
+		t.Fatalf("second cycle = %+v", snap2)
+	}
+	if again := rs.Scan(1 << 40); again.Records != 0 {
+		t.Fatal("re-consumed rows")
+	}
+}
+
+func TestNewestVersionWins(t *testing.T) {
+	s := seedGraph(t, 4)
+	rs := New(s)
+	s.AddCapturer(rs)
+	tx1 := s.Begin()
+	tx1.AddRel(0, 1, "k", 1)
+	tx1.Commit()
+	tx2 := s.Begin()
+	tx2.AddRel(0, 2, "k", 1)
+	tx2.Commit()
+	snap := rs.Scan(1 << 40)
+	if len(snap.Rows) != 1 || len(snap.Rows[0].Adj) != 2 {
+		t.Fatalf("newest full state should carry 2 edges: %+v", snap.Rows)
+	}
+}
+
+// R and DELTA_FE must converge to identical replicas over a random
+// transactional workload, each via its own merge path (the §6.8 comparison
+// is about cost, not semantics).
+func TestMergeMatchesDeltaFE(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := seedGraph(t, 16)
+		fe := deltastore.NewVolatile()
+		rs := New(s)
+		s.AddCapturer(fe)
+		s.AddCapturer(rs)
+		base := csr.Build(s, s.Oracle().LastCommitted())
+		feCSR, rCSR := base, base
+
+		r := rand.New(rand.NewSource(seed))
+		for cycle := 0; cycle < 4; cycle++ {
+			for q := 0; q < 40; q++ {
+				tx := s.Begin()
+				a := uint64(r.Intn(int(s.NumNodeSlots())))
+				var err error
+				switch r.Intn(8) {
+				case 0, 1, 2, 3:
+					_, err = tx.AddRel(a, uint64(r.Intn(int(s.NumNodeSlots()))), "k", float64(r.Intn(9)+1))
+				case 4, 5:
+					var id uint64
+					id, err = tx.AddNode("P", nil)
+					if err == nil {
+						_, err = tx.AddRel(a, id, "k", 1)
+					}
+				case 6:
+					rels, oerr := tx.OutRels(a)
+					if oerr != nil || len(rels) == 0 {
+						tx.Abort()
+						continue
+					}
+					err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+				case 7:
+					err = tx.DeleteNode(a)
+				}
+				if err != nil {
+					tx.Abort()
+					continue
+				}
+				tx.Commit()
+			}
+			tp := s.Oracle().Begin()
+			feBatch := fe.Scan(tp.TS())
+			rSnap := rs.Scan(tp.TS())
+			tp.Commit()
+			feCSR, _ = csr.Merge(feCSR, feBatch)
+			rCSR = MergeCSR(rCSR, rSnap)
+			if !csr.Equal(feCSR, rCSR) {
+				t.Fatalf("seed %d cycle %d: R and DELTA_FE replicas diverge", seed, cycle)
+			}
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := seedGraph(t, 2)
+	rs := New(s)
+	rs.Capture(&delta.TxDelta{TS: 1, Nodes: []delta.NodeDelta{{Node: 0, Inserted: true}}})
+	rs.Clear()
+	if rs.Records() != 0 || rs.ArrayBytes() != 0 {
+		t.Fatal("clear left data")
+	}
+}
+
+func TestEmptyDeltaIgnored(t *testing.T) {
+	s := seedGraph(t, 2)
+	rs := New(s)
+	rs.Capture(&delta.TxDelta{TS: 1})
+	if rs.Records() != 0 {
+		t.Fatal("empty delta stored")
+	}
+}

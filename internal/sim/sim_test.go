@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPCIeTransferLinearInBytes(t *testing.T) {
+	m := PCIeModel{Latency: Duration(time.Microsecond), BytesPerSec: 1e9}
+	d1 := m.Transfer(1e9) // 1 GB at 1 GB/s = 1s + latency
+	want := Duration(time.Second + time.Microsecond)
+	if d1 != want {
+		t.Fatalf("Transfer(1GB) = %v, want %v", d1, want)
+	}
+	if m.Transfer(0) != Duration(time.Microsecond) {
+		t.Fatalf("Transfer(0) should be pure latency, got %v", m.Transfer(0))
+	}
+}
+
+func TestPCIePinnedFactor(t *testing.T) {
+	m := PCIeModel{BytesPerSec: 1e9, PinnedFactor: 0.5}
+	if got, want := m.Transfer(1e9), Duration(500*time.Millisecond); got != want {
+		t.Fatalf("pinned Transfer = %v, want %v", got, want)
+	}
+}
+
+func TestTransferMonotone(t *testing.T) {
+	m := DefaultPCIe()
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.Transfer(x) <= m.Transfer(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelRun(t *testing.T) {
+	m := KernelModel{Launch: Duration(10 * time.Microsecond), WorkPerSec: 1e6}
+	if got, want := m.Run(1e6), Duration(time.Second+10*time.Microsecond); got != want {
+		t.Fatalf("Run = %v, want %v", got, want)
+	}
+	if m.Run(0) != Duration(10*time.Microsecond) {
+		t.Fatal("zero work should cost launch overhead only")
+	}
+}
+
+func TestMediaPersistCostLineRounding(t *testing.T) {
+	m := MediaModel{FlushLatency: Duration(100 * time.Nanosecond), LineSize: 64}
+	if m.PersistCost(0) != 0 {
+		t.Fatal("PersistCost(0) != 0")
+	}
+	if got, want := m.PersistCost(1), Duration(100*time.Nanosecond); got != want {
+		t.Fatalf("1 byte = %v, want one line %v", got, want)
+	}
+	if got, want := m.PersistCost(65), Duration(200*time.Nanosecond); got != want {
+		t.Fatalf("65 bytes = %v, want two lines %v", got, want)
+	}
+}
+
+func TestMediaDefaultLineSize(t *testing.T) {
+	m := MediaModel{FlushLatency: Duration(time.Nanosecond)}
+	if m.PersistCost(64) != m.PersistCost(1) {
+		t.Fatalf("default line size: 64 bytes %v vs 1 byte %v should match",
+			m.PersistCost(64), m.PersistCost(1))
+	}
+	if m.PersistCost(65) <= m.PersistCost(64) {
+		t.Fatal("crossing default line boundary should cost more")
+	}
+}
+
+func TestLatencyAccumulation(t *testing.T) {
+	var l Latency
+	l.AddWall(2 * time.Millisecond)
+	l.AddSim(Duration(3 * time.Millisecond))
+	l.Add(Latency{Wall: time.Millisecond, Sim: Duration(time.Millisecond)})
+	if l.Wall != 3*time.Millisecond || l.Sim != Duration(4*time.Millisecond) {
+		t.Fatalf("accumulated latency = %+v", l)
+	}
+	if l.Total() != 7*time.Millisecond {
+		t.Fatalf("Total = %v, want 7ms", l.Total())
+	}
+}
+
+func TestDefaultsCalibration(t *testing.T) {
+	// §6.6: SF10 CSR (~17.3 GB) copied to GPU in 720.64 ms. The default
+	// model should land in the same regime (±25%).
+	const sf10CSRBytes = 17.3e9
+	got := DefaultPCIe().Transfer(int64(sf10CSRBytes)).Seconds()
+	if got < 0.54 || got > 0.90 {
+		t.Fatalf("SF10 CSR transfer = %.3fs, want ≈0.72s", got)
+	}
+
+	// Table 1: BFS on Graph500 scale 24 (≈260M directed edges after dedup,
+	// counted once per traversal) ran in 0.07 s on the A100.
+	kb := DefaultKernels()[KernelBFS]
+	if got := kb.Run(260e6).Seconds(); got < 0.05 || got > 0.10 {
+		t.Fatalf("BFS kernel = %.3fs, want ≈0.07s", got)
+	}
+	// PR: 10 iterations over 260M edges in 0.30 s.
+	kp := DefaultKernels()[KernelPageRank]
+	if got := kp.Run(10 * 260e6).Seconds(); got < 0.2 || got > 0.45 {
+		t.Fatalf("PR kernel = %.3fs, want ≈0.30s", got)
+	}
+}
+
+func TestNegativeInputsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"transfer": func() { DefaultPCIe().Transfer(-1) },
+		"kernel":   func() { DefaultKernels()[KernelBFS].Run(-1) },
+		"zero-bw":  func() { (PCIeModel{}).Transfer(1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,130 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/graph"
+	"h2tap/internal/ldbc"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := graph.NewStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", map[string]graph.Value{
+		"name": graph.Str("ada"), "age": graph.Int(36),
+		"score": graph.Float(1.5), "vip": graph.Bool(true),
+	})
+	b, _ := tx.AddNode("Post", nil)
+	rid, _ := tx.AddRel(a, b, "likes", 2.5)
+	tx.SetRelProp(rid, "since", graph.Int(2020))
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, s, ts); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := graph.NewStore()
+	gotTS, err := Read(&buf, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTS != ts {
+		t.Fatalf("ts = %d, want %d", gotTS, ts)
+	}
+	if !csr.Equal(csr.Build(s2, s2.Oracle().LastCommitted()), csr.Build(s, ts)) {
+		t.Fatal("topology differs after round trip")
+	}
+	rt := s2.Begin()
+	defer rt.Abort()
+	if v, _ := rt.GetNodeProp(a, "age"); v.AsInt() != 36 {
+		t.Fatalf("age = %v", v)
+	}
+	if v, _ := rt.GetNodeProp(a, "vip"); !v.AsBool() {
+		t.Fatalf("vip = %v", v)
+	}
+	if v, _ := rt.GetRelProp(rid, "since"); v.AsInt() != 2020 {
+		t.Fatalf("since = %v", v)
+	}
+	info, _ := rt.GetRelInfo(rid)
+	if info.Weight != 2.5 {
+		t.Fatalf("weight = %v", info.Weight)
+	}
+}
+
+func TestRoundTripGeneratedGraph(t *testing.T) {
+	ds := ldbc.GenerateSNB(ldbc.SNBConfig{SF: 1, Downscale: 100, Seed: 1})
+	s := graph.NewStore()
+	ts, err := ds.Load(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, s, ts); err != nil {
+		t.Fatal(err)
+	}
+	s2 := graph.NewStore()
+	if _, err := Read(&buf, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LiveNodes() != s.LiveNodes() || s2.LiveRels() != s.LiveRels() {
+		t.Fatalf("counts differ: %d/%d vs %d/%d",
+			s2.LiveNodes(), s2.LiveRels(), s.LiveNodes(), s.LiveRels())
+	}
+}
+
+func TestUndirectedRoundTripAndMismatch(t *testing.T) {
+	s := graph.NewUndirectedStore()
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	tx.AddRel(a, b, "k", 1)
+	tx.Commit()
+	ts := s.Oracle().LastCommitted()
+	var buf bytes.Buffer
+	if err := Write(&buf, s, ts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Matching orientation loads fine, symmetry preserved.
+	s2 := graph.NewUndirectedStore()
+	if _, err := Read(bytes.NewReader(raw), s2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.OutEdgesAt(b, s2.Oracle().LastCommitted())) != 1 {
+		t.Fatal("symmetry lost")
+	}
+	// Orientation mismatch is rejected.
+	s3 := graph.NewStore()
+	if _, err := Read(bytes.NewReader(raw), s3); err == nil {
+		t.Fatal("orientation mismatch accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":      "",
+		"not-json":   "hello\n",
+		"bad-format": `{"format":"other","version":1}` + "\n",
+		"bad-count":  `{"format":"h2tap-snapshot","version":1,"nodes":5,"rels":0}` + "\n",
+		"bad-type": `{"format":"h2tap-snapshot","version":1,"nodes":0,"rels":0}` + "\n" +
+			`{"t":"blob","id":0}` + "\n",
+		"bad-kind": `{"format":"h2tap-snapshot","version":1,"nodes":1,"rels":0}` + "\n" +
+			`{"t":"node","id":0,"props":{"x":{"k":"complex"}}}` + "\n",
+	} {
+		s := graph.NewStore()
+		_, err := Read(strings.NewReader(in), s)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		if name == "bad-kind" && !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: err = %v, want ErrBadSnapshot", name, err)
+		}
+	}
+}

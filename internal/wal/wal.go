@@ -1,0 +1,288 @@
+// Package wal provides write-ahead logging and recovery for the main
+// property graph — the durability the paper's Poseidon store gets from
+// keeping the main graph in persistent memory (§6.1, §6.5). Committed
+// transactions append one length-prefixed, checksummed record carrying
+// their logical operations; Replay folds the log into the final graph state
+// and materializes it via graph.Store.Restore, ID-faithfully (holes from
+// aborted transactions stay holes).
+//
+// Crash consistency: a record is applied only if fully written and its
+// checksum matches; a torn tail is truncated, which is exactly the state an
+// uncommitted transaction should leave behind (the logger runs *before* the
+// MVTO commit publishes anything).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+)
+
+// ErrCorrupt reports a record whose checksum or structure is invalid before
+// the log's tail (tails are tolerated, interior corruption is not).
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only write-ahead log.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
+	buf  []byte
+}
+
+// Options configures Open.
+type Options struct {
+	// SyncEveryCommit fsyncs after each commit record (durability over
+	// throughput). Without it the OS decides when bytes hit the platter,
+	// as in most group-commit systems.
+	SyncEveryCommit bool
+}
+
+// Open opens or creates a log at path for appending.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, sync: opts.SyncEveryCommit}, nil
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+var _ graph.OpLogger = (*Log)(nil)
+
+// LogCommit appends one commit record with the transaction's operations.
+// It implements graph.OpLogger and runs before the commit publishes.
+func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = encodeCommit(l.buf[:0], ts, ops)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(l.buf)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(l.buf))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append header: %w", err)
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return fmt.Errorf("wal: append payload: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Payload encoding: ts u64, opCount u32, then per op:
+// kind u8, id u64, then kind-specific fields. Strings are u16 length +
+// bytes; values are kind u8 + payload; props are u16 count + (key, value).
+
+func encodeCommit(b []byte, ts mvto.TS, ops []graph.LoggedOp) []byte {
+	b = binary.LittleEndian.AppendUint64(b, uint64(ts))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
+	for i := range ops {
+		b = encodeOp(b, &ops[i])
+	}
+	return b
+}
+
+func encodeOp(b []byte, op *graph.LoggedOp) []byte {
+	b = append(b, byte(op.Kind))
+	b = binary.LittleEndian.AppendUint64(b, op.ID)
+	switch op.Kind {
+	case graph.OpAddNode:
+		b = appendString(b, op.Label)
+		b = appendProps(b, op.Props)
+	case graph.OpAddRel:
+		b = binary.LittleEndian.AppendUint64(b, op.Src)
+		b = binary.LittleEndian.AppendUint64(b, op.Dst)
+		b = appendString(b, op.Label)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(op.Weight))
+	case graph.OpDeleteNode, graph.OpDeleteRel:
+		// id only
+	case graph.OpSetNodeProp, graph.OpSetRelProp:
+		b = appendString(b, op.Key)
+		b = appendValue(b, op.Val)
+	case graph.OpSetRelWeight:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(op.Weight))
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func appendValue(b []byte, v graph.Value) []byte {
+	b = append(b, byte(v.Kind))
+	switch v.Kind {
+	case graph.KindInt, graph.KindBool:
+		b = binary.LittleEndian.AppendUint64(b, uint64(v.AsInt()))
+	case graph.KindFloat:
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.AsFloat()))
+	case graph.KindString:
+		b = appendString(b, v.AsString())
+	}
+	return b
+}
+
+func appendProps(b []byte, props map[string]graph.Value) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(props)))
+	for k, v := range props {
+		b = appendString(b, k)
+		b = appendValue(b, v)
+	}
+	return b
+}
+
+// decoder is a bounds-checked cursor over one record payload.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.b) {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) value() graph.Value {
+	switch graph.Kind(d.u8()) {
+	case graph.KindInt:
+		return graph.Int(int64(d.u64()))
+	case graph.KindBool:
+		return graph.Bool(d.u64() != 0)
+	case graph.KindFloat:
+		return graph.Float(math.Float64frombits(d.u64()))
+	case graph.KindString:
+		return graph.Str(d.str())
+	case graph.KindNil:
+		return graph.Value{}
+	default:
+		d.fail()
+		return graph.Value{}
+	}
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func decodeCommit(b []byte) (mvto.TS, []graph.LoggedOp, error) {
+	d := &decoder{b: b}
+	ts := mvto.TS(d.u64())
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > 1<<26 {
+		return 0, nil, ErrCorrupt
+	}
+	ops := make([]graph.LoggedOp, 0, n)
+	for i := 0; i < n; i++ {
+		var op graph.LoggedOp
+		op.Kind = graph.OpKind(d.u8())
+		op.ID = d.u64()
+		switch op.Kind {
+		case graph.OpAddNode:
+			op.Label = d.str()
+			if cnt := int(d.u16()); cnt > 0 {
+				op.Props = make(map[string]graph.Value, cnt)
+				for j := 0; j < cnt; j++ {
+					k := d.str()
+					op.Props[k] = d.value()
+				}
+			}
+		case graph.OpAddRel:
+			op.Src = d.u64()
+			op.Dst = d.u64()
+			op.Label = d.str()
+			op.Weight = math.Float64frombits(d.u64())
+		case graph.OpDeleteNode, graph.OpDeleteRel:
+		case graph.OpSetNodeProp, graph.OpSetRelProp:
+			op.Key = d.str()
+			op.Val = d.value()
+		case graph.OpSetRelWeight:
+			op.Weight = math.Float64frombits(d.u64())
+		default:
+			return 0, nil, ErrCorrupt
+		}
+		if d.err != nil {
+			return 0, nil, d.err
+		}
+		ops = append(ops, op)
+	}
+	if d.off != len(b) {
+		return 0, nil, ErrCorrupt
+	}
+	return ts, ops, nil
+}

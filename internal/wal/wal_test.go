@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/graph"
+)
+
+func openLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.wal")
+	l, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func TestLogReplayRoundTrip(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+
+	tx := s.Begin()
+	a, _ := tx.AddNode("Person", map[string]graph.Value{
+		"name": graph.Str("ada"), "age": graph.Int(36),
+		"score": graph.Float(2.5), "vip": graph.Bool(true),
+	})
+	b, _ := tx.AddNode("Post", nil)
+	rid, _ := tx.AddRel(a, b, "likes", 2)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := s.Begin()
+	tx2.SetNodeProp(a, "age", graph.Int(37))
+	tx2.SetRelWeight(rid, 9)
+	tx2.SetRelProp(rid, "since", graph.Int(2020))
+	tx2.Commit()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh store.
+	s2 := graph.NewStore()
+	maxTS, err := Replay(path, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxTS == 0 {
+		t.Fatal("no timestamp recovered")
+	}
+	ts := s2.Oracle().LastCommitted()
+	if s2.LiveNodes() != 2 || s2.LiveRels() != 1 {
+		t.Fatalf("recovered %d/%d", s2.LiveNodes(), s2.LiveRels())
+	}
+	rt := s2.Begin()
+	defer rt.Abort()
+	if v, _ := rt.GetNodeProp(a, "age"); v.AsInt() != 37 {
+		t.Fatalf("age = %v", v)
+	}
+	if v, _ := rt.GetNodeProp(a, "name"); v.AsString() != "ada" {
+		t.Fatalf("name = %v", v)
+	}
+	if v, _ := rt.GetNodeProp(a, "vip"); !v.AsBool() {
+		t.Fatalf("vip = %v", v)
+	}
+	if v, _ := rt.GetRelProp(rid, "since"); v.AsInt() != 2020 {
+		t.Fatalf("since = %v", v)
+	}
+	edges := s2.OutEdgesAt(a, ts)
+	if len(edges) != 1 || edges[0].Dst != b || edges[0].W != 9 {
+		t.Fatalf("recovered edges = %+v", edges)
+	}
+	// New transactions work and are newer than everything replayed.
+	tx3 := s2.Begin()
+	if tx3.TS() <= maxTS {
+		t.Fatalf("post-recovery ts %d not beyond %d", tx3.TS(), maxTS)
+	}
+	if _, err := tx3.AddRel(b, a, "replyOf", 1); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+}
+
+func TestReplayIDFaithfulAcrossAborts(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+
+	tx := s.Begin()
+	tx.AddNode("P", nil) // id 0
+	tx.Commit()
+	ab := s.Begin()
+	ab.AddNode("P", nil) // id 1, aborted → hole
+	ab.Abort()
+	tx2 := s.Begin()
+	id2, _ := tx2.AddNode("P", nil) // id 2
+	tx2.Commit()
+	if id2 != 2 {
+		t.Fatalf("id2 = %d", id2)
+	}
+	l.Close()
+
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	ts := s2.Oracle().LastCommitted()
+	if !s2.NodeExistsAt(0, ts) || s2.NodeExistsAt(1, ts) || !s2.NodeExistsAt(2, ts) {
+		t.Fatal("ID placement not faithful: hole from aborted txn lost")
+	}
+	if s2.NumNodeSlots() != 3 {
+		t.Fatalf("slots = %d", s2.NumNodeSlots())
+	}
+}
+
+func TestReplayAfterDeletes(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+
+	tx := s.Begin()
+	a, _ := tx.AddNode("P", nil)
+	b, _ := tx.AddNode("P", nil)
+	c, _ := tx.AddNode("P", nil)
+	tx.AddRel(a, b, "k", 1)
+	tx.AddRel(b, c, "k", 1)
+	tx.AddRel(c, a, "k", 1)
+	tx.Commit()
+	del := s.Begin()
+	if err := del.DeleteNode(b); err != nil { // cascades both b-edges
+		t.Fatal(err)
+	}
+	del.Commit()
+	l.Close()
+
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	// Recovered graph must equal the original's final snapshot, CSR-wise.
+	want := csr.Build(s, s.Oracle().LastCommitted())
+	got := csr.Build(s2, s2.Oracle().LastCommitted())
+	if !csr.Equal(got, want) {
+		t.Fatal("recovered topology differs")
+	}
+	if s2.LiveNodes() != 2 || s2.LiveRels() != 1 {
+		t.Fatalf("recovered live = %d/%d", s2.LiveNodes(), s2.LiveRels())
+	}
+}
+
+func TestReplayBulkLoad(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+	_, err := s.BulkLoad(
+		[]graph.NodeSpec{{Label: "A"}, {Label: "B"}},
+		[]graph.EdgeSpec{{Src: 0, Dst: 1, Label: "e", Weight: 3}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	ts := s2.Oracle().LastCommitted()
+	if got := s2.OutEdgesAt(0, ts); len(got) != 1 || got[0].W != 3 {
+		t.Fatalf("bulk recovery edges = %+v", got)
+	}
+	if lbl, _ := s2.NodeLabelAt(1, ts); lbl != "B" {
+		t.Fatalf("label = %q", lbl)
+	}
+}
+
+func TestTornTailTolerated(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+	tx := s.Begin()
+	tx.AddNode("P", nil)
+	tx.Commit()
+	tx2 := s.Begin()
+	tx2.AddNode("P", nil)
+	tx2.Commit()
+	l.Close()
+
+	// Chop bytes off the end: the last record becomes torn.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LiveNodes() != 1 {
+		t.Fatalf("torn-tail recovery kept %d nodes, want the intact prefix (1)", s2.LiveNodes())
+	}
+}
+
+func TestCorruptTailStopsReplay(t *testing.T) {
+	l, path := openLog(t)
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+	tx := s.Begin()
+	tx.AddNode("P", nil)
+	tx.Commit()
+	l.Close()
+
+	// Flip a payload byte: checksum fails, record dropped.
+	b, _ := os.ReadFile(path)
+	b[len(b)-1] ^= 0xff
+	os.WriteFile(path, b, 0o644)
+
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LiveNodes() != 0 {
+		t.Fatal("corrupt record applied")
+	}
+}
+
+func TestSyncEveryCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.wal")
+	l, err := Open(path, Options{SyncEveryCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+	tx := s.Begin()
+	tx.AddNode("P", nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	s2 := graph.NewStore()
+	if _, err := Replay(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LiveNodes() != 1 {
+		t.Fatal("synced commit lost")
+	}
+}
+
+// Property: a random committed workload recovers to a topology identical to
+// the live store's final snapshot, and the recovered store keeps working
+// (merge==rebuild machinery intact).
+func TestReplayEquivalenceRandomWorkload(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		l, path := openLog(t)
+		s := graph.NewStore()
+		s.AddOpLogger(l)
+		specs := make([]graph.NodeSpec, 12)
+		for i := range specs {
+			specs[i] = graph.NodeSpec{Label: "P"}
+		}
+		if _, err := s.BulkLoad(specs, nil); err != nil {
+			t.Fatal(err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			tx := s.Begin()
+			a := uint64(r.Intn(int(s.NumNodeSlots())))
+			var err error
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				_, err = tx.AddRel(a, uint64(r.Intn(int(s.NumNodeSlots()))), "k", float64(r.Intn(9)+1))
+			case 4, 5:
+				var id uint64
+				id, err = tx.AddNode("P", map[string]graph.Value{"i": graph.Int(int64(i))})
+				if err == nil {
+					_, err = tx.AddRel(a, id, "k", 1)
+				}
+			case 6:
+				rels, oerr := tx.OutRels(a)
+				if oerr != nil || len(rels) == 0 {
+					tx.Abort()
+					continue
+				}
+				err = tx.DeleteRel(rels[r.Intn(len(rels))].ID)
+			case 7:
+				err = tx.DeleteNode(a)
+			case 8:
+				err = tx.SetNodeProp(a, "x", graph.Int(int64(i)))
+			case 9:
+				rels, oerr := tx.OutRels(a)
+				if oerr != nil || len(rels) == 0 {
+					tx.Abort()
+					continue
+				}
+				err = tx.SetRelWeight(rels[0].ID, float64(r.Intn(9)+1))
+			}
+			if err != nil {
+				tx.Abort()
+				continue
+			}
+			tx.Commit()
+		}
+		l.Close()
+
+		s2 := graph.NewStore()
+		if _, err := Replay(path, s2); err != nil {
+			t.Fatal(err)
+		}
+		want := csr.Build(s, s.Oracle().LastCommitted())
+		got := csr.Build(s2, s2.Oracle().LastCommitted())
+		if !csr.Equal(got, want) {
+			t.Fatalf("seed %d: recovered topology differs", seed)
+		}
+		if s2.LiveNodes() != s.LiveNodes() || s2.LiveRels() != s.LiveRels() {
+			t.Fatalf("seed %d: live counts differ: %d/%d vs %d/%d", seed,
+				s2.LiveNodes(), s2.LiveRels(), s.LiveNodes(), s.LiveRels())
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ops := []graph.LoggedOp{
+		{Kind: graph.OpAddNode, ID: 7, Label: "Person", Props: map[string]graph.Value{
+			"s": graph.Str("x"), "i": graph.Int(-5), "f": graph.Float(1.25), "b": graph.Bool(true),
+		}},
+		{Kind: graph.OpAddRel, ID: 3, Src: 7, Dst: 9, Label: "knows", Weight: 2.5},
+		{Kind: graph.OpDeleteRel, ID: 3},
+		{Kind: graph.OpDeleteNode, ID: 9},
+		{Kind: graph.OpSetNodeProp, ID: 7, Key: "k", Val: graph.Int(1)},
+		{Kind: graph.OpSetRelWeight, ID: 3, Weight: 4},
+	}
+	b := encodeCommit(nil, 42, ops)
+	ts, got, err := decodeCommit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts != 42 {
+		t.Fatalf("ts = %d", ts)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("round trip differs:\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := decodeCommit([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	good := encodeCommit(nil, 1, []graph.LoggedOp{{Kind: graph.OpDeleteNode, ID: 1}})
+	if _, _, err := decodeCommit(append(good, 0xff)); err == nil {
+		t.Fatal("trailing junk accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package workload implements the transactional update workload of §6.2:
+// four basic update operations centered on the update types that alter the
+// replica — Insert Relationship (a Person likes a Post), Insert Node (a new
+// Person with an incoming knows edge), Delete Relationship (one outgoing
+// edge of a Person) and Delete Node (a Person with all its edges) — plus
+// the degree-window selection (LoDeg/HiDeg) and the mixed workload
+// composition of §6.3 (66% / 22% / 11% / 1%).
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/ldbc"
+	"h2tap/internal/mvto"
+)
+
+// OpKind identifies one of the four update operations.
+type OpKind int
+
+// The four §6.2 operations.
+const (
+	InsertRel OpKind = iota
+	InsertNode
+	DeleteRel
+	DeleteNode
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case InsertRel:
+		return "insert-relationship"
+	case InsertNode:
+		return "insert-node"
+	case DeleteRel:
+		return "delete-relationship"
+	case DeleteNode:
+		return "delete-node"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one transactional update query.
+type Op struct {
+	Kind OpKind
+	Src  graph.NodeID // the Person the operation centers on
+	Dst  graph.NodeID // InsertRel: the Post to like
+	W    float64
+}
+
+// WindowKind selects which end of the degree distribution the update window
+// slides over (§6.3: LoDeg / HiDeg).
+type WindowKind int
+
+// Window kinds.
+const (
+	LoDeg WindowKind = iota
+	HiDeg
+)
+
+// String names the window.
+func (w WindowKind) String() string {
+	if w == HiDeg {
+		return "HiDeg"
+	}
+	return "LoDeg"
+}
+
+// DegreeWindow sorts the candidate nodes by out-degree at ts and returns a
+// window of the requested size from the low or high end.
+func DegreeWindow(s *graph.Store, ts mvto.TS, candidates []graph.NodeID, kind WindowKind, size int) []graph.NodeID {
+	type nd struct {
+		id  graph.NodeID
+		deg int
+	}
+	all := make([]nd, len(candidates))
+	for i, id := range candidates {
+		all[i] = nd{id: id, deg: s.DegreeAt(id, ts)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].deg != all[j].deg {
+			return all[i].deg < all[j].deg
+		}
+		return all[i].id < all[j].id
+	})
+	if size > len(all) {
+		size = len(all)
+	}
+	out := make([]graph.NodeID, size)
+	if kind == LoDeg {
+		for i := 0; i < size; i++ {
+			out[i] = all[i].id
+		}
+	} else {
+		for i := 0; i < size; i++ {
+			out[i] = all[len(all)-size+i].id
+		}
+	}
+	return out
+}
+
+// Generator produces operation streams over a loaded dataset, selecting
+// subject Persons from a degree window.
+type Generator struct {
+	window []graph.NodeID
+	posts  []graph.NodeID
+	rng    *rand.Rand
+	// deleted tracks nodes consumed by DeleteNode ops so subsequent ops do
+	// not target them.
+	deleted map[graph.NodeID]bool
+}
+
+// NewGenerator returns a generator picking subjects from window and liked
+// posts from posts.
+func NewGenerator(window, posts []graph.NodeID, seed int64) *Generator {
+	if len(window) == 0 {
+		panic("workload: empty update window")
+	}
+	return &Generator{
+		window:  window,
+		posts:   posts,
+		rng:     rand.New(rand.NewSource(seed)),
+		deleted: make(map[graph.NodeID]bool),
+	}
+}
+
+func (g *Generator) pick() graph.NodeID {
+	for try := 0; try < 64; try++ {
+		id := g.window[g.rng.Intn(len(g.window))]
+		if !g.deleted[id] {
+			return id
+		}
+	}
+	return g.window[g.rng.Intn(len(g.window))]
+}
+
+// Next produces one operation of the given kind.
+func (g *Generator) Next(kind OpKind) Op {
+	op := Op{Kind: kind, Src: g.pick(), W: 1 + float64(g.rng.Intn(9))}
+	switch kind {
+	case InsertRel:
+		if len(g.posts) == 0 {
+			panic("workload: InsertRel requires posts")
+		}
+		op.Dst = g.posts[g.rng.Intn(len(g.posts))]
+	case DeleteNode:
+		g.deleted[op.Src] = true
+	}
+	return op
+}
+
+// Ops produces n operations of one kind (the single-type panels of Fig 3).
+func (g *Generator) Ops(kind OpKind, n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		out[i] = g.Next(kind)
+	}
+	return out
+}
+
+// Mixed produces the §6.3 mixed workload: 66% insert relationship, 22%
+// insert node, 11% delete relationship, 1% delete node.
+func (g *Generator) Mixed(n int) []Op {
+	out := make([]Op, n)
+	for i := range out {
+		p := g.rng.Intn(100)
+		var k OpKind
+		switch {
+		case p < 66:
+			k = InsertRel
+		case p < 88:
+			k = InsertNode
+		case p < 99:
+			k = DeleteRel
+		default:
+			k = DeleteNode
+		}
+		out[i] = g.Next(k)
+	}
+	return out
+}
+
+// Result summarizes a workload run.
+type Result struct {
+	Committed int
+	Aborted   int
+	Skipped   int // ops with nothing to do (e.g. DeleteRel on a bare node)
+	Duration  time.Duration
+}
+
+// Run executes the operations as transactional queries against the store,
+// one transaction per operation, and reports the total transactional update
+// time — the Fig 3/6/8 metric. Conflicted or inapplicable operations abort;
+// the paper's workloads are single-client so aborts stay rare.
+func Run(s *graph.Store, ops []Op) Result {
+	var res Result
+	start := time.Now()
+	for i := range ops {
+		op := &ops[i]
+		tx := s.Begin()
+		err := apply(tx, op)
+		switch {
+		case err == nil:
+			if cerr := tx.Commit(); cerr != nil {
+				res.Aborted++
+			} else {
+				res.Committed++
+			}
+		case errors.Is(err, errNothingToDo):
+			tx.Abort()
+			res.Skipped++
+		default:
+			tx.Abort()
+			res.Aborted++
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// RunParallel executes the operations with the given number of concurrent
+// clients, one transaction per operation, ops partitioned round-robin.
+// Aborted operations (MVTO conflicts between clients) are counted, not
+// retried. This is the multi-client path that exercises the delta store's
+// contention-free appends (§5.1 benefit 2).
+func RunParallel(s *graph.Store, ops []Op, clients int) Result {
+	if clients < 1 {
+		clients = 1
+	}
+	results := make([]Result, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			for i := c; i < len(ops); i += clients {
+				tx := s.Begin()
+				err := apply(tx, &ops[i])
+				switch {
+				case err == nil:
+					if cerr := tx.Commit(); cerr != nil {
+						res.Aborted++
+					} else {
+						res.Committed++
+					}
+				case errors.Is(err, errNothingToDo):
+					tx.Abort()
+					res.Skipped++
+				default:
+					tx.Abort()
+					res.Aborted++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	var total Result
+	for _, r := range results {
+		total.Committed += r.Committed
+		total.Aborted += r.Aborted
+		total.Skipped += r.Skipped
+	}
+	total.Duration = time.Since(start)
+	return total
+}
+
+// ApplyOne executes a single operation as its own transaction, reporting
+// whether it committed. Benchmarks drive bounded op streams through it.
+func ApplyOne(s *graph.Store, op *Op) bool {
+	tx := s.Begin()
+	if err := apply(tx, op); err != nil {
+		tx.Abort()
+		return false
+	}
+	return tx.Commit() == nil
+}
+
+var errNothingToDo = errors.New("workload: nothing to do")
+
+func apply(tx *graph.Tx, op *Op) error {
+	switch op.Kind {
+	case InsertRel:
+		// §6.2: retrieve the Person and the Post, connect with `likes`.
+		if !tx.NodeExists(op.Src) || !tx.NodeExists(op.Dst) {
+			return errNothingToDo
+		}
+		_, err := tx.AddRel(op.Src, op.Dst, ldbc.RelLikes, op.W)
+		if errors.Is(err, graph.ErrDuplicateEdge) {
+			return errNothingToDo
+		}
+		return err
+	case InsertNode:
+		// §6.2: create a Person and an incoming `knows` edge from an
+		// existing Person.
+		if !tx.NodeExists(op.Src) {
+			return errNothingToDo
+		}
+		id, err := tx.AddNode(ldbc.LabelPerson, nil)
+		if err != nil {
+			return err
+		}
+		_, err = tx.AddRel(op.Src, id, ldbc.RelKnows, op.W)
+		return err
+	case DeleteRel:
+		// §6.2: delete one outgoing relationship of the Person.
+		rels, err := tx.OutRels(op.Src)
+		if err != nil {
+			return errNothingToDo
+		}
+		if len(rels) == 0 {
+			return errNothingToDo
+		}
+		return tx.DeleteRel(rels[0].ID)
+	case DeleteNode:
+		// §6.2: remove all edges of the Person, then the node.
+		if !tx.NodeExists(op.Src) {
+			return errNothingToDo
+		}
+		return tx.DeleteNode(op.Src)
+	default:
+		return fmt.Errorf("workload: unknown op kind %d", op.Kind)
+	}
+}

@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"testing"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+	"h2tap/internal/ldbc"
+	"h2tap/internal/mvto"
+)
+
+func loadSmall(t *testing.T) (*graph.Store, *ldbc.Dataset, mvto.TS) {
+	t.Helper()
+	d := ldbc.GenerateSNB(ldbc.SNBConfig{SF: 1, Downscale: 100, Seed: 1})
+	s := graph.NewStore()
+	ts, err := d.Load(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d, ts
+}
+
+func TestDegreeWindowEnds(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	lo := DegreeWindow(s, ts, d.Persons, LoDeg, 10)
+	hi := DegreeWindow(s, ts, d.Persons, HiDeg, 10)
+	if len(lo) != 10 || len(hi) != 10 {
+		t.Fatalf("window sizes %d/%d", len(lo), len(hi))
+	}
+	maxLo, minHi := -1, 1<<30
+	for _, id := range lo {
+		if dg := s.DegreeAt(id, ts); dg > maxLo {
+			maxLo = dg
+		}
+	}
+	for _, id := range hi {
+		if dg := s.DegreeAt(id, ts); dg < minHi {
+			minHi = dg
+		}
+	}
+	if maxLo > minHi {
+		t.Fatalf("LoDeg max %d exceeds HiDeg min %d", maxLo, minHi)
+	}
+	// Oversized request clamps.
+	all := DegreeWindow(s, ts, d.Persons, LoDeg, 1<<20)
+	if len(all) != len(d.Persons) {
+		t.Fatalf("clamped window = %d", len(all))
+	}
+}
+
+func TestMixedDistribution(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	_ = s
+	g := NewGenerator(DegreeWindow(s, ts, d.Persons, HiDeg, 50), d.Posts, 42)
+	ops := g.Mixed(10000)
+	counts := map[OpKind]int{}
+	for _, op := range ops {
+		counts[op.Kind]++
+	}
+	// §6.3 distribution: 66/22/11/1 within a few points.
+	within := func(got, want, tol int) bool { return got > want-tol && got < want+tol }
+	if !within(counts[InsertRel], 6600, 400) ||
+		!within(counts[InsertNode], 2200, 400) ||
+		!within(counts[DeleteRel], 1100, 300) ||
+		!within(counts[DeleteNode], 100, 80) {
+		t.Fatalf("mixed distribution = %v", counts)
+	}
+}
+
+func TestRunInsertRel(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	g := NewGenerator(DegreeWindow(s, ts, d.Persons, HiDeg, 20), d.Posts, 1)
+	before := s.LiveRels()
+	res := Run(s, g.Ops(InsertRel, 200))
+	if res.Committed == 0 {
+		t.Fatal("no insert-rel committed")
+	}
+	if s.LiveRels() != before+int64(res.Committed) {
+		t.Fatalf("rels = %d, want %d", s.LiveRels(), before+int64(res.Committed))
+	}
+	if res.Committed+res.Aborted+res.Skipped != 200 {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+}
+
+func TestRunInsertNode(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	g := NewGenerator(DegreeWindow(s, ts, d.Persons, LoDeg, 20), d.Posts, 1)
+	beforeNodes := s.LiveNodes()
+	res := Run(s, g.Ops(InsertNode, 100))
+	if res.Committed != 100 {
+		t.Fatalf("insert-node committed = %d, want 100 (%+v)", res.Committed, res)
+	}
+	if s.LiveNodes() != beforeNodes+100 {
+		t.Fatalf("nodes = %d", s.LiveNodes())
+	}
+}
+
+func TestRunDeleteRelExhausts(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	window := DegreeWindow(s, ts, d.Persons, HiDeg, 5)
+	var totalDeg int
+	for _, id := range window {
+		totalDeg += s.DegreeAt(id, ts)
+	}
+	g := NewGenerator(window, d.Posts, 1)
+	res := Run(s, g.Ops(DeleteRel, totalDeg+50))
+	if res.Committed != totalDeg {
+		t.Fatalf("deleted %d rels, want %d (window out-degree; rest skipped)", res.Committed, totalDeg)
+	}
+	if res.Skipped != 50 {
+		t.Fatalf("skipped = %d, want 50", res.Skipped)
+	}
+}
+
+func TestRunDeleteNode(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	window := DegreeWindow(s, ts, d.Persons, HiDeg, 10)
+	g := NewGenerator(window, d.Posts, 1)
+	res := Run(s, g.Ops(DeleteNode, 10))
+	// Each window node deleted exactly once; the generator avoids reuse.
+	if res.Committed != 10 {
+		t.Fatalf("delete-node committed = %d (%+v)", res.Committed, res)
+	}
+	cur := s.Oracle().LastCommitted()
+	for _, id := range window {
+		if s.NodeExistsAt(id, cur) {
+			t.Fatalf("node %d survived", id)
+		}
+	}
+}
+
+func TestRunFeedsDeltaStoreAndReplicaConverges(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	store := deltastore.NewVolatile()
+	s.AddCapturer(store)
+	replica := csr.Build(s, ts)
+
+	g := NewGenerator(DegreeWindow(s, ts, d.Persons, HiDeg, 30), d.Posts, 3)
+	res := Run(s, g.Mixed(500))
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if store.Records() == 0 {
+		t.Fatal("no deltas captured")
+	}
+
+	tp := s.Oracle().Begin()
+	batch := store.Scan(tp.TS())
+	merged, _ := csr.Merge(replica, batch)
+	rebuilt := csr.Build(s, tp.TS()-1)
+	tp.Commit()
+	if !csr.Equal(merged, rebuilt) {
+		t.Fatal("replica diverged from main graph after mixed workload")
+	}
+}
+
+func TestRunParallelConsistency(t *testing.T) {
+	s, d, ts := loadSmall(t)
+	store := deltastore.NewVolatile()
+	s.AddCapturer(store)
+	replica := csr.Build(s, ts)
+
+	g := NewGenerator(DegreeWindow(s, ts, d.Persons, HiDeg, 40), d.Posts, 5)
+	ops := g.Mixed(1000)
+	res := RunParallel(s, ops, 8)
+	if res.Committed == 0 {
+		t.Fatal("nothing committed in parallel")
+	}
+	if res.Committed+res.Aborted+res.Skipped != 1000 {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+	// The contention-free delta store must still yield a consistent
+	// replica: merge == rebuild after a concurrent commit storm.
+	tp := s.Oracle().Begin()
+	batch := store.Scan(tp.TS())
+	merged, _ := csr.Merge(replica, batch)
+	rebuilt := csr.Build(s, tp.TS()-1)
+	tp.Commit()
+	if !csr.Equal(merged, rebuilt) {
+		t.Fatal("replica diverged after parallel workload")
+	}
+	t.Logf("parallel: %d committed, %d aborted, %d skipped", res.Committed, res.Aborted, res.Skipped)
+}
+
+func TestOpKindStrings(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		InsertRel: "insert-relationship", InsertNode: "insert-node",
+		DeleteRel: "delete-relationship", DeleteNode: "delete-node",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if LoDeg.String() != "LoDeg" || HiDeg.String() != "HiDeg" {
+		t.Error("window names wrong")
+	}
+}
+
+func TestEmptyWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGenerator(nil, nil, 1)
+}
