@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: verify build vet test race crash crash-full clean
+
+# verify is the CI entry point: static checks, the full test suite, race
+# detection on the concurrency-heavy packages, and a short-budget
+# crash-point enumeration (an evenly spaced sample of injected crashes; run
+# crash-full for every point).
+verify: vet build test race crash
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/deltastore ./internal/htap ./internal/mvto ./internal/wal
+
+crash:
+	$(GO) test -short ./internal/crashtest
+
+crash-full:
+	$(GO) test ./internal/crashtest
+
+clean:
+	$(GO) clean ./...

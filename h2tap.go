@@ -38,8 +38,14 @@ import (
 	"h2tap/internal/mvto"
 	"h2tap/internal/pmem"
 	"h2tap/internal/sim"
+	"h2tap/internal/vfs"
 	"h2tap/internal/wal"
 )
+
+// FS is the injectable filesystem surface the durability layers run on.
+// Tests (notably internal/crashtest) substitute a fault-injecting one so
+// the production persistence paths are what gets crashed.
+type FS = vfs.FS
 
 // Re-exported types: the facade keeps user code inside this package.
 type (
@@ -117,6 +123,13 @@ type Options struct {
 	Damping       float64
 	// Device overrides the simulated GPU (default: an A100-like device).
 	Device *gpu.Device
+	// SyncWAL fsyncs the write-ahead log after every commit (durability
+	// over throughput); without it the OS decides when bytes hit stable
+	// storage.
+	SyncWAL bool
+	// FS overrides the filesystem the WAL and persistent pools use (nil
+	// selects the real one). The crash-fault harness injects one here.
+	FS FS
 }
 
 // DB is an open H2TAP database.
@@ -133,11 +146,40 @@ type DB struct {
 	engine     *htap.Engine
 	engineErr  error
 	queue      *htap.Queue
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// poolsSentinel marks a fully initialized pool pair. It is created (and its
+// directory fsynced) only after both pools and the delta store root exist,
+// so a crash anywhere inside initialization — including between the two
+// pool creations — is detected on the next Open and the partial pools are
+// recreated rather than half-recovered.
+const poolsSentinel = "pools.ok"
+
+// deltaGuard aborts commits once the persistent delta store has hit a PMem
+// write failure: continuing would let the volatile store diverge from what
+// a recovery could rebuild. It is registered before the WAL logger, so a
+// broken persistence layer stops commits before they reach the log.
+type deltaGuard struct{ ds *deltastore.Store }
+
+func (g deltaGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
+	if err := g.ds.PersistErr(); err != nil {
+		return fmt.Errorf("h2tap: persistent delta store failed: %w", err)
+	}
+	return nil
 }
 
 // Open creates an empty database. Load data with Begin/Commit transactions
 // or BulkLoad, then run analytics; the replica engine starts lazily on the
 // first analytics call (or explicitly via StartEngine).
+//
+// With PersistDir set, Open is also the recovery path (§6.5): the main
+// graph is replayed from its write-ahead log (torn tails trimmed, interior
+// corruption rejected with wal.ErrCorrupt), the persistent delta store
+// resumes at its durable prefix, and the first replica build consumes
+// whatever that prefix already covers.
 func Open(opts Options) (*DB, error) {
 	db := &DB{opts: opts}
 	if opts.Undirected {
@@ -145,58 +187,107 @@ func Open(opts Options) (*DB, error) {
 	} else {
 		db.store = graph.NewStore()
 	}
-	if opts.PersistDir != "" {
-		size := opts.PersistPoolSize
-		if size == 0 {
-			size = 1 << 30
+	if opts.PersistDir == "" {
+		db.ds = deltastore.NewVolatile()
+		db.store.AddCapturer(db.ds)
+		return db, nil
+	}
+
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	size := opts.PersistPoolSize
+	if size == 0 {
+		size = 1 << 30
+	}
+	if err := fsys.MkdirAll(opts.PersistDir, 0o755); err != nil {
+		return nil, fmt.Errorf("h2tap: persist dir: %w", err)
+	}
+	deltaPath := filepath.Join(opts.PersistDir, "delta.pool")
+	csrPath := filepath.Join(opts.PersistDir, "csr.pool")
+	walPath := filepath.Join(opts.PersistDir, "graph.wal")
+	sentinelPath := filepath.Join(opts.PersistDir, poolsSentinel)
+
+	// Delta-store pools first: a fresh pair is only trusted once the
+	// sentinel exists, so partially created pools from a mid-init crash are
+	// wiped and rebuilt instead of opened.
+	var err error
+	if _, serr := fsys.Stat(sentinelPath); serr == nil {
+		// Existing pools: recover (§6.5 instant recovery). The delta store
+		// resumes with its durable records; the engine's initial replica
+		// build consumes whatever the replica already covers.
+		if db.deltaPool, err = pmem.OpenOn(fsys, deltaPath, sim.DefaultPMem()); err != nil {
+			return nil, err
 		}
-		if err := os.MkdirAll(opts.PersistDir, 0o755); err != nil {
-			return nil, fmt.Errorf("h2tap: persist dir: %w", err)
+		if db.csrPool, err = pmem.OpenOn(fsys, csrPath, sim.DefaultPMem()); err != nil {
+			return nil, err
 		}
-		deltaPath := filepath.Join(opts.PersistDir, "delta.pool")
-		csrPath := filepath.Join(opts.PersistDir, "csr.pool")
-		walPath := filepath.Join(opts.PersistDir, "graph.wal")
-		if _, err := os.Stat(walPath); err == nil {
-			// Recover the main graph from its write-ahead log before
-			// anything else touches the store.
-			if _, err := wal.Replay(walPath, db.store); err != nil {
+		if db.ds, err = deltastore.OpenPersistent(db.deltaPool); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, stale := range []string{deltaPath, csrPath} {
+			if _, err := fsys.Stat(stale); err == nil {
+				if err := fsys.Remove(stale); err != nil {
+					return nil, fmt.Errorf("h2tap: remove partial pool: %w", err)
+				}
+			}
+		}
+		if db.deltaPool, err = pmem.CreateOn(fsys, deltaPath, size, sim.DefaultPMem()); err != nil {
+			return nil, err
+		}
+		if db.csrPool, err = pmem.CreateOn(fsys, csrPath, size, sim.DefaultPMem()); err != nil {
+			return nil, err
+		}
+		if db.ds, err = deltastore.NewPersistent(db.deltaPool); err != nil {
+			return nil, err
+		}
+		if err := writeSentinel(fsys, sentinelPath, opts.PersistDir); err != nil {
+			return nil, err
+		}
+	}
+
+	if _, err := fsys.Stat(walPath); err == nil {
+		// Recover the main graph from its write-ahead log before anything
+		// else touches the store, trimming any torn tail so appends resume
+		// at the last valid record boundary.
+		st, err := wal.ReplayFS(fsys, walPath, db.store)
+		if err != nil {
+			return nil, fmt.Errorf("h2tap: main graph recovery: %w", err)
+		}
+		if st.TornTail {
+			if err := wal.Trim(fsys, walPath, st.ValidLen); err != nil {
 				return nil, fmt.Errorf("h2tap: main graph recovery: %w", err)
 			}
 		}
-		var err error
-		if db.wal, err = wal.Open(walPath, wal.Options{}); err != nil {
-			return nil, err
-		}
-		db.store.AddOpLogger(db.wal)
-		if _, err := os.Stat(deltaPath); err == nil {
-			// Existing pools: recover (§6.5 instant recovery). The delta
-			// store resumes with its durable records; the engine's initial
-			// replica build consumes whatever the replica already covers.
-			if db.deltaPool, err = pmem.Open(deltaPath, sim.DefaultPMem()); err != nil {
-				return nil, err
-			}
-			if db.csrPool, err = pmem.Open(csrPath, sim.DefaultPMem()); err != nil {
-				return nil, err
-			}
-			if db.ds, err = deltastore.OpenPersistent(db.deltaPool); err != nil {
-				return nil, err
-			}
-		} else {
-			if db.deltaPool, err = pmem.Create(deltaPath, size, sim.DefaultPMem()); err != nil {
-				return nil, err
-			}
-			if db.csrPool, err = pmem.Create(csrPath, size, sim.DefaultPMem()); err != nil {
-				return nil, err
-			}
-			if db.ds, err = deltastore.NewPersistent(db.deltaPool); err != nil {
-				return nil, err
-			}
-		}
-	} else {
-		db.ds = deltastore.NewVolatile()
 	}
+	if db.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: opts.SyncWAL, FS: fsys}); err != nil {
+		return nil, err
+	}
+	db.store.AddOpLogger(deltaGuard{db.ds})
+	db.store.AddOpLogger(db.wal)
 	db.store.AddCapturer(db.ds)
 	return db, nil
+}
+
+// writeSentinel durably creates the pools-initialized marker.
+func writeSentinel(fsys vfs.FS, path, dir string) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("h2tap: pool sentinel: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("h2tap: pool sentinel sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("h2tap: pool sentinel close: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("h2tap: pool sentinel dir sync: %w", err)
+	}
+	return nil
 }
 
 // Begin starts a read-write transaction on the main graph.
@@ -263,8 +354,13 @@ func (db *DB) Submit(kind AnalyticsKind, src NodeID) (*Ticket, error) {
 	return db.queue.Submit(kind, src)
 }
 
-// Propagate forces one update-propagation cycle.
+// Propagate forces one update-propagation cycle. With a persistent delta
+// store, a latched PMem failure surfaces here (and at commit) rather than
+// propagating deltas whose durable image has diverged.
 func (db *DB) Propagate() (*PropagationReport, error) {
+	if err := db.ds.PersistErr(); err != nil {
+		return nil, fmt.Errorf("h2tap: persistent delta store failed: %w", err)
+	}
 	if err := db.StartEngine(); err != nil {
 		return nil, err
 	}
@@ -323,46 +419,52 @@ func (db *DB) Engine() *htap.Engine { return db.engine }
 func (db *DB) DeltaStore() *deltastore.Store { return db.ds }
 
 // Checkpoint compacts the write-ahead log to a snapshot of the current
-// committed state (a no-op without PersistDir). Call from a maintenance
-// window: concurrent commits during the swap would race the log rotation.
+// committed state (a no-op without PersistDir). It is safe with fully
+// concurrent commits: the store's commit barrier drains in-flight commits
+// and blocks new ones for the duration of the swap, and the swap itself is
+// crash-atomic (temp file + fsync + rename), so a crash at any point leaves
+// either the old or the new log intact.
 func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return nil
 	}
-	if err := db.wal.Close(); err != nil {
-		return fmt.Errorf("h2tap: checkpoint: %w", err)
-	}
-	nl, err := wal.Checkpoint(
-		filepath.Join(db.opts.PersistDir, "graph.wal"),
-		db.store, db.store.Oracle().LastCommitted(), wal.Options{})
-	if err != nil {
-		return fmt.Errorf("h2tap: checkpoint: %w", err)
-	}
-	db.wal = nl
-	db.store.SetOpLoggers(nl)
-	return nil
+	return db.store.WithCommitBarrier(func() error {
+		if err := db.wal.Rotate(db.store, db.store.Oracle().LastCommitted()); err != nil {
+			return fmt.Errorf("h2tap: checkpoint: %w", err)
+		}
+		return nil
+	})
 }
 
 // Close shuts the queue down and closes the write-ahead log and persistent
-// pools.
+// pools. Close is idempotent: second and later calls return the first
+// call's result without touching the already-closed handles.
 func (db *DB) Close() error {
-	if db.queue != nil {
-		db.queue.Close()
-	}
-	var firstErr error
-	if db.wal != nil {
-		if err := db.wal.Close(); err != nil {
-			firstErr = err
+	db.closeOnce.Do(func() {
+		if db.queue != nil {
+			db.queue.Close()
 		}
-	}
-	for _, p := range []*pmem.Pool{db.deltaPool, db.csrPool} {
-		if p != nil {
-			if err := p.Close(); err != nil && firstErr == nil {
+		var firstErr error
+		if db.wal != nil {
+			if err := db.wal.Close(); err != nil {
 				firstErr = err
 			}
 		}
-	}
-	return firstErr
+		for _, p := range []*pmem.Pool{db.deltaPool, db.csrPool} {
+			if p != nil {
+				if err := p.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		if firstErr == nil {
+			// Surface a latched delta-persistence failure even if the
+			// handles closed cleanly: the durable image is stale.
+			firstErr = db.ds.PersistErr()
+		}
+		db.closeErr = firstErr
+	})
+	return db.closeErr
 }
 
 // CostModel re-exports the §6.4 cost model type for advanced configuration.

@@ -1,0 +1,90 @@
+package crashtest
+
+import (
+	"testing"
+
+	"h2tap/internal/faultinject"
+	"h2tap/internal/vfs"
+)
+
+// TestGoldenDeterministic checks the assumption the enumeration rests on:
+// replaying the workload on a fresh directory yields the same persist-point
+// count and the same per-commit fingerprints every time, so crash point N
+// lands on the same operation in every run.
+func TestGoldenDeterministic(t *testing.T) {
+	p1, fps1, err := GoldenRun(t.TempDir() + "/a")
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	p2, fps2, err := GoldenRun(t.TempDir() + "/b")
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatalf("persist points differ across runs: %d vs %d", p1, p2)
+	}
+	if len(fps1) != len(fps2) {
+		t.Fatalf("fingerprint counts differ: %d vs %d", len(fps1), len(fps2))
+	}
+	for i := range fps1 {
+		if fps1[i] != fps2[i] {
+			t.Fatalf("fingerprint %d differs across runs:\n%s\nvs\n%s", i, fps1[i], fps2[i])
+		}
+	}
+	// The acceptance floor: a commit+checkpoint+propagate workload must
+	// expose at least 30 distinct persist points to crash at.
+	if p1 < 30 {
+		t.Fatalf("workload has %d persist points, want >= 30", p1)
+	}
+	t.Logf("workload: %d persist points, %d commits", p1, len(fps1)-1)
+}
+
+// TestCrashEnumeration injects a crash at every persist point (an evenly
+// spaced sample in -short mode), in both tear-all and tear-half modes, and
+// requires every recovery invariant to hold at every point.
+func TestCrashEnumeration(t *testing.T) {
+	maxPerMode := 0
+	if testing.Short() {
+		maxPerMode = 20
+	}
+	rep, err := Enumerate(t.TempDir(), maxPerMode, nil)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	if rep.Points < 30 {
+		t.Fatalf("workload has %d persist points, want >= 30", rep.Points)
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			t.Errorf("crash at op %d/%d (%s), %d commits completed: %v",
+				r.Point, rep.Points, r.Tear, r.Completed, r.Err)
+		}
+	}
+	t.Logf("enumerated %d crashes over %d persist points, %d failures",
+		len(rep.Results), rep.Points, rep.Failures)
+}
+
+// TestInjectedFailureIsSurfacedNotFatal exercises the FailAt (transient
+// I/O error, no crash) path end to end: the failing persist operation must
+// surface as an error from the workload — never a silent success, never a
+// panic — and the directory must still recover afterwards.
+func TestInjectedFailureIsSurfacedNotFatal(t *testing.T) {
+	points, golden, err := GoldenRun(t.TempDir())
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	for _, p := range samplePoints(points, 12) {
+		dir := t.TempDir()
+		ffs := faultinject.New(vfs.OS())
+		ffs.FailAt(p)
+		var st runState
+		werr := workload(dir, ffs, &st)
+		if werr == nil {
+			t.Errorf("fail at op %d: workload succeeded, want surfaced error", p)
+			continue
+		}
+		if m, rerr := recoverAndCheck(dir, golden, st.completed); rerr != nil {
+			t.Errorf("fail at op %d: recovery after injected error (got %d commits): %v", p, m, rerr)
+		}
+	}
+}

@@ -170,21 +170,37 @@ func OpenPersistent(pool *pmem.Pool) (*Store, error) {
 func (s *Store) Persistent() bool { return s.persist != nil }
 
 // mirror writes one record and its array payloads through to PMem at the
-// same indexes the volatile twin used.
-func (p *persistence) mirror(i uint64, rec *record, state uint32, nd *delta.NodeDelta) {
+// same indexes the volatile twin used. On the first error it stops: the
+// durable lengths have not advanced, so the durable image still ends at the
+// previous transaction boundary — a consistent prefix.
+func (p *persistence) mirror(i uint64, rec *record, state uint32, nd *delta.NodeDelta) error {
 	insEnd := rec.insOff + uint64(rec.insCnt)
 	delEnd := rec.delOff + uint64(rec.delCnt)
-	must(p.ins.EnsureLen(insEnd))
-	must(p.w.EnsureLen(insEnd))
-	must(p.dels.EnsureLen(delEnd))
-	must(p.recs.EnsureLen(i + 1))
+	if err := p.ins.EnsureLen(insEnd); err != nil {
+		return err
+	}
+	if err := p.w.EnsureLen(insEnd); err != nil {
+		return err
+	}
+	if err := p.dels.EnsureLen(delEnd); err != nil {
+		return err
+	}
+	if err := p.recs.EnsureLen(i + 1); err != nil {
+		return err
+	}
 
 	for j := range nd.Ins {
-		must(p.ins.PutUint64(rec.insOff+uint64(j), nd.Ins[j].Dst))
-		must(p.w.PutFloat64(rec.insOff+uint64(j), nd.Ins[j].W))
+		if err := p.ins.PutUint64(rec.insOff+uint64(j), nd.Ins[j].Dst); err != nil {
+			return err
+		}
+		if err := p.w.PutFloat64(rec.insOff+uint64(j), nd.Ins[j].W); err != nil {
+			return err
+		}
 	}
 	for j := range nd.Del {
-		must(p.dels.PutUint64(rec.delOff+uint64(j), nd.Del[j]))
+		if err := p.dels.PutUint64(rec.delOff+uint64(j), nd.Del[j]); err != nil {
+			return err
+		}
 	}
 
 	var b [RecordSize]byte
@@ -195,51 +211,101 @@ func (p *persistence) mirror(i uint64, rec *record, state uint32, nd *delta.Node
 	binary.LittleEndian.PutUint32(b[perRecInsCnt:], rec.insCnt)
 	binary.LittleEndian.PutUint32(b[perRecDelCnt:], rec.delCnt)
 	binary.LittleEndian.PutUint32(b[perRecState:], state)
-	must(p.recs.Write(i, b[:]))
+	return p.recs.Write(i, b[:])
 }
 
 // commitLens publishes the durable lengths after a transaction's records
-// and payloads are persisted.
-func (p *persistence) commitLens() {
-	must(p.ins.CommitLen())
-	must(p.w.CommitLen())
-	must(p.dels.CommitLen())
-	must(p.recs.CommitLen())
+// and payloads are persisted. Order matters for recovery: the record length
+// (recs) goes last, so any durable record's payload ranges are covered by
+// already-durable array data.
+func (p *persistence) commitLens() error {
+	if err := p.ins.CommitLen(); err != nil {
+		return err
+	}
+	if err := p.w.CommitLen(); err != nil {
+		return err
+	}
+	if err := p.dels.CommitLen(); err != nil {
+		return err
+	}
+	return p.recs.CommitLen()
 }
 
 // invalidate persists the cleared valid bit of record i (so a recovered
 // store does not re-propagate consumed deltas).
-func (p *persistence) invalidate(i uint64) {
+func (p *persistence) invalidate(i uint64) error {
 	b := p.recs.Read(i)
 	st := binary.LittleEndian.Uint32(b[perRecState:])
 	binary.LittleEndian.PutUint32(b[perRecState:], st&^stValid)
-	must(p.recs.PersistElem(i))
+	return p.recs.PersistElem(i)
 }
 
-func (p *persistence) setMode(on bool) {
+func (p *persistence) setMode(on bool) error {
 	var v uint64
 	if on {
 		v = 1
 	}
-	must(p.pool.PutUint64(p.rootOff+rootMode, v))
+	return p.pool.PutUint64(p.rootOff+rootMode, v)
 }
 
-func (p *persistence) setThreshold(n uint64) {
-	must(p.pool.PutUint64(p.rootOff+rootThreshold, n))
+func (p *persistence) setThreshold(n uint64) error {
+	return p.pool.PutUint64(p.rootOff+rootThreshold, n)
 }
 
-func (p *persistence) reset() {
-	must(p.recs.Reset())
-	must(p.ins.Reset())
-	must(p.w.Reset())
-	must(p.dels.Reset())
-}
-
-// must converts persistence errors into panics: the simulated medium only
-// fails on capacity exhaustion or I/O errors on the backing file, both of
-// which are setup problems rather than recoverable runtime states.
-func must(err error) {
-	if err != nil {
-		panic(fmt.Sprintf("deltastore: persistent write: %v", err))
+func (p *persistence) reset() error {
+	if err := p.recs.Reset(); err != nil {
+		return err
 	}
+	if err := p.ins.Reset(); err != nil {
+		return err
+	}
+	if err := p.w.Reset(); err != nil {
+		return err
+	}
+	return p.dels.Reset()
+}
+
+// Validate checks the durable image's internal consistency — the invariant
+// the crash harness asserts after every injected crash: every durable
+// record is fully published and its payload ranges lie inside the durable
+// (or at least chunk-allocated and written-before-length, see commitLens)
+// array prefixes.
+func (s *Store) Validate() error {
+	if s.persist == nil {
+		return nil
+	}
+	p := s.persist
+	nRec := p.recs.DurableLen()
+	nIns := p.ins.DurableLen()
+	nW := p.w.DurableLen()
+	nDel := p.dels.DurableLen()
+	// commitLens publishes ins before w: at any crash the weight length may
+	// lag the insert length, never lead it.
+	if nW > nIns {
+		return fmt.Errorf("deltastore: durable weights %d exceed inserts %d", nW, nIns)
+	}
+	for i := uint64(0); i < nRec; i++ {
+		b := p.recs.Read(i)
+		state := binary.LittleEndian.Uint32(b[perRecState:])
+		if state&stReady == 0 {
+			return fmt.Errorf("deltastore: durable record %d not published (state %#x)", i, state)
+		}
+		insOff := binary.LittleEndian.Uint64(b[perRecInsOff:])
+		delOff := binary.LittleEndian.Uint64(b[perRecDelOff:])
+		insCnt := uint64(binary.LittleEndian.Uint32(b[perRecInsCnt:]))
+		delCnt := uint64(binary.LittleEndian.Uint32(b[perRecDelCnt:]))
+		if insOff+insCnt > nIns {
+			return fmt.Errorf("deltastore: record %d inserts [%d,%d) beyond durable %d",
+				i, insOff, insOff+insCnt, nIns)
+		}
+		if insOff+insCnt > nW {
+			return fmt.Errorf("deltastore: record %d weights [%d,%d) beyond durable %d",
+				i, insOff, insOff+insCnt, nW)
+		}
+		if delOff+delCnt > nDel {
+			return fmt.Errorf("deltastore: record %d deletes [%d,%d) beyond durable %d",
+				i, delOff, delOff+delCnt, nDel)
+		}
+	}
+	return nil
 }

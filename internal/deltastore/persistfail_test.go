@@ -1,0 +1,69 @@
+package deltastore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/faultinject"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+	"h2tap/internal/vfs"
+)
+
+// TestPersistFailureLatchesAndFreezesDurableImage crashes the filesystem in
+// the middle of a capture's mirror write. The store must latch the failure
+// (PersistErr), keep serving the volatile side, stop touching PMem, and the
+// frozen file must recover to exactly the pre-failure transaction boundary
+// with Validate passing.
+func TestPersistFailureLatchesAndFreezesDurableImage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "delta.pool")
+	ffs := faultinject.New(vfs.OS())
+	pool, err := pmem.CreateOn(ffs, path, 8<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	if err := s.PersistErr(); err != nil {
+		t.Fatalf("clean capture latched an error: %v", err)
+	}
+
+	// Crash mid-mirror of the second capture: some of its bytes land, but
+	// no durable length advances past the first transaction.
+	ffs.CrashAt(ffs.Ops()+2, faultinject.TearHalf)
+	s.Capture(txd(2, delta.NodeDelta{Node: 2, Ins: []delta.Edge{{Dst: 3, W: 1}}}))
+	if s.PersistErr() == nil {
+		t.Fatal("mirror crash not latched")
+	}
+
+	// The volatile twin keeps serving (the engine can still propagate what
+	// is in DRAM); the mirror is off, so this capture must not panic or
+	// touch the crashed filesystem in a way that fails loudly.
+	s.Capture(txd(3, delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 4, W: 1}}}))
+	if got := s.Records(); got != 3 {
+		t.Fatalf("volatile records = %d, want 3", got)
+	}
+
+	// Recover from the frozen file: the durable image must be the first
+	// transaction exactly, and internally consistent.
+	pool2, err := pmem.Open(path, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	s2, err := OpenPersistent(pool2)
+	if err != nil {
+		t.Fatalf("recovery from frozen image: %v", err)
+	}
+	if err := s2.Validate(); err != nil {
+		t.Fatalf("frozen image invalid: %v", err)
+	}
+	if got := s2.Records(); got != 1 {
+		t.Fatalf("recovered %d records, want the pre-failure boundary (1)", got)
+	}
+}

@@ -81,6 +81,39 @@ type Store struct {
 	skippedTxns atomic.Uint64
 
 	persist *persistence // nil for the volatile store
+
+	// persistBroken latches on the first PMem write failure. Mirroring
+	// stops immediately — the durable image freezes at the last committed
+	// transaction boundary, which recovery handles like any crash — and
+	// PersistErr surfaces the cause so the facade can fail subsequent
+	// commits instead of silently diverging from durable state.
+	persistBroken atomic.Bool
+	persistErrMu  sync.Mutex
+	persistErr    error
+}
+
+// failPersist records the first persistence error and stops all mirroring.
+func (s *Store) failPersist(err error) {
+	s.persistErrMu.Lock()
+	if s.persistErr == nil {
+		s.persistErr = err
+	}
+	s.persistErrMu.Unlock()
+	s.persistBroken.Store(true)
+}
+
+// PersistErr reports the sticky PMem write failure, if any. Once set, the
+// persistent image no longer tracks the volatile store; callers that need
+// durability must stop committing (the h2tap facade aborts commits on it).
+func (s *Store) PersistErr() error {
+	s.persistErrMu.Lock()
+	defer s.persistErrMu.Unlock()
+	return s.persistErr
+}
+
+// mirroring reports whether persistent mirroring is active and healthy.
+func (s *Store) mirroring() bool {
+	return s.persist != nil && !s.persistBroken.Load()
 }
 
 // chunkShift sizes the delta table's fixed chunks at 8192 records (≈390 KB)
@@ -128,8 +161,10 @@ func (s *Store) DeltaMode() bool { return s.deltaMode.Load() }
 // thresholding.
 func (s *Store) SetThreshold(n uint64) {
 	s.threshold.Store(n)
-	if s.persist != nil {
-		s.persist.setThreshold(n)
+	if s.mirroring() {
+		if err := s.persist.setThreshold(n); err != nil {
+			s.failPersist(err)
+		}
 	}
 }
 
@@ -163,8 +198,10 @@ func (s *Store) Capture(d *delta.TxDelta) {
 		// at once and stays off until the next CSR rebuild re-enables it.
 		if s.deltaMode.CompareAndSwap(true, false) {
 			s.resetLocked()
-			if s.persist != nil {
-				s.persist.setMode(false)
+			if s.mirroring() {
+				if err := s.persist.setMode(false); err != nil {
+					s.failPersist(err)
+				}
 			}
 		}
 		s.skippedTxns.Add(1)
@@ -209,16 +246,20 @@ func (s *Store) Capture(d *delta.TxDelta) {
 		if nd.Inserted {
 			state |= stInserted
 		}
-		if s.persist != nil {
-			s.persist.mirror(recBase+uint64(i), rec, state, nd)
+		if s.mirroring() {
+			if err := s.persist.mirror(recBase+uint64(i), rec, state, nd); err != nil {
+				s.failPersist(err)
+			}
 		}
 		rec.state.Store(state) // publication point
 
 		insAt += uint64(len(nd.Ins))
 		delAt += uint64(len(nd.Del))
 	}
-	if s.persist != nil {
-		s.persist.commitLens()
+	if s.mirroring() {
+		if err := s.persist.commitLens(); err != nil {
+			s.failPersist(err)
+		}
 	}
 }
 
@@ -272,8 +313,10 @@ func (s *Store) Scan(tp mvto.TS) *delta.Batch {
 		// and appenders never revisit published records, so a plain
 		// read-modify-write on the atomic is race-free.
 		rec.state.Store(st &^ stValid)
-		if s.persist != nil {
-			s.persist.invalidate(i)
+		if s.mirroring() {
+			if err := s.persist.invalidate(i); err != nil {
+				s.failPersist(err)
+			}
 		}
 		hits = append(hits, hit{node: rec.node, ts: rec.ts, rec: rec})
 		return true
@@ -382,8 +425,10 @@ func (s *Store) EnableDeltaMode() {
 	defer s.clearMu.Unlock()
 	s.resetLocked()
 	s.deltaMode.Store(true)
-	if s.persist != nil {
-		s.persist.setMode(true)
+	if s.mirroring() {
+		if err := s.persist.setMode(true); err != nil {
+			s.failPersist(err)
+		}
 	}
 }
 
@@ -393,7 +438,9 @@ func (s *Store) resetLocked() {
 	s.inserts.Reset()
 	s.weights.Reset()
 	s.deletes.Reset()
-	if s.persist != nil {
-		s.persist.reset()
+	if s.mirroring() {
+		if err := s.persist.reset(); err != nil {
+			s.failPersist(err)
+		}
 	}
 }

@@ -122,6 +122,10 @@ func (s *Store) BulkLoad(nodes []NodeSpec, edges []EdgeSpec) (mvto.TS, error) {
 	s.liveRels.Add(int64(len(edges)))
 
 	// Write-ahead log the load as one large commit so recovery replays it.
+	// The commit gate spans logging through publication, mirroring
+	// Tx.Commit, so a concurrent checkpoint barrier cannot split them.
+	s.commitGate.RLock()
+	defer s.commitGate.RUnlock()
 	if s.logging.Load() {
 		ops := make([]LoggedOp, 0, len(nodes)+len(edges))
 		for i := range nodes {

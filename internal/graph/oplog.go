@@ -73,6 +73,17 @@ func (s *Store) SetOpLoggers(loggers ...OpLogger) {
 	s.logging.Store(len(loggers) > 0)
 }
 
+// WithCommitBarrier runs fn while no transaction is inside its
+// logCommit→publish span: every in-flight commit finishes first and new
+// commits block until fn returns. The h2tap facade checkpoints under this
+// barrier, which makes log rotation safe with fully concurrent writers (no
+// "maintenance window" needed).
+func (s *Store) WithCommitBarrier(fn func() error) error {
+	s.commitGate.Lock()
+	defer s.commitGate.Unlock()
+	return fn()
+}
+
 func (s *Store) logCommit(ts mvto.TS, ops []LoggedOp) error {
 	s.oplog.mu.RLock()
 	loggers := s.oplog.loggers

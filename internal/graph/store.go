@@ -72,6 +72,13 @@ type Store struct {
 	oplog   opLoggers
 	logging atomic.Bool
 
+	// commitGate lets a checkpoint exclude the logCommit→publish span of
+	// every committing transaction: commits hold it shared, the checkpoint
+	// barrier holds it exclusively, so no transaction can be logged to the
+	// old WAL but publish after the snapshot was taken (which would lose it
+	// from durable history).
+	commitGate sync.RWMutex
+
 	capMu     sync.RWMutex
 	capturers []delta.Capturer
 

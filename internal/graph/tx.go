@@ -123,6 +123,11 @@ func (tx *Tx) Commit() error {
 		tx.m.Abort()
 		return fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
 	}
+	// The commit gate is held shared from write-ahead logging through
+	// publication so a checkpoint barrier never splits the two (a txn in
+	// the old log but not in the snapshot would vanish from durable state).
+	tx.s.commitGate.RLock()
+	defer tx.s.commitGate.RUnlock()
 	// Write-ahead: the op log persists before the commit becomes visible.
 	// A logging failure aborts the transaction.
 	if len(tx.ops) > 0 {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"h2tap/internal/sim"
+	"h2tap/internal/vfs"
 )
 
 const (
@@ -56,7 +57,7 @@ var (
 // Pool is a simulated persistent-memory region.
 type Pool struct {
 	path  string
-	f     *os.File
+	f     vfs.File
 	data  []byte
 	media sim.MediaModel
 
@@ -65,13 +66,19 @@ type Pool struct {
 	mu sync.Mutex // guards allocation and root updates
 }
 
-// Create makes a new pool file of the given capacity. An existing file at
-// path is truncated.
+// Create makes a new pool file of the given capacity on the real
+// filesystem. An existing file at path is truncated.
 func Create(path string, capacity int64, media sim.MediaModel) (*Pool, error) {
+	return CreateOn(vfs.OS(), path, capacity, media)
+}
+
+// CreateOn is Create on an injectable filesystem, letting the fault
+// harness crash individual write-throughs (the simulated persist fences).
+func CreateOn(fsys vfs.FS, path string, capacity int64, media sim.MediaModel) (*Pool, error) {
 	if capacity < headerSize {
 		return nil, fmt.Errorf("pmem: capacity %d below header size %d", capacity, headerSize)
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pmem: create pool: %w", err)
 	}
@@ -90,9 +97,15 @@ func Create(path string, capacity int64, media sim.MediaModel) (*Pool, error) {
 	return p, nil
 }
 
-// Open recovers an existing pool from its backing file.
+// Open recovers an existing pool from its backing file on the real
+// filesystem.
 func Open(path string, media sim.MediaModel) (*Pool, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return OpenOn(vfs.OS(), path, media)
+}
+
+// OpenOn is Open on an injectable filesystem.
+func OpenOn(fsys vfs.FS, path string, media sim.MediaModel) (*Pool, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("pmem: open pool: %w", err)
 	}

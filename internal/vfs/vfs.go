@@ -1,0 +1,80 @@
+// Package vfs abstracts the filesystem surface the durability layers (the
+// write-ahead log and the simulated persistent-memory pools) use to reach
+// stable storage. Production code takes an FS and defaults to the real OS
+// filesystem; the fault-injection harness (internal/faultinject) wraps one
+// to fail, tear, or crash individual persist operations, so the exact code
+// paths that run in production are the ones that get crashed under test.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is the file surface the durability layers need: sequential and
+// positional reads and writes, truncation, and explicit synchronization.
+// *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Truncate changes the file size (used to rewind a partially appended
+	// log record).
+	Truncate(size int64) error
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Stat reports file metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// FS is the directory-level surface: opening files plus the metadata
+// operations crash-atomic rename schemes depend on.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Stat reports metadata for name.
+	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates name and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs the directory at name, making preceding renames and
+	// file creations within it durable.
+	SyncDir(name string) error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OS returns the real OS filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	syncErr := d.Sync()
+	closeErr := d.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

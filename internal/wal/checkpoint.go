@@ -2,23 +2,16 @@ package wal
 
 import (
 	"fmt"
-	"os"
+	"path/filepath"
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/vfs"
 )
 
-// Checkpoint compacts the log: it exports the store's committed snapshot at
-// ts, writes it as a single synthetic commit record into a fresh log file,
-// and atomically renames it over path. Replaying the compacted log yields
-// exactly the snapshot, and subsequent commits append after it — the
-// standard snapshot-plus-tail recovery scheme that keeps an append-only log
-// from growing without bound.
-//
-// The caller must quiesce writers to the log being replaced (the h2tap
-// facade checkpoints from its maintenance path; tests call it directly).
-// The returned Log is open for appending and replaces the old handle.
-func Checkpoint(path string, s *graph.Store, ts mvto.TS, opts Options) (*Log, error) {
+// snapshotOps flattens the store's committed snapshot at ts into the logged
+// operations that reproduce it on replay.
+func snapshotOps(s *graph.Store, ts mvto.TS) []graph.LoggedOp {
 	nodes, rels := s.ExportAt(ts)
 	ops := make([]graph.LoggedOp, 0, len(nodes)+len(rels))
 	for i := range nodes {
@@ -41,26 +34,103 @@ func Checkpoint(path string, s *graph.Store, ts mvto.TS, opts Options) (*Log, er
 			})
 		}
 	}
+	return ops
+}
 
-	tmp := path + ".checkpoint"
-	nl, err := Open(tmp, Options{SyncEveryCommit: true})
+// writeSnapshotLog writes one synthetic commit record carrying the snapshot
+// into a fresh file at tmp, fsyncs it, and closes it. On any failure the
+// partial file is removed.
+func writeSnapshotLog(fsys vfs.FS, tmp string, ts mvto.TS, ops []graph.LoggedOp) error {
+	nl, err := Open(tmp, Options{SyncEveryCommit: true, FS: fsys})
 	if err != nil {
-		return nil, fmt.Errorf("wal: checkpoint: %w", err)
+		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
 	if err := nl.LogCommit(ts, ops); err != nil {
 		nl.Close()
-		os.Remove(tmp)
-		return nil, fmt.Errorf("wal: checkpoint write: %w", err)
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint write: %w", err)
 	}
 	if err := nl.Close(); err != nil {
-		os.Remove(tmp)
-		return nil, fmt.Errorf("wal: checkpoint close: %w", err)
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint close: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return nil, fmt.Errorf("wal: checkpoint swap: %w", err)
+	return nil
+}
+
+// swapIn renames tmp over path and fsyncs the parent directory so the
+// rename itself is durable. A crash at any point leaves either the old or
+// the new log intact at path — never a mix, never neither.
+func swapIn(fsys vfs.FS, tmp, path string) error {
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("wal: checkpoint swap: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("wal: checkpoint dir sync: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint compacts the log: it exports the store's committed snapshot at
+// ts, writes it as a single synthetic commit record into a temp file
+// (fsynced), and atomically renames it over path. Replaying the compacted
+// log yields exactly the snapshot, and subsequent commits append after it —
+// the standard snapshot-plus-tail recovery scheme that keeps an append-only
+// log from growing without bound.
+//
+// The caller must quiesce writers to the log being replaced (the h2tap
+// facade uses Rotate instead, which blocks writers on the log's own mutex).
+// The returned Log is open for appending and replaces the old handle.
+func Checkpoint(path string, s *graph.Store, ts mvto.TS, opts Options) (*Log, error) {
+	fsys := opts.fs()
+	tmp := path + ".tmp"
+	if err := writeSnapshotLog(fsys, tmp, ts, snapshotOps(s, ts)); err != nil {
+		return nil, err
+	}
+	if err := swapIn(fsys, tmp, path); err != nil {
+		return nil, err
 	}
 	return Open(path, opts)
+}
+
+// Rotate checkpoints the log in place: the snapshot at ts is written to a
+// temp file, renamed over the log's path, and the log's handle swapped to
+// the new file — all while holding the log's append mutex, so committing
+// transactions block for the duration instead of racing the swap. Combined
+// with the store-level commit barrier (graph.Store.WithCommitBarrier) this
+// removes the "maintenance window" requirement entirely.
+//
+// Crash atomicity matches Checkpoint: old log or new log, never a mix. On
+// success a previously failed log is rehabilitated (the new file is whole
+// by construction).
+func (l *Log) Rotate(s *graph.Store, ts mvto.TS) error {
+	ops := snapshotOps(s, ts)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := l.path + ".tmp"
+	if err := writeSnapshotLog(l.fs, tmp, ts, ops); err != nil {
+		return err
+	}
+	if err := swapIn(l.fs, tmp, l.path); err != nil {
+		return err
+	}
+	f, err := l.fs.OpenFile(l.path, openRDWR, 0o644)
+	if err != nil {
+		// The old handle now points at the unlinked pre-checkpoint inode:
+		// appending there would lose commits, so the log goes failed.
+		l.failed = fmt.Errorf("wal: reopen after rotate: %w", err)
+		return l.failed
+	}
+	off, err := f.Seek(0, ioSeekEnd)
+	if err != nil {
+		f.Close()
+		l.failed = fmt.Errorf("wal: seek after rotate: %w", err)
+		return l.failed
+	}
+	old := l.f
+	l.f, l.off, l.failed = f, off, nil
+	old.Close()
+	return nil
 }
 
 // Size reports the log's current byte size.

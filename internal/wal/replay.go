@@ -10,6 +10,7 @@ import (
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/vfs"
 )
 
 // nodeState / relState hold the folded final state of one object while
@@ -28,46 +29,89 @@ type relState struct {
 	props    map[string]graph.Value
 }
 
+// ReplayStats describes the outcome of a replay.
+type ReplayStats struct {
+	// MaxTS is the highest replayed transaction timestamp.
+	MaxTS mvto.TS
+	// Records is the number of valid commit records applied.
+	Records int
+	// ValidLen is the byte offset of the end of the last valid record — the
+	// length the log should be trimmed to before appending resumes.
+	ValidLen int64
+	// TornTail reports that bytes beyond ValidLen were discarded as a torn
+	// tail (an in-flight commit interrupted by the crash).
+	TornTail bool
+}
+
 // Replay reads the log at path, folds every valid commit record into final
 // object states, materializes them into the (empty) store, and returns the
 // highest replayed timestamp. A torn or truncated tail ends the replay
 // cleanly; interior corruption returns ErrCorrupt.
 func Replay(path string, s *graph.Store) (mvto.TS, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0, fmt.Errorf("wal: replay open: %w", err)
+	st, err := ReplayFS(nil, path, s)
+	return st.MaxTS, err
+}
+
+// ReplayFS is Replay on an injectable filesystem, reporting replay stats.
+//
+// Corruption policy: a record that fails its checksum (or is cut short) at
+// the physical end of the log is a torn tail — exactly the state an
+// interrupted append leaves — and is discarded. The same failure with a
+// valid record *after* it is interior corruption: committed transactions
+// would be silently dropped while later ones survive, breaking the
+// committed-prefix guarantee, so replay returns ErrCorrupt instead of
+// guessing. The check scans forward from the bad record for any decodable
+// record (a superset of one-record lookahead, so a corrupted size field
+// cannot disguise interior damage as a tail).
+func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
+	if fsys == nil {
+		fsys = vfs.OS()
 	}
-	defer f.Close()
+	var st ReplayStats
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return st, fmt.Errorf("wal: replay open: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return st, fmt.Errorf("wal: replay read: %w", err)
+	}
 
 	nodes := make(map[uint64]*nodeState)
 	rels := make(map[uint64]*relState)
 	var maxTS mvto.TS
 	records := 0
 
-	var hdr [8]byte
+	off := 0
 	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if off+recordHeaderSize > len(data) {
+			st.TornTail = off < len(data)
 			break // EOF or torn header: end of valid log
 		}
-		size := binary.LittleEndian.Uint32(hdr[0:])
-		sum := binary.LittleEndian.Uint32(hdr[4:])
-		if size > 1<<30 {
-			return 0, fmt.Errorf("%w: record size %d", ErrCorrupt, size)
+		size := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		bodyOff := off + recordHeaderSize
+		if size > 1<<30 || bodyOff+size > len(data) {
+			// Implausible or over-long size: a torn tail only if no valid
+			// record hides in the remaining bytes.
+			if scanForRecord(data[bodyOff:]) {
+				return st, fmt.Errorf("%w: damaged record header at offset %d before further valid records", ErrCorrupt, off)
+			}
+			st.TornTail = true
+			break
 		}
-		payload := make([]byte, size)
-		if _, err := io.ReadFull(f, payload); err != nil {
-			break // torn payload: treat as tail
-		}
+		payload := data[bodyOff : bodyOff+size]
 		if crc32.ChecksumIEEE(payload) != sum {
-			// A checksum mismatch on the *last* record is a torn tail; in
-			// the middle it would be interior corruption, but distinguishing
-			// requires lookahead — stop replay either way, matching the
-			// "prefix of committed transactions" guarantee.
+			if scanForRecord(data[bodyOff+size:]) {
+				return st, fmt.Errorf("%w: checksum mismatch at offset %d before further valid records", ErrCorrupt, off)
+			}
+			st.TornTail = true
 			break
 		}
 		ts, ops, err := decodeCommit(payload)
 		if err != nil {
-			return 0, err
+			return st, err
 		}
 		if ts > maxTS {
 			maxTS = ts
@@ -76,7 +120,9 @@ func Replay(path string, s *graph.Store) (mvto.TS, error) {
 		for i := range ops {
 			foldOp(nodes, rels, &ops[i])
 		}
+		off = bodyOff + size
 	}
+	st.ValidLen = int64(off)
 
 	// Materialize the fold.
 	var rn []graph.RestoredNode
@@ -107,9 +153,37 @@ func Replay(path string, s *graph.Store) (mvto.TS, error) {
 	sort.Slice(rn, func(i, j int) bool { return rn[i].ID < rn[j].ID })
 	sort.Slice(rr, func(i, j int) bool { return rr[i].ID < rr[j].ID })
 	if err := s.Restore(rn, rr, maxTS); err != nil {
-		return 0, fmt.Errorf("wal: replay restore: %w", err)
+		return st, fmt.Errorf("wal: replay restore: %w", err)
 	}
-	return maxTS, nil
+	st.MaxTS = maxTS
+	st.Records = records
+	return st, nil
+}
+
+// recordHeaderSize is the fixed per-record header: u32 payload size + u32
+// payload CRC.
+const recordHeaderSize = 8
+
+// scanForRecord reports whether any byte offset in b starts a fully valid
+// record (plausible size, complete payload, matching checksum, decodable).
+// Used to distinguish interior corruption from a torn tail: a torn tail is
+// the end of history, so nothing valid can follow it.
+func scanForRecord(b []byte) bool {
+	for off := 0; off+recordHeaderSize <= len(b); off++ {
+		size := int(binary.LittleEndian.Uint32(b[off:]))
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if size > 1<<30 || off+recordHeaderSize+size > len(b) {
+			continue
+		}
+		payload := b[off+recordHeaderSize : off+recordHeaderSize+size]
+		if crc32.ChecksumIEEE(payload) != sum {
+			continue
+		}
+		if _, _, err := decodeCommit(payload); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 func foldOp(nodes map[uint64]*nodeState, rels map[uint64]*relState, op *graph.LoggedOp) {

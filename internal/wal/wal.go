@@ -24,18 +24,38 @@ import (
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/vfs"
+)
+
+// Open flags, aliased so every file operation in this package goes through
+// the injectable vfs layer rather than the os package directly.
+const (
+	openRDWR   = os.O_RDWR
+	openCreate = os.O_CREATE
+	ioSeekEnd  = io.SeekEnd
 )
 
 // ErrCorrupt reports a record whose checksum or structure is invalid before
 // the log's tail (tails are tolerated, interior corruption is not).
 var ErrCorrupt = errors.New("wal: corrupt record")
 
+// ErrLogFailed reports an append attempt on a log that has already hit an
+// I/O error. A failed append may leave bytes whose relation to durable
+// state is unknown; refusing further appends keeps the in-memory store from
+// silently diverging from what recovery would rebuild.
+var ErrLogFailed = errors.New("wal: log failed")
+
 // Log is an append-only write-ahead log.
 type Log struct {
-	mu   sync.Mutex
-	f    *os.File
-	sync bool
-	buf  []byte
+	mu      sync.Mutex
+	fs      vfs.FS
+	path    string
+	f       vfs.File
+	off     int64 // end of the last fully appended record
+	sync    bool
+	failed  error
+	buf     []byte // record assembly buffer (header + payload)
+	payload []byte // payload encoding buffer
 }
 
 // Options configures Open.
@@ -44,19 +64,55 @@ type Options struct {
 	// throughput). Without it the OS decides when bytes hit the platter,
 	// as in most group-commit systems.
 	SyncEveryCommit bool
+	// FS overrides the filesystem (nil selects the real one). The
+	// fault-injection harness uses it to crash individual appends and
+	// syncs on the production code path.
+	FS vfs.FS
+}
+
+func (o Options) fs() vfs.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return vfs.OS()
 }
 
 // Open opens or creates a log at path for appending.
 func Open(path string, opts Options) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys := opts.fs()
+	f, err := fsys.OpenFile(path, openRDWR|openCreate, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+	off, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{f: f, sync: opts.SyncEveryCommit}, nil
+	return &Log{fs: fsys, path: path, f: f, off: off, sync: opts.SyncEveryCommit}, nil
+}
+
+// Trim truncates the log at path to n bytes. Recovery calls it to discard a
+// torn tail before reopening the log for appending, so the next append
+// cannot land after garbage and turn a tolerated torn tail into interior
+// corruption.
+func Trim(fsys vfs.FS, path string, n int64) error {
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	f, err := fsys.OpenFile(path, openRDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: trim open: %w", err)
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: trim: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: trim sync: %w", err)
+	}
+	return f.Close()
 }
 
 // Close syncs and closes the log.
@@ -72,27 +128,55 @@ func (l *Log) Close() error {
 
 var _ graph.OpLogger = (*Log)(nil)
 
+// Err reports the log's sticky failure, if any.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // LogCommit appends one commit record with the transaction's operations.
 // It implements graph.OpLogger and runs before the commit publishes.
+//
+// The header and payload go out in a single write so no crash can separate
+// them. If the write or sync fails, the log rewinds to the record start
+// (truncate + seek) so a partial record cannot sit in the interior of the
+// file, and the log is marked failed: later appends return ErrLogFailed
+// instead of committing transactions whose durability is unknown.
 func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.buf = encodeCommit(l.buf[:0], ts, ops)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(l.buf)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(l.buf))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wal: append header: %w", err)
+	if l.failed != nil {
+		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
 	}
+	l.payload = encodeCommit(l.payload[:0], ts, ops)
+	l.buf = append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(l.payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(l.payload))
+	l.buf = append(l.buf, l.payload...)
 	if _, err := l.f.Write(l.buf); err != nil {
-		return fmt.Errorf("wal: append payload: %w", err)
+		l.fail(err)
+		return fmt.Errorf("wal: append: %w", err)
 	}
 	if l.sync {
 		if err := l.f.Sync(); err != nil {
+			l.fail(err)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 	}
+	l.off += int64(len(l.buf))
 	return nil
+}
+
+// fail marks the log failed and rewinds to the last record boundary,
+// best-effort: if the medium refuses the truncate too, the partial bytes
+// stay, but the failed flag guarantees nothing is appended after them and
+// replay treats them as a torn tail.
+func (l *Log) fail(err error) {
+	l.failed = err
+	if terr := l.f.Truncate(l.off); terr == nil {
+		l.f.Seek(l.off, io.SeekStart)
+	}
 }
 
 // Payload encoding: ts u64, opCount u32, then per op:
