@@ -180,7 +180,7 @@ func (g deltaGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
 // corruption rejected with wal.ErrCorrupt), the persistent delta store
 // resumes at its durable prefix, and the first replica build consumes
 // whatever that prefix already covers.
-func Open(opts Options) (*DB, error) {
+func Open(opts Options) (_ *DB, err error) {
 	db := &DB{opts: opts}
 	if opts.Undirected {
 		db.store = graph.NewUndirectedStore()
@@ -192,6 +192,22 @@ func Open(opts Options) (*DB, error) {
 		db.store.AddCapturer(db.ds)
 		return db, nil
 	}
+
+	// A failed Open must not leak the handles it already acquired: close
+	// pools and log before reporting the error.
+	defer func() {
+		if err == nil {
+			return
+		}
+		if db.wal != nil {
+			db.wal.Close()
+		}
+		for _, p := range []*pmem.Pool{db.deltaPool, db.csrPool} {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
 
 	fsys := opts.FS
 	if fsys == nil {
@@ -212,7 +228,6 @@ func Open(opts Options) (*DB, error) {
 	// Delta-store pools first: a fresh pair is only trusted once the
 	// sentinel exists, so partially created pools from a mid-init crash are
 	// wiped and rebuilt instead of opened.
-	var err error
 	if _, serr := fsys.Stat(sentinelPath); serr == nil {
 		// Existing pools: recover (§6.5 instant recovery). The delta store
 		// resumes with its durable records; the engine's initial replica
@@ -245,6 +260,17 @@ func Open(opts Options) (*DB, error) {
 		}
 		if err := writeSentinel(fsys, sentinelPath, opts.PersistDir); err != nil {
 			return nil, err
+		}
+	}
+
+	// A checkpoint that crashed before its rename leaves graph.wal.tmp
+	// behind. The live log is still intact (the rename is the commit point),
+	// so the leftover is garbage: remove it so no later checkpoint or
+	// inspection can mistake its stale records for durable state.
+	walTmp := walPath + ".tmp"
+	if _, serr := fsys.Stat(walTmp); serr == nil {
+		if err := fsys.Remove(walTmp); err != nil {
+			return nil, fmt.Errorf("h2tap: remove stale checkpoint temp: %w", err)
 		}
 	}
 
@@ -428,12 +454,10 @@ func (db *DB) Checkpoint() error {
 	if db.wal == nil {
 		return nil
 	}
-	return db.store.WithCommitBarrier(func() error {
-		if err := db.wal.Rotate(db.store, db.store.Oracle().LastCommitted()); err != nil {
-			return fmt.Errorf("h2tap: checkpoint: %w", err)
-		}
-		return nil
-	})
+	if err := db.wal.Rotate(db.store); err != nil {
+		return fmt.Errorf("h2tap: checkpoint: %w", err)
+	}
+	return nil
 }
 
 // Close shuts the queue down and closes the write-ahead log and persistent

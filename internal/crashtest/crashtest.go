@@ -12,11 +12,12 @@
 //   - Consistent durable delta store: the persistent delta store re-opens at
 //     a transaction boundary (deltastore.Validate passes — every durable
 //     record fully published, payload ranges covered by durable arrays).
-//   - Service resumes: a post-recovery commit succeeds, and a propagation
+//   - Service resumes: a post-recovery commit succeeds, a propagation
 //     yields a replica identical to a CSR built fresh from the recovered
-//     main graph.
+//     main graph, and a checkpoint compacts the log — even when the crash
+//     interrupted a checkpoint and left its temp file behind.
 //   - Durability holds again: the post-recovery commit survives a second
-//     restart.
+//     restart (which also replays the post-recovery checkpoint's log).
 //
 // The crash model (see internal/faultinject) is write-through with ordered
 // writes, so crashing after operation N with nothing torn is the same
@@ -317,6 +318,14 @@ func recoverAndCheck(dir string, golden []string, completed int) (int, error) {
 	want := csr.Build(db.Store(), db.SnapshotTS())
 	if !csr.Equal(db.Engine().HostCSR(), want) {
 		return m, errors.New("post-recovery replica diverges from main graph")
+	}
+
+	// Checkpointing must work on the recovered database too — in particular
+	// when the crash interrupted a checkpoint mid-flight, the leftover temp
+	// file must not poison the new snapshot (the second restart below would
+	// then see a corrupt or stale log).
+	if err := db.Checkpoint(); err != nil {
+		return m, fmt.Errorf("post-recovery checkpoint: %w", err)
 	}
 
 	// Durability holds again: the probe commit survives a second restart.

@@ -38,10 +38,13 @@ func snapshotOps(s *graph.Store, ts mvto.TS) []graph.LoggedOp {
 }
 
 // writeSnapshotLog writes one synthetic commit record carrying the snapshot
-// into a fresh file at tmp, fsyncs it, and closes it. On any failure the
-// partial file is removed.
+// into a fresh file at tmp, fsyncs it, and closes it. The open truncates:
+// a leftover tmp from a checkpoint that crashed before its rename must not
+// leave stale bytes ahead of the new snapshot (they would be renamed into
+// the live log and read back as a corrupt prefix or resurrected state). On
+// any failure the partial file is removed.
 func writeSnapshotLog(fsys vfs.FS, tmp string, ts mvto.TS, ops []graph.LoggedOp) error {
-	nl, err := Open(tmp, Options{SyncEveryCommit: true, FS: fsys})
+	nl, err := Open(tmp, Options{SyncEveryCommit: true, FS: fsys, truncate: true})
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
@@ -79,8 +82,9 @@ func swapIn(fsys vfs.FS, tmp, path string) error {
 // log from growing without bound.
 //
 // The caller must quiesce writers to the log being replaced (the h2tap
-// facade uses Rotate instead, which blocks writers on the log's own mutex).
-// The returned Log is open for appending and replaces the old handle.
+// facade uses Rotate instead, which excludes committing transactions via
+// the store's commit barrier). The returned Log is open for appending and
+// replaces the old handle.
 func Checkpoint(path string, s *graph.Store, ts mvto.TS, opts Options) (*Log, error) {
 	fsys := opts.fs()
 	tmp := path + ".tmp"
@@ -93,17 +97,26 @@ func Checkpoint(path string, s *graph.Store, ts mvto.TS, opts Options) (*Log, er
 	return Open(path, opts)
 }
 
-// Rotate checkpoints the log in place: the snapshot at ts is written to a
-// temp file, renamed over the log's path, and the log's handle swapped to
-// the new file — all while holding the log's append mutex, so committing
-// transactions block for the duration instead of racing the swap. Combined
-// with the store-level commit barrier (graph.Store.WithCommitBarrier) this
-// removes the "maintenance window" requirement entirely.
+// Rotate checkpoints the log in place: the store's committed snapshot is
+// written to a temp file, renamed over the log's path, and the log's handle
+// swapped to the new file. Rotate runs under the store's commit barrier
+// (graph.Store.WithCommitBarrier), which it takes itself: no transaction
+// can sit between logging and publishing while the snapshot is exported or
+// the files are swapped, so a commit whose record is in the old log is
+// always covered by the snapshot — no "maintenance window" needed. The
+// append mutex is additionally held across the swap to serialize against
+// Size, Close, and any logging not routed through the store.
 //
 // Crash atomicity matches Checkpoint: old log or new log, never a mix. On
 // success a previously failed log is rehabilitated (the new file is whole
 // by construction).
-func (l *Log) Rotate(s *graph.Store, ts mvto.TS) error {
+func (l *Log) Rotate(s *graph.Store) error {
+	return s.WithCommitBarrier(func() error { return l.rotateLocked(s) })
+}
+
+// rotateLocked is Rotate's body; the caller holds the store commit barrier.
+func (l *Log) rotateLocked(s *graph.Store) error {
+	ts := s.Oracle().LastCommitted()
 	ops := snapshotOps(s, ts)
 	l.mu.Lock()
 	defer l.mu.Unlock()

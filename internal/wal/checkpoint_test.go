@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -119,6 +120,77 @@ func TestCheckpointCompactsAndRecovers(t *testing.T) {
 		t.Fatalf("post-recovery rel id %d reuses churned id space", rid)
 	}
 	tx4.Commit()
+}
+
+// TestRotateIgnoresStaleTemp leaves a .tmp behind — as a checkpoint that
+// crashed before its rename would — and checks the next rotation truncates
+// it: stale records must never be renamed into the live log, where they
+// would replay as resurrected old state or a corrupt prefix.
+func TestRotateIgnoresStaleTemp(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		stale func(t *testing.T, tmp string)
+	}{
+		{"complete-old-snapshot", func(t *testing.T, tmp string) {
+			ol, err := Open(tmp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss := graph.NewStore()
+			ss.AddOpLogger(ol)
+			for i := 0; i < 5; i++ {
+				tx := ss.Begin()
+				if _, err := tx.AddNode("Stale", nil); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ol.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"torn-garbage", func(t *testing.T, tmp string) {
+			if err := os.WriteFile(tmp, []byte{0x10, 0x00, 0x00, 0x00, 0xde, 0xad}, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "graph.wal")
+			l, err := Open(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := graph.NewStore()
+			s.AddOpLogger(l)
+			tx := s.Begin()
+			tx.AddNode("P", nil)
+			tx.AddNode("P", nil)
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			tc.stale(t, path+".tmp")
+
+			if err := l.Rotate(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			s2 := graph.NewStore()
+			st, err := ReplayFS(nil, path, s2)
+			if err != nil {
+				t.Fatalf("replay after rotate over stale temp: %v", err)
+			}
+			if st.Records != 1 || st.TornTail || s2.LiveNodes() != 2 {
+				t.Fatalf("Records=%d TornTail=%v nodes=%d, want 1/false/2 (stale temp bytes leaked into the log)", st.Records, st.TornTail, s2.LiveNodes())
+			}
+		})
+	}
 }
 
 func TestCheckpointOnDoubleRegisteredStore(t *testing.T) {

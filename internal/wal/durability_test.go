@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"os"
 	"path/filepath"
@@ -146,6 +147,37 @@ func TestInteriorCorruptionDetected(t *testing.T) {
 	flipAt("interior-crc", first+4)
 }
 
+// TestCorruptSizeCannotSkipInteriorDamage rewrites the second record's size
+// field so it claims exactly the rest of the file — plausible and in-bounds.
+// A corruption check that trusted the claimed size would scan from past the
+// last record, find nothing, and misread the damage as a torn tail,
+// silently dropping the two committed records that follow. Replay must scan
+// from the damaged record's header instead, find the valid third record
+// inside the claimed window, and return ErrCorrupt.
+func TestCorruptSizeCannotSkipInteriorDamage(t *testing.T) {
+	l, path := openLog(t)
+	commitN(t, l, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tailRecordLenAt(t, whole, 0)
+	data := append([]byte{}, whole...)
+	claimed := uint32(int64(len(data)) - first - recordHeaderSize)
+	binary.LittleEndian.PutUint32(data[first:], claimed)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := graph.NewStore()
+	if _, err := ReplayFS(nil, path, s2); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt size field replayed with err=%v, want ErrCorrupt", err)
+	}
+}
+
 // tailRecordLenAt returns the length of the record starting at off.
 func tailRecordLenAt(t *testing.T, data []byte, off int64) int64 {
 	t.Helper()
@@ -252,9 +284,10 @@ func TestFailedAppendRewindsAndLatches(t *testing.T) {
 }
 
 // TestRotateUnderConcurrentCommits hammers the log with committing
-// goroutines while rotating it (under the store's commit barrier, exactly
-// as DB.Checkpoint does) and checks that replay recovers every committed
-// transaction — none lost to the swap, no maintenance window needed.
+// goroutines while rotating it (Rotate takes the store's commit barrier
+// itself, exactly as DB.Checkpoint relies on) and checks that replay
+// recovers every committed transaction — none lost to the swap, no
+// maintenance window needed.
 func TestRotateUnderConcurrentCommits(t *testing.T) {
 	l, path := openLog(t)
 	s := graph.NewStore()
@@ -283,10 +316,7 @@ func TestRotateUnderConcurrentCommits(t *testing.T) {
 	go func() {
 		defer close(done)
 		for i := 0; i < 5; i++ {
-			err := s.WithCommitBarrier(func() error {
-				return l.Rotate(s, s.Oracle().LastCommitted())
-			})
-			if err != nil {
+			if err := l.Rotate(s); err != nil {
 				t.Errorf("rotate %d: %v", i, err)
 				return
 			}

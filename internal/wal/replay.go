@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -60,9 +61,16 @@ func Replay(path string, s *graph.Store) (mvto.TS, error) {
 // valid record *after* it is interior corruption: committed transactions
 // would be silently dropped while later ones survive, breaking the
 // committed-prefix guarantee, so replay returns ErrCorrupt instead of
-// guessing. The check scans forward from the bad record for any decodable
-// record (a superset of one-record lookahead, so a corrupted size field
-// cannot disguise interior damage as a tail).
+// guessing. The check scans forward from immediately after the damaged
+// record's header — not from where its (possibly corrupted) size field says
+// the record ends, which a bit-flip could push past a valid following
+// record. This errs conservative: a torn tail whose partial payload happens
+// to embed a decodable record is reported as corruption rather than
+// trimmed, instead of interior damage ever being silently dropped.
+//
+// Records are streamed through a bounded buffer — recovery memory is
+// O(largest record) plus the folded graph state, not O(log size); only the
+// corruption check reads the remainder of the log at once.
 func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 	if fsys == nil {
 		fsys = vfs.OS()
@@ -72,41 +80,74 @@ func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 	if err != nil {
 		return st, fmt.Errorf("wal: replay open: %w", err)
 	}
-	data, err := io.ReadAll(f)
-	f.Close()
-	if err != nil {
-		return st, fmt.Errorf("wal: replay read: %w", err)
-	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
 
 	nodes := make(map[uint64]*nodeState)
 	rels := make(map[uint64]*relState)
 	var maxTS mvto.TS
 	records := 0
 
-	off := 0
-	for {
-		if off+recordHeaderSize > len(data) {
-			st.TornTail = off < len(data)
-			break // EOF or torn header: end of valid log
+	// tailOrCorrupt decides the fate of a damaged record at off: torn tail
+	// if nothing decodable follows the record's header, interior corruption
+	// otherwise. after holds every byte read beyond the header so far; the
+	// rest of the file is drained to complete the scan window.
+	tailOrCorrupt := func(off int64, after []byte, what string) error {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("wal: replay read: %w", err)
 		}
-		size := int(binary.LittleEndian.Uint32(data[off:]))
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		bodyOff := off + recordHeaderSize
-		if size > 1<<30 || bodyOff+size > len(data) {
-			// Implausible or over-long size: a torn tail only if no valid
-			// record hides in the remaining bytes.
-			if scanForRecord(data[bodyOff:]) {
-				return st, fmt.Errorf("%w: damaged record header at offset %d before further valid records", ErrCorrupt, off)
+		scan := make([]byte, 0, len(after)+len(rest))
+		scan = append(append(scan, after...), rest...)
+		if scanForRecord(scan) {
+			return fmt.Errorf("%w: %s at offset %d before further valid records", ErrCorrupt, what, off)
+		}
+		st.TornTail = true
+		return nil
+	}
+
+	var off int64
+	hdr := make([]byte, recordHeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				break // clean end of log
 			}
-			st.TornTail = true
+			if err == io.ErrUnexpectedEOF {
+				st.TornTail = true // torn header
+				break
+			}
+			return st, fmt.Errorf("wal: replay read: %w", err)
+		}
+		size := int(binary.LittleEndian.Uint32(hdr))
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if size > 1<<30 {
+			if err := tailOrCorrupt(off, nil, "implausible record size"); err != nil {
+				return st, err
+			}
 			break
 		}
-		payload := data[bodyOff : bodyOff+size]
-		if crc32.ChecksumIEEE(payload) != sum {
-			if scanForRecord(data[bodyOff+size:]) {
-				return st, fmt.Errorf("%w: checksum mismatch at offset %d before further valid records", ErrCorrupt, off)
+		if cap(payload) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		n, err := io.ReadFull(r, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Record extends past the physical end of the log: a torn tail,
+			// unless a corrupted size field is hiding valid records inside
+			// the bytes it claims.
+			if err := tailOrCorrupt(off, payload[:n], "over-long record"); err != nil {
+				return st, err
 			}
-			st.TornTail = true
+			break
+		} else if err != nil {
+			return st, fmt.Errorf("wal: replay read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if err := tailOrCorrupt(off, payload, "checksum mismatch"); err != nil {
+				return st, err
+			}
 			break
 		}
 		ts, ops, err := decodeCommit(payload)
@@ -120,9 +161,9 @@ func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 		for i := range ops {
 			foldOp(nodes, rels, &ops[i])
 		}
-		off = bodyOff + size
+		off += int64(recordHeaderSize + size)
 	}
-	st.ValidLen = int64(off)
+	st.ValidLen = off
 
 	// Materialize the fold.
 	var rn []graph.RestoredNode

@@ -32,6 +32,7 @@ import (
 const (
 	openRDWR   = os.O_RDWR
 	openCreate = os.O_CREATE
+	openTrunc  = os.O_TRUNC
 	ioSeekEnd  = io.SeekEnd
 )
 
@@ -68,6 +69,11 @@ type Options struct {
 	// fault-injection harness uses it to crash individual appends and
 	// syncs on the production code path.
 	FS vfs.FS
+	// truncate discards any existing content when opening. Checkpointing
+	// sets it for the snapshot temp file so a leftover .tmp from a crashed
+	// earlier checkpoint can never leave stale records ahead of the new
+	// snapshot.
+	truncate bool
 }
 
 func (o Options) fs() vfs.FS {
@@ -80,7 +86,11 @@ func (o Options) fs() vfs.FS {
 // Open opens or creates a log at path for appending.
 func Open(path string, opts Options) (*Log, error) {
 	fsys := opts.fs()
-	f, err := fsys.OpenFile(path, openRDWR|openCreate, 0o644)
+	flag := openRDWR | openCreate
+	if opts.truncate {
+		flag |= openTrunc
+	}
+	f, err := fsys.OpenFile(path, flag, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
