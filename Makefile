@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full clean
+.PHONY: verify build vet test race crash crash-full bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
 # detection on the concurrency-heavy packages, and a short-budget
@@ -17,8 +17,20 @@ vet:
 test:
 	$(GO) test ./...
 
+# race runs the entire suite under the race detector, including the
+# propagation stress tests (committers racing Propagate cycles).
 race:
-	$(GO) test -race ./internal/deltastore ./internal/htap ./internal/mvto ./internal/wal
+	$(GO) test -race ./...
+
+# bench-record stores the propagation benchmark series (Fig 10 kernels plus
+# the parallel-merge ablation) for comparison across changes.
+bench-record:
+	$(GO) test . -run '^$$' -bench 'BenchmarkFig10|BenchmarkAblationParallelMerge' -benchtime 3x | tee bench_record.txt
+
+# verify-bench fails if the 8-worker scan+merge pipeline is slower than the
+# serial path beyond noise (see benchguard_test.go for the threshold).
+verify-bench:
+	H2TAP_VERIFY_BENCH=1 $(GO) test . -run TestVerifyBenchSpeedup -v
 
 crash:
 	$(GO) test -short ./internal/crashtest

@@ -31,7 +31,7 @@ import (
 )
 
 // benchGraph loads an SNB-like graph for benchmarking.
-func benchGraph(b *testing.B, sf float64, down int) (*graph.Store, *ldbc.Dataset, mvto.TS) {
+func benchGraph(b testing.TB, sf float64, down int) (*graph.Store, *ldbc.Dataset, mvto.TS) {
 	b.Helper()
 	ds := ldbc.GenerateSNB(ldbc.SNBConfig{SF: sf, Downscale: down, Seed: 1})
 	s := graph.NewStore()
@@ -670,6 +670,50 @@ func BenchmarkAblationLayoutParallelAppend(b *testing.B) {
 			}
 		})
 	})
+}
+
+// AblationParallelMerge: the parallel three-phase CSR merge vs the serial
+// Algorithm 2 on a ≥500k-delta batch, at several worker counts. `make
+// bench-record` stores this series; `make verify-bench` guards the 8-worker
+// speedup against regression (on multi-core hardware).
+func BenchmarkAblationParallelMerge(b *testing.B) {
+	const batchN = 500_000
+	s, _, ts := benchGraph(b, 1, 25)
+	base := csr.Build(s, ts)
+	fe := deltastore.NewVolatile()
+	feedSynthetic(fe, batchN, s.NumNodeSlots())
+	batch := fe.ScanWorkers(1<<40, 1)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			merged, _ := csr.MergeSerial(base, batch)
+			_ = merged
+		}
+	})
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				merged, _ := csr.MergeWorkers(base, batch, w)
+				_ = merged
+			}
+		})
+	}
+}
+
+// AblationParallelScan: pass-2 grouping of the delta store scan, serial vs
+// bucketed parallel, on a ≥500k-record store.
+func BenchmarkAblationParallelScan(b *testing.B) {
+	const batchN = 500_000
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fe := deltastore.NewVolatile()
+				feedSynthetic(fe, batchN, 1<<16)
+				b.StartTimer()
+				fe.ScanWorkers(1<<40, w)
+			}
+		})
+	}
 }
 
 // AblationAppendOnly: DELTA_FE's lookup-free appends vs the R store's keyed

@@ -1,0 +1,51 @@
+package h2tap
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"h2tap/internal/csr"
+	"h2tap/internal/deltastore"
+)
+
+// TestVerifyBenchSpeedup is the bench regression guard behind `make
+// verify-bench`: serial vs 8-worker scan+merge on a 500k-delta batch. It
+// fails when the parallel pipeline is slower than serial beyond noise. The
+// 0.8 floor keeps single-core CI containers green — there every worker
+// count degenerates to the serial path plus goroutine overhead — while on
+// multi-core hardware the expected speedup is well above 1 (≥2× at 8
+// workers on an 8-core host), so a real regression still trips the guard.
+func TestVerifyBenchSpeedup(t *testing.T) {
+	if os.Getenv("H2TAP_VERIFY_BENCH") == "" {
+		t.Skip("set H2TAP_VERIFY_BENCH=1 to run the bench regression guard")
+	}
+	const batchN = 500_000
+	s, _, ts := benchGraph(t, 1, 25)
+	base := csr.Build(s, ts)
+
+	measure := func(workers int) time.Duration {
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			fe := deltastore.NewVolatile()
+			feedSynthetic(fe, batchN, s.NumNodeSlots())
+			t0 := time.Now()
+			batch := fe.ScanWorkers(1<<40, workers)
+			merged, _ := csr.MergeWorkers(base, batch, workers)
+			d := time.Since(t0)
+			_ = merged
+			if d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := measure(1)
+	par := measure(8)
+	speedup := float64(serial) / float64(par)
+	t.Logf("scan+merge on %d deltas: serial=%v 8-workers=%v speedup=%.2f×", batchN, serial, par, speedup)
+	if speedup < 0.8 {
+		t.Fatalf("parallel propagation regressed: 8-worker scan+merge speedup %.2f× < 0.8× (serial %v, parallel %v)",
+			speedup, serial, par)
+	}
+}

@@ -29,6 +29,7 @@ func main() {
 		downscale  = flag.Int("downscale", 0, "override dataset downscale factor")
 		queryScale = flag.Int("queryscale", 0, "override query-count scale factor")
 		rmatScale  = flag.Int("rmatscale", 0, "override RMAT scale for table1")
+		workers    = flag.Int("workers", 0, "propagation worker count (0 = GOMAXPROCS); adds a series point to parmerge")
 		seed       = flag.Int64("seed", 1, "random seed")
 		skipHeavy  = flag.Bool("skip-heavy", false, "skip long-running experiments (fig9, table1)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
@@ -58,6 +59,9 @@ func main() {
 	}
 	if *rmatScale > 0 {
 		cfg.RMATScale = *rmatScale
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 	cfg.Seed = *seed
 

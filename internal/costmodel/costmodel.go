@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Linear is a univariate linear model y = A + B·x.
@@ -126,6 +127,65 @@ func (m *Model) Threshold(graphEdges float64) uint64 {
 		return math.MaxUint64
 	}
 	return uint64(n)
+}
+
+// WorkerModels holds one fitted Model per propagation worker count. With
+// parallel scan/merge/rebuild the four linear coefficients all change with
+// the worker count (the copy and modify slopes shrink roughly with
+// parallel speedup, the rebuild slope likewise), so the merge-vs-rebuild
+// threshold must be evaluated against the coefficients of the worker count
+// the engine actually runs with (§6.4, extended for the parallel pipeline).
+type WorkerModels struct {
+	Models map[int]*Model
+}
+
+// NewWorkerModels returns an empty per-worker-count model set.
+func NewWorkerModels() *WorkerModels {
+	return &WorkerModels{Models: make(map[int]*Model)}
+}
+
+// Put records the model calibrated at the given worker count.
+func (w *WorkerModels) Put(workers int, m *Model) {
+	if w.Models == nil {
+		w.Models = make(map[int]*Model)
+	}
+	w.Models[workers] = m
+}
+
+// For returns the model for the given worker count, falling back to the
+// nearest calibrated count (ties prefer the smaller — the conservative,
+// slower model). Returns nil if no model has been calibrated.
+func (w *WorkerModels) For(workers int) *Model {
+	if w == nil || len(w.Models) == 0 {
+		return nil
+	}
+	if m, ok := w.Models[workers]; ok {
+		return m
+	}
+	best, bestDist := 0, math.MaxInt
+	for c := range w.Models {
+		d := c - workers
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist || (d == bestDist && c < best) {
+			best, bestDist = c, d
+		}
+	}
+	return w.Models[best]
+}
+
+// Counts returns the calibrated worker counts in ascending order.
+func (w *WorkerModels) Counts() []int {
+	if w == nil {
+		return nil
+	}
+	out := make([]int, 0, len(w.Models))
+	for c := range w.Models {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Sample is one calibration observation.

@@ -170,3 +170,50 @@ func TestQuickThresholdIsCrossover(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWorkerModels(t *testing.T) {
+	var nilWM *WorkerModels
+	if nilWM.For(4) != nil {
+		t.Fatal("nil WorkerModels must return nil")
+	}
+	if nilWM.Counts() != nil {
+		t.Fatal("nil WorkerModels must have no counts")
+	}
+	wm := NewWorkerModels()
+	if wm.For(4) != nil {
+		t.Fatal("empty WorkerModels must return nil")
+	}
+	m1 := &Model{Scan: Linear{A: 1}}
+	m4 := &Model{Scan: Linear{A: 4}}
+	m8 := &Model{Scan: Linear{A: 8}}
+	wm.Put(1, m1)
+	wm.Put(4, m4)
+	wm.Put(8, m8)
+
+	if got := wm.Counts(); len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("Counts = %v, want [1 4 8]", got)
+	}
+	if wm.For(4) != m4 {
+		t.Fatal("exact match must return that model")
+	}
+	// Nearest-count fallback; ties prefer the smaller (slower) model.
+	if wm.For(3) != m4 {
+		t.Fatal("3 is nearest to 4")
+	}
+	if wm.For(2) != m1 {
+		t.Fatal("2 ties between 1 and 4: the smaller count wins")
+	}
+	if wm.For(6) != m4 {
+		t.Fatal("6 ties between 4 and 8: the smaller count wins")
+	}
+	if wm.For(100) != m8 {
+		t.Fatal("beyond the largest count, the largest model is nearest")
+	}
+
+	// Put on a zero-value struct allocates the map.
+	var zero WorkerModels
+	zero.Put(2, m1)
+	if zero.For(2) != m1 {
+		t.Fatal("Put on zero value must work")
+	}
+}

@@ -7,8 +7,6 @@ package csr
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"h2tap/internal/delta"
 	"h2tap/internal/mvto"
@@ -85,65 +83,10 @@ type Snapshot interface {
 
 // Build constructs a CSR from a snapshot of the main graph — the full
 // rebuild the paper shows to be the bottleneck (§1: 11× the SSSP execution
-// time at SF 10). Rows are gathered in parallel, then laid out by prefix
-// sum.
+// time at SF 10). Rows are gathered in parallel across DefaultWorkers
+// workers, then laid out by sharded prefix sum (see BuildWorkers).
 func Build(src Snapshot, ts mvto.TS) *CSR {
-	n := src.NumNodeSlots()
-	rows := make([][]delta.Edge, n)
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + uint64(workers) - 1) / uint64(workers)
-	if chunk == 0 {
-		chunk = 1
-	}
-	for w := uint64(0); w < n; w += chunk {
-		lo, hi := w, w+chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				rows[id] = src.OutEdgesAt(id, ts)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-
-	c := &CSR{Off: make([]int64, n+1)}
-	var total int64
-	for id := uint64(0); id < n; id++ {
-		c.Off[id] = total
-		total += int64(len(rows[id]))
-	}
-	c.Off[n] = total
-	c.Col = make([]uint64, total)
-	c.Val = make([]float64, total)
-	for w := uint64(0); w < n; w += chunk {
-		lo, hi := w, w+chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi uint64) {
-			defer wg.Done()
-			for id := lo; id < hi; id++ {
-				at := c.Off[id]
-				for _, e := range rows[id] {
-					c.Col[at] = e.Dst
-					c.Val[at] = e.W
-					at++
-				}
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return c
+	return BuildWorkers(src, ts, 0)
 }
 
 // MergeStats describes the work split of one Merge: the copied (unchanged)
@@ -158,13 +101,20 @@ type MergeStats struct {
 }
 
 // Merge produces the new CSR from the old CSR and one propagation batch —
-// Algorithm 2. Untouched rows are block-copied with shifted offsets;
-// touched rows are three-way merged with their combined delta (old row
-// minus deletes, plus/overwriting inserts, deleted nodes becoming empty
-// rows); rows for newly inserted nodes are taken from their deltas alone.
-// The batch's deltas must be sorted by node ID, which deltastore.Scan
-// guarantees.
+// Algorithm 2 — using DefaultWorkers workers (the parallel sharded merge
+// for multi-core hosts, the serial single-pass merge otherwise). Both paths
+// produce identical bytes; see MergeSerial for the algorithm description.
 func Merge(old *CSR, batch *delta.Batch) (*CSR, MergeStats) {
+	return MergeWorkers(old, batch, 0)
+}
+
+// MergeSerial is the single-threaded Algorithm 2 reference. Untouched rows
+// are block-copied with shifted offsets; touched rows are three-way merged
+// with their combined delta (old row minus deletes, plus/overwriting
+// inserts, deleted nodes becoming empty rows); rows for newly inserted
+// nodes are taken from their deltas alone. The batch's deltas must be
+// sorted by node ID, which deltastore.Scan guarantees.
+func MergeSerial(old *CSR, batch *delta.Batch) (*CSR, MergeStats) {
 	var st MergeStats
 	oldN := uint64(old.NumNodes())
 	newN := oldN

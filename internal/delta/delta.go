@@ -50,6 +50,12 @@ func (d *TxDelta) Empty() bool { return len(d.Nodes) == 0 }
 type Builder struct {
 	byNode map[uint64]int
 	nodes  []NodeDelta
+	// reIns marks (src, dst) inserts that superseded a same-transaction
+	// delete. Such an edge existed before the transaction, so a later
+	// delete of it must be recorded rather than cancelled against the
+	// insert — a delete → re-insert → delete chain otherwise nets to "no
+	// change" and leaves the pre-existing edge alive in the replica.
+	reIns map[[2]uint64]struct{}
 }
 
 // NewBuilder returns an empty Builder.
@@ -72,12 +78,20 @@ func (b *Builder) InsertNode(node uint64) { b.at(node).Inserted = true }
 // DeleteNode records that the transaction deleted node. Any edge inserts or
 // deletes previously recorded for the node are dropped: the deleted flag
 // subsumes them ("this avoids storing the destination node IDs for all its
-// outgoing relationships", §5.1).
+// outgoing relationships", §5.1). An insert flag from the same transaction
+// is cancelled too — deletion wins, matching Combine's cross-transaction
+// fold (the replica treats deleting an absent node as a no-op).
 func (b *Builder) DeleteNode(node uint64) {
 	d := b.at(node)
 	d.Deleted = true
+	d.Inserted = false
 	d.Ins = nil
 	d.Del = nil
+	for k := range b.reIns {
+		if k[0] == node {
+			delete(b.reIns, k)
+		}
+	}
 }
 
 // InsertEdge records an inserted relationship src→dst with the given
@@ -93,6 +107,10 @@ func (b *Builder) InsertEdge(src, dst uint64, w float64) {
 	for i := range d.Del {
 		if d.Del[i] == dst {
 			d.Del = append(d.Del[:i], d.Del[i+1:]...)
+			if b.reIns == nil {
+				b.reIns = make(map[[2]uint64]struct{})
+			}
+			b.reIns[[2]uint64{src, dst}] = struct{}{}
 			break
 		}
 	}
@@ -109,7 +127,9 @@ func (b *Builder) InsertEdge(src, dst uint64, w float64) {
 
 // DeleteEdge records a deleted relationship src→dst, mapped to the source
 // node. If the same transaction inserted that edge earlier, the pair
-// cancels out.
+// cancels out — unless that insert had itself superseded a delete (the
+// edge pre-existed the transaction), in which case the delete survives.
+// Del stays duplicate-free.
 func (b *Builder) DeleteEdge(src, dst uint64) {
 	d := b.at(src)
 	if d.Deleted {
@@ -118,6 +138,15 @@ func (b *Builder) DeleteEdge(src, dst uint64) {
 	for i := range d.Ins {
 		if d.Ins[i].Dst == dst {
 			d.Ins = append(d.Ins[:i], d.Ins[i+1:]...)
+			if _, pre := b.reIns[[2]uint64{src, dst}]; !pre {
+				return // the insert created the edge: net no-op
+			}
+			delete(b.reIns, [2]uint64{src, dst})
+			break
+		}
+	}
+	for _, have := range d.Del {
+		if have == dst {
 			return
 		}
 	}

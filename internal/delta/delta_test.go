@@ -53,6 +53,32 @@ func TestBuilderDeleteThenReinsertSameTxn(t *testing.T) {
 	}
 }
 
+func TestBuilderDeleteReinsertDeleteSurvives(t *testing.T) {
+	// The edge pre-existed (the first delete proves it). Delete →
+	// re-insert → delete within one transaction must net to a delete:
+	// cancelling the final delete against the re-insert would leave the
+	// pre-existing edge alive in the replica.
+	b := NewBuilder()
+	b.DeleteEdge(1, 2)
+	b.InsertEdge(1, 2, 9)
+	b.DeleteEdge(1, 2)
+	d := b.Build(1)
+	if len(d.Nodes) != 1 {
+		t.Fatalf("nodes = %+v", d.Nodes)
+	}
+	nd := d.Nodes[0]
+	if len(nd.Ins) != 0 || len(nd.Del) != 1 || nd.Del[0] != 2 {
+		t.Fatalf("del-ins-del delta = %+v, want a bare delete", nd)
+	}
+	// One more round: the delete can be superseded again.
+	b.InsertEdge(1, 2, 3)
+	d = b.Build(1)
+	nd = d.Nodes[0]
+	if len(nd.Del) != 0 || len(nd.Ins) != 1 || nd.Ins[0].W != 3 {
+		t.Fatalf("del-ins-del-ins delta = %+v, want the insert", nd)
+	}
+}
+
 func TestBuilderDeleteNodeSubsumesEdges(t *testing.T) {
 	b := NewBuilder()
 	b.InsertEdge(1, 2, 0.5)

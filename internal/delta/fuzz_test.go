@@ -1,0 +1,152 @@
+package delta
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzCombineReplay drives the Builder + Combine composition with random
+// multi-transaction histories on one source node and checks the result
+// against a naive ground-truth replay.
+//
+// The harness decodes the fuzz input into an initial replica state plus a
+// sequence of transactions, each a list of operations. Operations are
+// filtered the way the transactional graph API filters them (an edge insert
+// fails if the edge is present, a delete fails if it is absent, a node
+// insert fails if the node exists), so every generated history is one the
+// store can actually produce. Each transaction's surviving operations feed
+// one Builder; the per-transaction deltas are folded by Combine; and the
+// Combined entry is applied to the initial state with the merge semantics
+// (delete of an absent edge is a no-op, insert of a present edge overwrites
+// its weight, a deleted node loses all edges). The outcome must equal the
+// sequential ground-truth state.
+func FuzzCombineReplay(f *testing.F) {
+	f.Add([]byte{0x04, 1, 0x10, 2, 0x00, 2})          // del 2, reinsert 2 in one txn
+	f.Add([]byte{0x04, 1, 0x10, 2, 0x00, 2, 0x10, 2}) // del-ins-del in one txn
+	f.Add([]byte{0x00, 1, 0x00, 1, 0x40, 0, 0x10, 1}) // ins, txn boundary, del
+	f.Add([]byte{0x07, 1, 0x30, 0})                   // node delete
+	f.Add([]byte{0x00, 0, 0x20, 0, 0x00, 5, 0x10, 5}) // node insert then edge churn
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		const node = 7
+		// Ground truth: node existence and edge set. Header byte 0: initial
+		// edge set (dsts 0..7, weight 1); byte 1 bit 0: initial existence.
+		// A node that starts absent has no edges. Node IDs are never reused
+		// by the store, so a node deleted inside the window can only be
+		// inserted if it never existed before (fresh ID); the harness
+		// mirrors that with everExisted.
+		exists := data[1]&1 == 1
+		truth := map[uint64]float64{}
+		initial := map[uint64]float64{}
+		if exists {
+			for d := uint64(0); d < 8; d++ {
+				if data[0]&(1<<d) != 0 {
+					truth[d] = 1
+					initial[d] = 1
+				}
+			}
+		}
+		initialExists := exists
+		everExisted := exists
+		data = data[2:]
+
+		var parts []NodeDelta
+		b := NewBuilder()
+		endTxn := func() {
+			if d := b.Build(1); !d.Empty() {
+				parts = append(parts, d.Nodes...)
+			}
+			b = NewBuilder()
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			kind, arg := data[i]>>4, uint64(data[i+1]%16)
+			w := float64(data[i]&0x0f) + 1
+			switch kind % 5 {
+			case 0: // insert edge (valid only if node exists and edge absent)
+				if _, present := truth[arg]; exists && !present {
+					truth[arg] = w
+					b.InsertEdge(node, arg, w)
+				}
+			case 1: // delete edge (valid only if present)
+				if _, present := truth[arg]; exists && present {
+					delete(truth, arg)
+					b.DeleteEdge(node, arg)
+				}
+			case 2: // insert node (valid only if it never existed: fresh ID)
+				if !everExisted {
+					exists, everExisted = true, true
+					b.InsertNode(node)
+				}
+			case 3: // delete node (valid only if present; drops its edges)
+				if exists {
+					exists = false
+					truth = map[uint64]float64{}
+					b.DeleteNode(node)
+				}
+			case 4: // transaction boundary
+				endTxn()
+			}
+		}
+		endTxn()
+
+		c := Combine(node, parts)
+
+		// Structural invariants of a Combined entry.
+		if !sort.SliceIsSorted(c.Ins, func(i, j int) bool { return c.Ins[i].Dst < c.Ins[j].Dst }) {
+			t.Fatalf("Ins not sorted: %+v", c.Ins)
+		}
+		if !sort.SliceIsSorted(c.Del, func(i, j int) bool { return c.Del[i] < c.Del[j] }) {
+			t.Fatalf("Del not sorted: %+v", c.Del)
+		}
+		seen := map[uint64]bool{}
+		for _, e := range c.Ins {
+			if seen[e.Dst] {
+				t.Fatalf("duplicate in Ins: %+v", c.Ins)
+			}
+			seen[e.Dst] = true
+		}
+		for _, d := range c.Del {
+			if seen[d] {
+				t.Fatalf("Ins/Del overlap or duplicate Del at %d: %+v / %v", d, c.Ins, c.Del)
+			}
+			seen[d] = true
+		}
+
+		// Apply the combined delta to the initial state with the merge
+		// semantics and compare against the ground truth.
+		got := map[uint64]float64{}
+		gotExists := initialExists
+		switch {
+		case c.Deleted:
+			gotExists = false
+		case c.Inserted:
+			gotExists = true
+		}
+		if !c.Deleted {
+			for k, v := range initial {
+				got[k] = v
+			}
+			for _, d := range c.Del {
+				delete(got, d)
+			}
+			for _, e := range c.Ins {
+				got[e.Dst] = e.W
+			}
+		}
+		if gotExists != exists {
+			t.Fatalf("node existence: merge says %v, truth %v (combined %+v)", gotExists, exists, c)
+		}
+		if exists {
+			if len(got) != len(truth) {
+				t.Fatalf("edge sets differ: merge %v, truth %v (combined %+v, initial %v)", got, truth, c, initial)
+			}
+			for d, w := range truth {
+				if gw, ok := got[d]; !ok || gw != w {
+					t.Fatalf("edge %d: merge (%v,%v), truth weight %v (combined %+v, initial %v)", d, gw, ok, w, c, initial)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,158 @@
+package deltastore
+
+import (
+	"sort"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/mvto"
+)
+
+// combinedEq compares two Combined entries ignoring nil-vs-empty slice
+// differences (the grouping fast path materializes lists directly; the slow
+// path builds them through Combine).
+func combinedEq(a, b delta.Combined) bool {
+	if a.Node != b.Node || a.Inserted != b.Inserted || a.Deleted != b.Deleted {
+		return false
+	}
+	if len(a.Ins) != len(b.Ins) || len(a.Del) != len(b.Del) {
+		return false
+	}
+	for i := range a.Ins {
+		if a.Ins[i] != b.Ins[i] {
+			return false
+		}
+	}
+	for i := range a.Del {
+		if a.Del[i] != b.Del[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzScanGrouping checks the scan's pass-2 grouping — including its
+// single-record fast path and the parallel bucketed grouping — against a
+// naive reference fold: collect every record per node in timestamp order and
+// hand each group to delta.Combine. The fuzz input decodes to a sequence of
+// transactions built through delta.Builder (so records carry exactly the
+// invariants real commits produce); identical stores are scanned at worker
+// counts 1, 2 and 8 and must all agree with the reference.
+func FuzzScanGrouping(f *testing.F) {
+	f.Add([]byte{0x00, 1, 2, 0x40, 0, 0, 0x10, 1, 2})       // ins, boundary, del
+	f.Add([]byte{0x00, 1, 2, 0x00, 5, 2, 0x00, 9, 2})       // three nodes, one txn
+	f.Add([]byte{0x30, 4, 0, 0x40, 0, 0, 0x20, 4, 0})       // node del, boundary, ins flag
+	f.Add([]byte{0x00, 1, 1, 0x10, 1, 1, 0x40, 0, 0, 0x00, 1, 1}) // churn on one edge
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode: triples (op, node, arg). op high nibble %5 selects the
+		// operation, low nibble feeds the weight; node/arg are reduced to
+		// small ranges so transactions collide on nodes. Operations are
+		// validity-filtered the way the graph API filters them (no duplicate
+		// edge inserts, no deletes of absent objects, node IDs never
+		// reused), so every decoded history is one real commits can
+		// produce — the grouping fast path is only contractually defined
+		// for such records.
+		type nodeState struct {
+			exists bool
+			edges        map[uint64]bool
+		}
+		world := map[uint64]*nodeState{}
+		at := func(n uint64) *nodeState {
+			s, ok := world[n]
+			if !ok {
+				// Nodes start existing (pre-loaded graph) unless first
+				// touched by an insert.
+				s = &nodeState{exists: true, edges: map[uint64]bool{}}
+				world[n] = s
+			}
+			return s
+		}
+		var txns []*delta.TxDelta
+		b := delta.NewBuilder()
+		endTxn := func() {
+			if d := b.Build(mvto.TS(len(txns) + 1)); !d.Empty() {
+				txns = append(txns, d)
+			}
+			b = delta.NewBuilder()
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			kind := (data[i] >> 4) % 5
+			w := float64(data[i]&0x0f) + 1
+			node, arg := uint64(data[i+1]%32), uint64(data[i+2]%32)
+			switch kind {
+			case 0:
+				if s := at(node); s.exists && !s.edges[arg] {
+					s.edges[arg] = true
+					b.InsertEdge(node, arg, w)
+				}
+			case 1:
+				if s := at(node); s.exists && s.edges[arg] {
+					delete(s.edges, arg)
+					b.DeleteEdge(node, arg)
+				}
+			case 2:
+				// Valid only for an untouched ID: node IDs are never
+				// reused, and a previously touched ID already exists(ed).
+				if _, ok := world[node]; !ok {
+					world[node] = &nodeState{exists: true, edges: map[uint64]bool{}}
+					b.InsertNode(node)
+				}
+			case 3:
+				if s := at(node); s.exists {
+					s.exists = false
+					s.edges = map[uint64]bool{}
+					b.DeleteNode(node)
+				}
+			case 4:
+				endTxn()
+			}
+		}
+		endTxn()
+		if len(txns) == 0 {
+			return
+		}
+		tp := mvto.TS(len(txns) + 1)
+
+		// Reference fold: per-node groups in timestamp (= capture) order.
+		perNode := map[uint64][]delta.NodeDelta{}
+		records := 0
+		for _, tx := range txns {
+			for _, nd := range tx.Nodes {
+				perNode[nd.Node] = append(perNode[nd.Node], nd)
+				records++
+			}
+		}
+		nodes := make([]uint64, 0, len(perNode))
+		for n := range perNode {
+			nodes = append(nodes, n)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		var want []delta.Combined
+		for _, n := range nodes {
+			if c := delta.Combine(n, perNode[n]); !c.Empty() {
+				want = append(want, c)
+			}
+		}
+
+		for _, workers := range []int{1, 2, 8} {
+			s := NewVolatile()
+			for _, tx := range txns {
+				s.Capture(tx)
+			}
+			batch := s.ScanWorkers(tp, workers)
+			if batch.Records != records {
+				t.Fatalf("workers=%d: consumed %d records, want %d", workers, batch.Records, records)
+			}
+			if len(batch.Deltas) != len(want) {
+				t.Fatalf("workers=%d: %d combined deltas, want %d\ngot  %+v\nwant %+v",
+					workers, len(batch.Deltas), len(want), batch.Deltas, want)
+			}
+			for i := range want {
+				if !combinedEq(batch.Deltas[i], want[i]) {
+					t.Fatalf("workers=%d: delta %d differs\ngot  %+v\nwant %+v",
+						workers, i, batch.Deltas[i], want[i])
+				}
+			}
+		}
+	})
+}

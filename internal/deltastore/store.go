@@ -21,6 +21,7 @@
 package deltastore
 
 import (
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -263,32 +264,58 @@ func (s *Store) Capture(d *delta.TxDelta) {
 	}
 }
 
+// scanHit is one consumed record reference collected by scan pass 1; the
+// payloads stay in the shared arrays until grouping materializes them.
+type scanHit struct {
+	node uint64
+	ts   mvto.TS
+	rec  *record
+}
+
 // Scan is the delta store scan (§5.2) run by a propagation transaction with
-// timestamp tp. It combines, per node, every record that is valid and
-// visible (appended by a transaction older than tp and fully published),
-// marks the consumed records invalid, and returns the batch sorted by node
-// ID. Records from transactions newer than tp — including those appended
-// concurrently with the scan — are left for the next cycle (§5.3).
+// timestamp tp, using DefaultScanWorkers for the grouping pass. It
+// combines, per node, every record that is valid and visible (appended by
+// a transaction older than tp and fully published), marks the consumed
+// records invalid, and returns the batch sorted by node ID. Records from
+// transactions newer than tp — including those appended concurrently with
+// the scan — are left for the next cycle (§5.3).
 //
 // Scan may run concurrently with Capture but not with another Scan: update
 // propagation is serialized by the engine (§4.3, one replica version at a
 // time).
 func (s *Store) Scan(tp mvto.TS) *delta.Batch {
+	return s.ScanWorkers(tp, 0)
+}
+
+// DefaultScanWorkers is the grouping-pass worker count Scan uses:
+// GOMAXPROCS.
+func DefaultScanWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 1 {
+		return w
+	}
+	return 1
+}
+
+// ScanWorkers is Scan with an explicit worker count for pass 2 (grouping,
+// Combine, sorting). Pass 1 — consuming records and advancing the consumed
+// prefix — stays a single-consumer walk regardless of workers: consumption
+// mutates record state words and the prefix watermark, and keeping one
+// consumer is what makes the invalidation protocol a plain read-modify-
+// write (see the §5.3 comment below). The returned batch is identical for
+// every worker count.
+func (s *Store) ScanWorkers(tp mvto.TS, workers int) *delta.Batch {
+	if workers <= 0 {
+		workers = DefaultScanWorkers()
+	}
 	s.clearMu.RLock()
 	defer s.clearMu.RUnlock()
 
 	// Pass 1: consume valid+visible records, collecting lightweight
-	// references. The payloads stay in the shared arrays until grouping
-	// decides how to materialize them.
-	type hit struct {
-		node uint64
-		ts   mvto.TS
-		rec  *record
-	}
+	// references.
 	limit := s.records.Len()
 	start := s.consumedPrefix.Load()
 	newPrefix := limit
-	hits := make([]hit, 0, 256)
+	hits := make([]scanHit, 0, 256)
 	s.forEachFrom(start, limit, func(i uint64, rec *record) bool {
 		st := rec.state.Load()
 		if st&stReady == 0 {
@@ -318,13 +345,24 @@ func (s *Store) Scan(tp mvto.TS) *delta.Batch {
 				s.failPersist(err)
 			}
 		}
-		hits = append(hits, hit{node: rec.node, ts: rec.ts, rec: rec})
+		hits = append(hits, scanHit{node: rec.node, ts: rec.ts, rec: rec})
 		return true
 	})
 	s.consumedPrefix.Store(newPrefix)
 
-	// Pass 2: group by node (sort keeps per-node parts in timestamp order
-	// for Combine and yields the node-sorted batch Algorithm 2 consumes).
+	batch := &delta.Batch{TS: tp, Records: len(hits)}
+	if workers > 1 && len(hits) >= 2 {
+		batch.Deltas = s.groupParallel(hits, workers)
+	} else {
+		batch.Deltas = s.groupHits(hits)
+	}
+	return batch
+}
+
+// groupHits is scan pass 2: group hits by node (the sort keeps per-node
+// parts in timestamp order for Combine and yields the node-sorted deltas
+// Algorithm 2 consumes), combine and materialize.
+func (s *Store) groupHits(hits []scanHit) []delta.Combined {
 	sort.Slice(hits, func(i, j int) bool {
 		if hits[i].node != hits[j].node {
 			return hits[i].node < hits[j].node
@@ -332,7 +370,7 @@ func (s *Store) Scan(tp mvto.TS) *delta.Batch {
 		return hits[i].ts < hits[j].ts
 	})
 
-	batch := &delta.Batch{TS: tp, Records: len(hits)}
+	var out []delta.Combined
 	for i := 0; i < len(hits); {
 		j := i + 1
 		for j < len(hits) && hits[j].node == hits[i].node {
@@ -357,11 +395,85 @@ func (s *Store) Scan(tp mvto.TS) *delta.Batch {
 			c = delta.Combine(hits[i].node, parts)
 		}
 		if !c.Empty() {
-			batch.Deltas = append(batch.Deltas, c)
+			out = append(out, c)
 		}
 		i = j
 	}
-	return batch
+	return out
+}
+
+// groupParallel shards pass 2 by node range: hits are scattered into
+// node-range buckets chosen from sampled quantiles (so skewed node
+// distributions still balance), each bucket is grouped by an independent
+// worker via groupHits, and the per-bucket outputs concatenate — bucket
+// ranges are disjoint and ascending, so the result is the same node-sorted
+// delta list the serial pass produces. All hit mutation happened in pass 1;
+// workers only read record payloads, which are immutable once published.
+func (s *Store) groupParallel(hits []scanHit, workers int) []delta.Combined {
+	// Quantile splitters from a strided sample of hit nodes.
+	stride := len(hits) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	sample := make([]uint64, 0, 256)
+	for i := 0; i < len(hits); i += stride {
+		sample = append(sample, hits[i].node)
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	splitters := make([]uint64, 0, workers-1)
+	for k := 1; k < workers; k++ {
+		sp := sample[k*len(sample)/workers]
+		if len(splitters) == 0 || sp > splitters[len(splitters)-1] {
+			splitters = append(splitters, sp)
+		}
+	}
+	nb := len(splitters) + 1
+	bucketOf := func(node uint64) int {
+		return sort.Search(len(splitters), func(i int) bool { return node < splitters[i] })
+	}
+
+	// Counted scatter into one backing array, preserving arrival (and thus
+	// timestamp) order within each bucket.
+	counts := make([]int, nb)
+	for i := range hits {
+		counts[bucketOf(hits[i].node)]++
+	}
+	offs := make([]int, nb+1)
+	for b := 0; b < nb; b++ {
+		offs[b+1] = offs[b] + counts[b]
+	}
+	scattered := make([]scanHit, len(hits))
+	cur := append([]int(nil), offs[:nb]...)
+	for i := range hits {
+		b := bucketOf(hits[i].node)
+		scattered[cur[b]] = hits[i]
+		cur[b]++
+	}
+
+	// Group each bucket in parallel, concatenate in bucket order.
+	outs := make([][]delta.Combined, nb)
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		if counts[b] == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			outs[b] = s.groupHits(scattered[offs[b]:offs[b+1]])
+		}(b)
+	}
+	wg.Wait()
+
+	var total int
+	for b := range outs {
+		total += len(outs[b])
+	}
+	out := make([]delta.Combined, 0, total)
+	for b := range outs {
+		out = append(out, outs[b]...)
+	}
+	return out
 }
 
 // materialize reads one record's payload from the shared arrays — the

@@ -135,14 +135,24 @@ func (s Stats) Ops() int {
 	return s.EdgeInserts + s.EdgeDeletes + s.NodeInserts + s.NodeDeletes
 }
 
-// ApplyBatch ingests one propagation batch — Algorithm 1. Deltas are
+// ApplyBatch ingests one propagation batch — Algorithm 1 — with
+// GOMAXPROCS workers for the existing-node edge batches. See
+// ApplyBatchWorkers.
+func (g *Graph) ApplyBatch(b *delta.Batch) Stats {
+	return g.ApplyBatchWorkers(b, 0)
+}
+
+// ApplyBatchWorkers ingests one propagation batch — Algorithm 1 — with an
+// explicit worker count (workers <= 0 selects GOMAXPROCS). Deltas are
 // partitioned by the pre-update maximum node ID: deleted nodes go to a
 // deletion queue, deltas for existing nodes apply their edge inserts and
 // deletes in batches, deltas beyond the old range enter an insertion queue;
 // the queues are drained last (lines 10-11). Edge batches for distinct
 // vertices are ingested in parallel, mirroring the GPU structure's
-// concurrent bucket updates.
-func (g *Graph) ApplyBatch(b *delta.Batch) Stats {
+// concurrent bucket updates: each delta touches only its own vertex's
+// table, so sharding the node-sorted delta list gives workers disjoint
+// vertex sets. The resulting graph is identical at every worker count.
+func (g *Graph) ApplyBatchWorkers(b *delta.Batch, workers int) Stats {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
@@ -165,8 +175,10 @@ func (g *Graph) ApplyBatch(b *delta.Batch) Stats {
 	}
 
 	// Lines 6-7: batched edge ingestion for existing nodes, parallel
-	// across vertices (each delta touches only its own vertex's table).
-	workers := runtime.GOMAXPROCS(0)
+	// across vertices.
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(existing) {
 		workers = len(existing)
 	}

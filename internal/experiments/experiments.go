@@ -38,7 +38,11 @@ type Config struct {
 	// RMATScale is the Graph500-like scale for Table 1 (default 15; the
 	// paper uses 24).
 	RMATScale int
-	Seed      int64
+	// Workers is the propagation worker count for engine-based experiments
+	// and an extra series point for the parmerge ablation (0 = the
+	// GOMAXPROCS default).
+	Workers int
+	Seed    int64
 }
 
 // Default returns the laptop-scale configuration. RMATScale 17 keeps

@@ -30,6 +30,7 @@ func All() []Experiment {
 		{ID: "sec66", Desc: "Update handling walkthrough (§6.6 numbers)", Run: Config.Sec66},
 		{ID: "costmodel", Desc: "Cost model calibration and threshold (§6.4)", Run: Config.CostModelExp},
 		{ID: "parallel", Desc: "Delta store append throughput vs clients (extension)", Run: Config.ParallelExp},
+		{ID: "parmerge", Desc: "Parallel scan/merge/rebuild ablation vs worker count (extension)", Run: Config.ParallelMergeExp},
 		{ID: "freshness", Desc: "Propagation amortization across analytics batches (extension)", Run: Config.FreshnessExp},
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"h2tap/internal/csr"
 	"h2tap/internal/delta"
@@ -208,6 +209,71 @@ func (r *ResidentCSR) Replace(c *csr.CSR) (sim.Duration, error) {
 // Free releases the replica's device memory.
 func (r *ResidentCSR) Free() { r.buf.Free() }
 
+// StreamSegment is one ready-to-ship piece of a new CSR: Bytes of payload
+// that became available Ready after the merge started (wall clock of the
+// producing merge worker).
+type StreamSegment struct {
+	Bytes int64
+	Ready time.Duration
+}
+
+// ReplaceStreamed uploads the new CSR as a sequence of segments pipelined
+// against their production: segment i's transfer starts when both the bus
+// is free and the segment is ready, so early segments ship while later rows
+// are still being merged (§5.4's transfer overlapped with the parallel
+// merge). mergeWall is the wall-clock duration of the whole merge.
+//
+// It returns the *exposed* transfer time — the simulated bus time extending
+// past the merge, which is what the propagation cycle actually waits for —
+// and the total bus busy time (the sum of per-segment transfers, also
+// charged to the device as HostToDevice). With no overlap (every segment
+// ready at mergeWall) exposed equals the full transfer, matching Replace.
+func (r *ResidentCSR) ReplaceStreamed(c *csr.CSR, segs []StreamSegment, mergeWall time.Duration) (exposed, bus sim.Duration, err error) {
+	buf, err := r.dev.Malloc(c.Bytes())
+	if err != nil {
+		r.buf.Free()
+		buf, err = r.dev.Malloc(c.Bytes())
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		r.buf.Free()
+	}
+
+	// Pipelined bus timeline in simulated time. Wall-clock ready times map
+	// 1:1 onto the simulated timeline: the host-side merge runs for real
+	// here, the bus is the simulated part.
+	var busFree, total sim.Duration
+	var streamed int64
+	for _, s := range segs {
+		ready := sim.Duration(s.Ready)
+		if ready > busFree {
+			busFree = ready
+		}
+		t := r.dev.HostToDevice(s.Bytes)
+		busFree += t
+		total += t
+		streamed += s.Bytes
+	}
+	// Whatever the segments did not cover (e.g. the Off[0] word, or an
+	// empty segment list) ships after the merge completes.
+	if rest := c.Bytes() - streamed; rest > 0 {
+		t := r.dev.HostToDevice(rest)
+		if w := sim.Duration(mergeWall); busFree < w {
+			busFree = w
+		}
+		busFree += t
+		total += t
+	}
+	exposed = busFree - sim.Duration(mergeWall)
+	if exposed < 0 {
+		exposed = 0
+	}
+	r.buf = buf
+	r.c = c
+	return exposed, total, nil
+}
+
 // ResidentDyn is a dynamic-structure replica in device memory — the dynamic
 // path of Fig 1 (top right). Ingest coalesces a propagation batch, ships it
 // in a single transfer (§5.4: "copy them to the GPU memory all at once")
@@ -238,10 +304,16 @@ func UploadDyn(d *Device, g *dyngraph.Graph) (*ResidentDyn, sim.Duration, error)
 func (r *ResidentDyn) Graph() *dyngraph.Graph { return r.g }
 
 // Ingest applies a propagation batch: one coalesced transfer plus the
-// batched update kernel (Algorithm 1).
+// batched update kernel (Algorithm 1), with the default worker count.
 func (r *ResidentDyn) Ingest(b *delta.Batch) (sim.Duration, dyngraph.Stats, error) {
+	return r.IngestWorkers(b, 0)
+}
+
+// IngestWorkers is Ingest with an explicit worker count for the host-side
+// hash-table updates (workers <= 0 selects GOMAXPROCS).
+func (r *ResidentDyn) IngestWorkers(b *delta.Batch, workers int) (sim.Duration, dyngraph.Stats, error) {
 	t := r.dev.HostToDevice(b.TransferBytes())
-	st := r.g.ApplyBatch(b)
+	st := r.g.ApplyBatchWorkers(b, workers)
 	kt, err := r.dev.Launch(sim.KernelIngest, float64(st.Ops()))
 	if err != nil {
 		return 0, st, err

@@ -197,6 +197,18 @@ func (r *rel) visible(ts mvto.TS) *objVersion {
 	return visibleVersion(&r.chain, &r.versions, ts)
 }
 
+// newest returns the newest version of the relationship (which reflects
+// its latest committed or in-flight state), or nil if it has none.
+func (r *rel) newest() *objVersion {
+	r.chain.Lock()
+	vs := r.versions
+	r.chain.Unlock()
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs[len(vs)-1]
+}
+
 func (n *node) appendVersion(v *objVersion) {
 	n.chain.Lock()
 	n.versions = append(n.versions, v)

@@ -136,8 +136,15 @@ func (tx *Tx) Commit() error {
 			return fmt.Errorf("graph: write-ahead log: %w", err)
 		}
 	}
-	d := tx.b.Build(tx.m.TS())
-	tx.m.OnCommit(func(mvto.TS) { tx.s.capture(d) })
+	// Capture the delta BEFORE version publication unlocks the touched
+	// objects (tx.m.Commit runs the per-op unlock hooks). Capture-then-
+	// unlock means two transactions touching the same node append their
+	// records in lock order = timestamp order; with capture as a commit
+	// hook after the unlocks, the later transaction could append first and
+	// a scan landing between the two captures would hand the replica the
+	// deltas across two cycles in reverse timestamp order. The transaction
+	// is already write-ahead logged, so it can no longer abort.
+	tx.s.capture(tx.b.Build(tx.m.TS()))
 	return tx.m.Commit()
 }
 
@@ -201,6 +208,10 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 	sv.meta.RecordRead(ts)
 	dv.meta.RecordRead(ts)
 
+	// Fast-path duplicate check before allocating a relationship slot. This
+	// alone is racy — two concurrent inserts of the same (src, dst) can both
+	// pass it before either publishes — so the authoritative check runs
+	// again below, after our own adjacency entry is appended.
 	for _, rid := range sn.snapshotOut() {
 		r := tx.s.rels.At(rid)
 		dup := r.dst == dst
@@ -224,12 +235,17 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 	// permanently invisible entry, which readers filter by version.
 	// Undirected edges enter both endpoints' out lists (§5.1); directed
 	// edges enter the source's out list and the destination's in list.
+	// The pre-append slice headers delimit the entries that published
+	// before ours in each list, for the authoritative duplicate check.
 	sn.chain.Lock()
+	outBefore := sn.out[:len(sn.out):len(sn.out)]
 	sn.out = append(sn.out, id)
 	sn.chain.Unlock()
+	var dnBefore []RelID
 	if tx.s.undirected {
 		if dst != src {
 			dn.chain.Lock()
+			dnBefore = dn.out[:len(dn.out):len(dn.out)]
 			dn.out = append(dn.out, id)
 			dn.chain.Unlock()
 		}
@@ -237,6 +253,22 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 		dn.chain.Lock()
 		dn.in = append(dn.in, id)
 		dn.chain.Unlock()
+	}
+
+	// First-appender-wins duplicate resolution: now that our entry is
+	// published, re-scan the entries that were appended before it. If any
+	// of them is the same logical edge and potentially alive, we are the
+	// second appender and must give way — the earlier appender (if still
+	// in flight) will NOT see us in its own earlier-slice scan, so exactly
+	// the later of two racing inserts backs off. Without this, two
+	// concurrent inserts of the same (src, dst) both pass the pre-check
+	// (neither can see the other's uncommitted version) and both commit,
+	// leaving the store with a duplicate edge its replica model (§5.1
+	// identifies edges by (src, dst)) cannot represent.
+	if err := tx.dupAfterAppend(outBefore, dnBefore, src, dst, id); err != nil {
+		removeVersion(&r.chain, &r.versions, v)
+		v.meta.Unlock(ts)
+		return 0, err
 	}
 
 	tx.m.OnAbort(func() {
@@ -255,6 +287,56 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 	}
 	tx.logOp(LoggedOp{Kind: OpAddRel, ID: id, Src: src, Dst: dst, Label: label, Weight: weight})
 	return id, nil
+}
+
+// dupAfterAppend is the authoritative duplicate-edge check, run after the
+// caller's own adjacency entry is published. It scans the entries that were
+// appended before ours in each list and reports a conflict if any of them
+// is the same logical edge and potentially alive at or after our timestamp:
+//
+//   - visible at ts, or committed with an end timestamp after ts (its
+//     lifetime overlaps ours): a real duplicate;
+//   - write-locked by another transaction: an in-flight insert or delete
+//     whose outcome we cannot see — conservatively a conflict (if that
+//     transaction aborts, this is a false positive; the caller retries).
+//
+// Entries appended after ours run the same scan and see us, so of two
+// racing inserts exactly the later appender backs off.
+func (tx *Tx) dupAfterAppend(outBefore, dnBefore []RelID, src, dst NodeID, self RelID) error {
+	ts := tx.m.TS()
+	for _, list := range [2][]RelID{outBefore, dnBefore} {
+		for _, rid := range list {
+			if rid == self {
+				continue
+			}
+			r := tx.s.rels.At(rid)
+			dup := r.src == src && r.dst == dst
+			if tx.s.undirected {
+				dup = dup || (r.src == dst && r.dst == src)
+			}
+			if !dup {
+				continue
+			}
+			v := r.newest()
+			if v == nil {
+				continue
+			}
+			switch holder := v.meta.LockedBy(); {
+			case holder == ts:
+				// Our own earlier write in this transaction: a duplicate
+				// only if it is visible to us (we inserted it; a tombstone
+				// we wrote means we deleted it and may re-insert).
+				if r.visible(ts) != nil {
+					return fmt.Errorf("%w: %d→%d", ErrDuplicateEdge, src, dst)
+				}
+			case holder != 0:
+				return fmt.Errorf("%w: concurrent write to edge %d→%d", ErrWriteConflict, src, dst)
+			case v.meta.ETS() > ts:
+				return fmt.Errorf("%w: %d→%d", ErrDuplicateEdge, src, dst)
+			}
+		}
+	}
+	return nil
 }
 
 // deleteRel performs the §2.3 Delete protocol on a relationship record.

@@ -13,11 +13,34 @@ import (
 )
 
 // Calibrate measures the four §6.4 cost components on the current graph and
-// fits the cost model: CSR rebuild and copy against graph size, delta store
-// scan and merge-modify against delta count. Scan and merge samples use a
-// scratch delta store fed synthetic single-edge deltas, so calibration
-// leaves the production delta store untouched.
+// fits the cost model at the default worker count: CSR rebuild and copy
+// against graph size, delta store scan and merge-modify against delta
+// count. Scan and merge samples use a scratch delta store fed synthetic
+// single-edge deltas, so calibration leaves the production delta store
+// untouched.
 func Calibrate(store *graph.Store) (*costmodel.Model, error) {
+	return CalibrateWorkers(store, 0)
+}
+
+// CalibrateAll fits one model per worker count, for Config.CostModels: the
+// scan/copy/modify/rebuild coefficients all shift with the degree of
+// parallelism, so the merge-vs-rebuild threshold is only meaningful when
+// evaluated against the worker count propagation actually uses.
+func CalibrateAll(store *graph.Store, counts []int) (*costmodel.WorkerModels, error) {
+	wm := costmodel.NewWorkerModels()
+	for _, w := range counts {
+		m, err := CalibrateWorkers(store, w)
+		if err != nil {
+			return nil, err
+		}
+		wm.Put(w, m)
+	}
+	return wm, nil
+}
+
+// CalibrateWorkers is Calibrate with an explicit worker count for the
+// scan, merge and rebuild measurements (<= 0 selects the default).
+func CalibrateWorkers(store *graph.Store, workers int) (*costmodel.Model, error) {
 	ts := store.Oracle().LastCommitted()
 	var cal costmodel.Calibration
 
@@ -25,11 +48,11 @@ func Calibrate(store *graph.Store) (*costmodel.Model, error) {
 	// the current graph (linear interpolation matches the memcpy-bound
 	// behaviour the paper measures in Fig 9).
 	emptyStart := time.Now()
-	empty := csr.Build(store, 0)
+	empty := csr.BuildWorkers(store, 0, workers)
 	cal.AddRebuild(float64(empty.NumEdges()), time.Since(emptyStart).Seconds())
 
 	fullStart := time.Now()
-	full := csr.Build(store, ts)
+	full := csr.BuildWorkers(store, ts, workers)
 	cal.AddRebuild(float64(full.NumEdges()), time.Since(fullStart).Seconds())
 
 	copyStart := time.Now()
@@ -59,11 +82,11 @@ func Calibrate(store *graph.Store) (*costmodel.Model, error) {
 			})
 		}
 		scanStart := time.Now()
-		batch := scratch.Scan(mvto.TS(deltas + 2))
+		batch := scratch.ScanWorkers(mvto.TS(deltas+2), workers)
 		cal.AddScan(float64(deltas), time.Since(scanStart).Seconds())
 
 		mergeStart := time.Now()
-		merged, _ := csr.Merge(full, batch)
+		merged, _ := csr.MergeWorkers(full, batch, workers)
 		mergeSecs := time.Since(mergeStart).Seconds()
 		_ = merged
 		modify := mergeSecs - copySecs

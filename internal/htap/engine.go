@@ -71,6 +71,16 @@ type Config struct {
 	// CostModel, when set, installs the §6.4 threshold so overflowing
 	// delta counts switch propagation to rebuild mode.
 	CostModel *costmodel.Model
+	// CostModels, when set, provides worker-count-aware coefficients: the
+	// threshold is derived from the model calibrated at (or nearest to) the
+	// engine's worker count, taking precedence over CostModel.
+	CostModels *costmodel.WorkerModels
+	// Workers is the propagation worker count used for the delta scan's
+	// grouping pass, the CSR merge/rebuild, and the dynamic-structure
+	// ingest. <= 0 selects GOMAXPROCS. With more than one worker the
+	// static path also streams merged node-range segments to the device as
+	// they finish, overlapping transfer with the merge.
+	Workers int
 	// PersistPool, when set (static replica only), maintains the §6.5
 	// persistent CSR copy after each propagation.
 	PersistPool *pmem.Pool
@@ -90,14 +100,21 @@ type PropagationReport struct {
 
 	Records int // delta records consumed
 	Deltas  int // combined per-node deltas
+	Workers int // propagation worker count used this cycle
 
 	ScanWall    time.Duration // delta store scan (§5.2)
 	MergeWall   time.Duration // CSR merge (§5.4) or rebuild
 	MergeStats  csr.MergeStats
 	PersistWall time.Duration // §6.5 persistent CSR copy (off critical path)
 
-	TransferSim sim.Duration // replica transfer / coalesced delta transfer
-	IngestSim   sim.Duration // dynamic-structure ingest kernel
+	// TransferSim is the transfer cost on the critical path. When
+	// Overlapped, early merge shards streamed to the device while later
+	// shards were still merging, so this is only the exposed tail;
+	// TransferBusSim is the full bus busy time.
+	TransferSim    sim.Duration
+	TransferBusSim sim.Duration
+	Overlapped     bool
+	IngestSim      sim.Duration // dynamic-structure ingest kernel
 
 	Total sim.Latency // critical-path cost: scan+merge wall, transfer+ingest sim
 }
@@ -196,9 +213,9 @@ func newEngine(store *graph.Store, cfg Config, register bool) (*Engine, error) {
 	// captures and recovered records from a pre-crash session whose
 	// replica state we are rebuilding from scratch here).
 	e.ds.Scan(ts + 1)
-	base := csr.Build(store, ts)
-	if cfg.CostModel != nil {
-		e.ds.SetThreshold(clampThreshold(cfg.CostModel.Threshold(float64(base.NumEdges()))))
+	base := csr.BuildWorkers(store, ts, e.workers())
+	if m := e.model(); m != nil {
+		e.ds.SetThreshold(clampThreshold(m.Threshold(float64(base.NumEdges()))))
 	}
 	switch cfg.Replica {
 	case StaticCSR:
@@ -219,6 +236,26 @@ func newEngine(store *graph.Store, cfg Config, register bool) (*Engine, error) {
 	}
 	e.replicaTS = ts + 1 // covers all commits < ts+1, i.e. ≤ ts
 	return e, nil
+}
+
+// workers resolves the configured propagation worker count.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return csr.DefaultWorkers()
+}
+
+// Workers reports the resolved propagation worker count.
+func (e *Engine) Workers() int { return e.workers() }
+
+// model picks the cost model governing the merge-vs-rebuild threshold:
+// the worker-count-aware set if present, the flat model otherwise.
+func (e *Engine) model() *costmodel.Model {
+	if m := e.cfg.CostModels.For(e.workers()); m != nil {
+		return m
+	}
+	return e.cfg.CostModel
 }
 
 // Store exposes the main graph.
@@ -280,10 +317,20 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 
 	tp := e.store.Oracle().Begin()
 	defer tp.Commit()
-	rep := &PropagationReport{Triggered: true, TS: tp.TS()}
+	// Visibility bound: timestamps are allocated at Begin, so a newer
+	// transaction can finish (and capture its delta) while an older one is
+	// still running. Consuming up to tp would let a record slip in *behind*
+	// the scan with a lower timestamp than deltas already applied to the
+	// replica — applied next cycle, it would regress that node (e.g.
+	// resurrect an edge a later delta deleted). Bounding by the oracle's
+	// stable timestamp — below it every transaction has finished and
+	// published its capture — keeps per-node replica application in
+	// timestamp order. tp itself is unfinished, so bound <= tp.TS().
+	bound := e.store.Oracle().StableTS() + 1
+	rep := &PropagationReport{Triggered: true, TS: bound}
 
 	if !e.ds.DeltaMode() {
-		if err := e.rebuild(tp.TS(), rep); err != nil {
+		if err := e.rebuild(bound, rep); err != nil {
 			return rep, err
 		}
 		e.propagations++
@@ -291,8 +338,10 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 		return rep, nil
 	}
 
+	workers := e.workers()
+	rep.Workers = workers
 	scanStart := time.Now()
-	batch := e.ds.Scan(tp.TS())
+	batch := e.ds.ScanWorkers(bound, workers)
 	rep.ScanWall = time.Since(scanStart)
 	rep.Records = batch.Records
 	rep.Deltas = len(batch.Deltas)
@@ -300,23 +349,66 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 
 	switch e.cfg.Replica {
 	case StaticCSR:
+		// With parallel workers, record when each merged node-range shard
+		// finishes so the device transfer of early shards can be pipelined
+		// against the merging of later ones (§5.4's transfer, overlapped).
+		var segMu sync.Mutex
+		var shards []csr.MergeShard
+		var readys []time.Duration
+		var onShard func(csr.MergeShard)
 		mergeStart := time.Now()
-		merged, st := csr.Merge(e.hostCSR, batch)
+		if workers > 1 {
+			onShard = func(s csr.MergeShard) {
+				ready := time.Since(mergeStart)
+				segMu.Lock()
+				shards = append(shards, s)
+				readys = append(readys, ready)
+				segMu.Unlock()
+			}
+		}
+		merged, st := csr.MergeObserved(e.hostCSR, batch, workers, onShard)
 		rep.MergeWall = time.Since(mergeStart)
 		rep.MergeStats = st
 		rep.Total.AddWall(rep.MergeWall)
 
 		e.replicaMu.Lock()
-		t, err := e.staticRep.Replace(merged)
-		if err != nil {
-			e.replicaMu.Unlock()
-			return rep, fmt.Errorf("htap: replica replace: %w", err)
+		if workers > 1 {
+			// The simulated bus ships shards in row order (the layout order
+			// on the device); a shard can ship once it and — transitively —
+			// nothing before it is still being written, so its effective
+			// ready time is the max over itself and its predecessors.
+			segs := make([]gpu.StreamSegment, len(shards))
+			for i, s := range shards {
+				segs[s.Index] = gpu.StreamSegment{Bytes: s.Bytes, Ready: readys[i]}
+			}
+			var latest time.Duration
+			for i := range segs {
+				if segs[i].Ready > latest {
+					latest = segs[i].Ready
+				}
+				segs[i].Ready = latest
+			}
+			exposed, bus, err := e.staticRep.ReplaceStreamed(merged, segs, rep.MergeWall)
+			if err != nil {
+				e.replicaMu.Unlock()
+				return rep, fmt.Errorf("htap: replica replace: %w", err)
+			}
+			rep.TransferSim = exposed
+			rep.TransferBusSim = bus
+			rep.Overlapped = true
+		} else {
+			t, err := e.staticRep.Replace(merged)
+			if err != nil {
+				e.replicaMu.Unlock()
+				return rep, fmt.Errorf("htap: replica replace: %w", err)
+			}
+			rep.TransferSim = t
+			rep.TransferBusSim = t
 		}
 		e.hostCSR = merged
-		e.replicaTS = tp.TS()
+		e.replicaTS = bound
 		e.replicaMu.Unlock()
-		rep.TransferSim = t
-		rep.Total.AddSim(t)
+		rep.Total.AddSim(rep.TransferSim)
 
 		// §6.5: the persistent CSR copy is only for recovery and does not
 		// gate analytics, so it is reported outside the critical path.
@@ -329,14 +421,15 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 		}
 	case DynamicHash:
 		e.replicaMu.Lock()
-		t, _, err := e.dynRep.Ingest(batch)
+		t, _, err := e.dynRep.IngestWorkers(batch, workers)
 		if err != nil {
 			e.replicaMu.Unlock()
 			return rep, fmt.Errorf("htap: dynamic ingest: %w", err)
 		}
-		e.replicaTS = tp.TS()
+		e.replicaTS = bound
 		e.replicaMu.Unlock()
 		rep.TransferSim = t
+		rep.TransferBusSim = t
 		rep.Total.AddSim(t)
 	}
 	e.propagations++
@@ -348,8 +441,9 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 // delta mode.
 func (e *Engine) rebuild(tp mvto.TS, rep *PropagationReport) error {
 	rep.Rebuild = true
+	rep.Workers = e.workers()
 	start := time.Now()
-	rebuilt := csr.Build(e.store, tp-1)
+	rebuilt := csr.BuildWorkers(e.store, tp-1, rep.Workers)
 	rep.MergeWall = time.Since(start)
 	rep.Total.AddWall(rep.MergeWall)
 
@@ -376,11 +470,12 @@ func (e *Engine) rebuild(tp mvto.TS, rep *PropagationReport) error {
 	}
 	e.replicaTS = tp
 	e.replicaMu.Unlock()
+	rep.TransferBusSim = rep.TransferSim
 	rep.Total.AddSim(rep.TransferSim)
 
 	e.ds.EnableDeltaMode()
-	if e.cfg.CostModel != nil {
-		e.ds.SetThreshold(clampThreshold(e.cfg.CostModel.Threshold(float64(rebuilt.NumEdges()))))
+	if m := e.model(); m != nil {
+		e.ds.SetThreshold(clampThreshold(m.Threshold(float64(rebuilt.NumEdges()))))
 	}
 	return nil
 }

@@ -158,10 +158,23 @@ func (s Status) String() string {
 }
 
 // Oracle issues transaction timestamps and tracks the high-water mark of
-// committed transactions.
+// committed transactions plus the *stable* timestamp: the highest TS such
+// that every transaction at or below it has finished (committed or
+// aborted). LastCommitted can run ahead of in-flight older transactions —
+// timestamps are allocated at Begin, so a newer transaction can commit
+// while an older one is still executing — but nothing at or below StableTS
+// can still be producing effects. Update propagation bounds its delta
+// visibility by the stable timestamp: consuming a record whose transaction
+// raced ahead of a still-running older transaction on the same node would
+// otherwise hand the replica the two deltas across cycles in reverse
+// timestamp order.
 type Oracle struct {
 	next          atomic.Uint64
 	lastCommitted atomic.Uint64
+	stable        atomic.Uint64
+
+	finishMu sync.Mutex
+	finished map[TS]struct{} // finished transactions above stable
 }
 
 // NewOracle returns an oracle whose first timestamp is 1 (0 is reserved for
@@ -182,6 +195,34 @@ func (o *Oracle) Next() TS { return TS(o.next.Load() + 1) }
 // LastCommitted reports the highest timestamp that has committed.
 func (o *Oracle) LastCommitted() TS { return TS(o.lastCommitted.Load()) }
 
+// StableTS reports the highest timestamp with no unfinished transaction at
+// or below it. Every transaction with ts <= StableTS has committed (and
+// published its captured deltas — capture precedes commit completion) or
+// aborted.
+func (o *Oracle) StableTS() TS { return TS(o.stable.Load()) }
+
+// finish marks t's transaction finished and advances the stable timestamp
+// over the contiguous run of finished transactions.
+func (o *Oracle) finish(t TS) {
+	o.finishMu.Lock()
+	if uint64(t) > o.stable.Load() {
+		if o.finished == nil {
+			o.finished = make(map[TS]struct{})
+		}
+		o.finished[t] = struct{}{}
+		s := TS(o.stable.Load())
+		for {
+			if _, ok := o.finished[s+1]; !ok {
+				break
+			}
+			delete(o.finished, s+1)
+			s++
+		}
+		o.stable.Store(uint64(s))
+	}
+	o.finishMu.Unlock()
+}
+
 // AdvanceTo fast-forwards the oracle past ts (recovery: new transactions
 // must be newer than anything replayed from a log).
 func (o *Oracle) AdvanceTo(ts TS) {
@@ -192,6 +233,17 @@ func (o *Oracle) AdvanceTo(ts TS) {
 		}
 	}
 	o.noteCommit(ts)
+	// Everything replayed below ts is finished by construction.
+	o.finishMu.Lock()
+	if uint64(ts) > o.stable.Load() {
+		o.stable.Store(uint64(ts))
+		for t := range o.finished {
+			if t <= ts {
+				delete(o.finished, t)
+			}
+		}
+	}
+	o.finishMu.Unlock()
 }
 
 func (o *Oracle) noteCommit(t TS) {
@@ -242,6 +294,7 @@ func (t *Txn) Commit() error {
 		fn(t.ts)
 	}
 	t.oracle.noteCommit(t.ts)
+	t.oracle.finish(t.ts)
 	t.undo = nil
 	t.onCommit = nil
 	return nil
@@ -256,6 +309,7 @@ func (t *Txn) Abort() error {
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		t.undo[i]()
 	}
+	t.oracle.finish(t.ts)
 	t.undo = nil
 	t.onCommit = nil
 	return nil
