@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full bench-record verify-bench clean
+.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
 # detection on the concurrency-heavy packages, and a short-budget
@@ -37,6 +37,22 @@ crash:
 
 crash-full:
 	$(GO) test ./internal/crashtest
+
+# fuzz-smoke runs each fuzz target for a short budget — enough to catch
+# regressions in the parsers and grouping logic without a dedicated fuzz
+# farm.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCommit -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzCombineReplay -fuzztime $(FUZZTIME) ./internal/delta
+	$(GO) test -run '^$$' -fuzz FuzzMerge -fuzztime $(FUZZTIME) ./internal/csr
+	$(GO) test -run '^$$' -fuzz FuzzScanGrouping -fuzztime $(FUZZTIME) ./internal/deltastore
+
+# fault-soak hammers propagation with randomized GPU faults through the
+# bench CLI (see internal/crashtest gpufaults for the invariants checked).
+SOAK_ROUNDS ?= 500
+fault-soak:
+	$(GO) run ./cmd/h2tap-bench -faults $(SOAK_ROUNDS)
 
 clean:
 	$(GO) clean ./...

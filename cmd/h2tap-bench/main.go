@@ -9,16 +9,21 @@
 //	h2tap-bench -exp all
 //	h2tap-bench -exp table1 -rmatscale 18
 //	h2tap-bench -exp all -full        # approach paper sizes (slow, big)
+//	h2tap-bench -faults 200           # GPU-fault soak: 200 randomized runs
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"time"
 
+	"h2tap/internal/crashtest"
 	"h2tap/internal/experiments"
+	"h2tap/internal/faultinject"
+	"h2tap/internal/htap"
 )
 
 func main() {
@@ -33,8 +38,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		skipHeavy  = flag.Bool("skip-heavy", false, "skip long-running experiments (fig9, table1)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		faults     = flag.Int("faults", 0, "GPU-fault soak mode: run this many randomized fault injections and exit")
 	)
 	flag.Parse()
+
+	if *faults > 0 {
+		os.Exit(faultSoak(*faults, *seed))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -101,4 +111,52 @@ func main() {
 			tab.Fprint(os.Stdout)
 		}
 	}
+}
+
+// faultSoak hammers the propagation pipeline with randomized GPU faults:
+// each round picks a replica kind, a device operation, an occurrence
+// within that operation's fault-free count, and a fault kind, then runs
+// the crashtest GPU workload and checks every propagation invariant
+// (failure-atomic consumption, degraded availability, post-heal
+// convergence, zero scrub divergence). Returns a non-zero exit code if any
+// round violates an invariant.
+func faultSoak(rounds int, seed int64) int {
+	replicas := []htap.ReplicaKind{htap.StaticCSR, htap.DynamicHash}
+	counts := make([]map[string]int64, len(replicas))
+	for i, r := range replicas {
+		c, err := crashtest.GPUGoldenRun(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fault soak: golden run (%v): %v\n", r, err)
+			return 1
+		}
+		counts[i] = c
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []faultinject.GPUFaultKind{faultinject.Transient, faultinject.Persistent}
+	failures, injected := 0, 0
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		ri := rng.Intn(len(replicas))
+		op := faultinject.GPUOps[rng.Intn(len(faultinject.GPUOps))]
+		max := counts[ri][op]
+		if max == 0 {
+			continue // workload never performs this op on this replica kind
+		}
+		res := crashtest.RunGPUFaultPoint(replicas[ri], op, 1+rng.Int63n(max), kinds[rng.Intn(len(kinds))])
+		if res.Injected > 0 {
+			injected++
+		}
+		if res.Err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "FAIL %v fault at %s#%d (%v): %v\n",
+				res.Kind, res.Op, res.N, res.Replica, res.Err)
+		}
+	}
+	fmt.Printf("fault soak: %d rounds (%d injected a fault), %d failures, %v\n",
+		rounds, injected, failures, time.Since(start).Round(time.Millisecond))
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"h2tap/internal/costmodel"
 	"h2tap/internal/deltastore"
@@ -71,6 +72,23 @@ type (
 	ReplicaKind = htap.ReplicaKind
 	// PropagationReport describes one update-propagation cycle.
 	PropagationReport = htap.PropagationReport
+	// Health is the analytics engine's availability state.
+	Health = htap.Health
+	// Staleness bounds how far the replica lags the main graph.
+	Staleness = htap.Staleness
+	// RetryPolicy bounds replica-apply retries within a propagation cycle.
+	RetryPolicy = htap.RetryPolicy
+	// ScrubReport is the outcome of a replica integrity scrub.
+	ScrubReport = htap.ScrubReport
+)
+
+// Health states.
+const (
+	// Healthy: the last propagation cycle succeeded.
+	Healthy = htap.Healthy
+	// Degraded: propagation is failing; analytics serve the last-good
+	// replica with an explicit staleness bound.
+	Degraded = htap.Degraded
 )
 
 // Property value constructors.
@@ -130,6 +148,15 @@ type Options struct {
 	// FS overrides the filesystem the WAL and persistent pools use (nil
 	// selects the real one). The crash-fault harness injects one here.
 	FS FS
+	// Retry bounds device-fault retries within a propagation cycle
+	// (zero fields select the defaults: 3 attempts, 1ms backoff doubling
+	// to 50ms).
+	Retry RetryPolicy
+	// DeltaHighWater, when non-zero, is the delta-store record count past
+	// which an emergency propagation is kicked off; if the engine is
+	// already Degraded (propagation failing), commits are rejected instead
+	// so a wedged device cannot hide unbounded delta-store growth.
+	DeltaHighWater uint64
 }
 
 // DB is an open H2TAP database.
@@ -144,6 +171,7 @@ type DB struct {
 
 	engineOnce sync.Once
 	engine     *htap.Engine
+	engineRef  atomic.Pointer[htap.Engine] // for commit-path guards racing StartEngine
 	engineErr  error
 	queue      *htap.Queue
 
@@ -171,6 +199,25 @@ func (g deltaGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
 	return nil
 }
 
+// ErrBackpressure rejects a commit because the analytics engine is Degraded
+// and the delta store has grown past its high-water mark: propagation
+// cannot drain the store, so admitting more updates would grow it without
+// bound. Commits succeed again once a propagation cycle recovers the
+// engine.
+var ErrBackpressure = fmt.Errorf("h2tap: engine degraded and delta store over high-water mark; commit rejected")
+
+// backpressureGuard is the committer-side half of the high-water backstop.
+// It reads the engine through the atomic ref because commits can race
+// StartEngine; before the engine exists there is nothing to throttle.
+type backpressureGuard struct{ db *DB }
+
+func (g backpressureGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
+	if e := g.db.engineRef.Load(); e != nil && e.Backpressure() {
+		return ErrBackpressure
+	}
+	return nil
+}
+
 // Open creates an empty database. Load data with Begin/Commit transactions
 // or BulkLoad, then run analytics; the replica engine starts lazily on the
 // first analytics call (or explicitly via StartEngine).
@@ -189,6 +236,9 @@ func Open(opts Options) (_ *DB, err error) {
 	}
 	if opts.PersistDir == "" {
 		db.ds = deltastore.NewVolatile()
+		if opts.DeltaHighWater > 0 {
+			db.store.AddOpLogger(backpressureGuard{db})
+		}
 		db.store.AddCapturer(db.ds)
 		return db, nil
 	}
@@ -292,6 +342,9 @@ func Open(opts Options) (_ *DB, err error) {
 		return nil, err
 	}
 	db.store.AddOpLogger(deltaGuard{db.ds})
+	if opts.DeltaHighWater > 0 {
+		db.store.AddOpLogger(backpressureGuard{db})
+	}
 	db.store.AddOpLogger(db.wal)
 	db.store.AddCapturer(db.ds)
 	return db, nil
@@ -337,6 +390,8 @@ func (db *DB) StartEngine() error {
 			PageRankIters: db.opts.PageRankIters,
 			Damping:       db.opts.Damping,
 			PersistPool:   db.csrPool,
+			Retry:         db.opts.Retry,
+			HighWater:     db.opts.DeltaHighWater,
 		}
 		if db.opts.EnableCostModel {
 			m, err := htap.Calibrate(db.store)
@@ -355,6 +410,7 @@ func (db *DB) StartEngine() error {
 			return
 		}
 		db.engine = e
+		db.engineRef.Store(e)
 		db.queue = htap.NewQueue(e)
 	})
 	return db.engineErr
@@ -404,6 +460,10 @@ type Stats struct {
 	Rebuilds            int64
 	DeviceMemUsed       int64
 	DeviceSimTime       sim.Duration
+	Health              Health
+	Retries             int64
+	FallbackRebuilds    int64
+	DegradedCycles      int64
 }
 
 // Stats reports current counters.
@@ -421,8 +481,41 @@ func (db *DB) Stats() Stats {
 		st.Rebuilds = db.engine.Rebuilds()
 		st.DeviceMemUsed = db.engine.Device().MemUsed()
 		st.DeviceSimTime = db.engine.Device().SimTime()
+		st.Health, _ = db.engine.Health()
+		st.Retries = db.engine.Retries()
+		st.FallbackRebuilds = db.engine.FallbackRebuilds()
+		st.DegradedCycles = db.engine.DegradedCycles()
 	}
 	return st
+}
+
+// Health reports the analytics engine's availability state and, when
+// Degraded, the fault that caused it. Before the engine starts the
+// database is trivially Healthy.
+func (db *DB) Health() (Health, error) {
+	if db.engine == nil {
+		return Healthy, nil
+	}
+	return db.engine.Health()
+}
+
+// ReplicaStaleness reports the current replica staleness bound (zero
+// before the engine starts).
+func (db *DB) ReplicaStaleness() Staleness {
+	if db.engine == nil {
+		return Staleness{}
+	}
+	return db.engine.Staleness()
+}
+
+// Scrub verifies the GPU replica against a main-graph snapshot at the
+// replica's own freshness watermark and forces a full rebuild on
+// divergence. It starts the engine if needed.
+func (db *DB) Scrub() (*ScrubReport, error) {
+	if err := db.StartEngine(); err != nil {
+		return nil, err
+	}
+	return db.engine.Scrub()
 }
 
 // LastCommitted reports the newest committed transaction timestamp.

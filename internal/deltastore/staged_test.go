@@ -1,0 +1,168 @@
+package deltastore
+
+import (
+	"path/filepath"
+	"testing"
+
+	"h2tap/internal/delta"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+)
+
+func stagedFixture() *Store {
+	s := NewVolatile()
+	s.Capture(txd(1,
+		delta.NodeDelta{Node: 5, Inserted: true, Ins: []delta.Edge{{Dst: 1, W: 2.0}}},
+		delta.NodeDelta{Node: 3, Ins: []delta.Edge{{Dst: 5, W: 5.0}}},
+	))
+	s.Capture(txd(2,
+		delta.NodeDelta{Node: 1, Del: []uint64{30}},
+		delta.NodeDelta{Node: 4, Deleted: true},
+	))
+	return s
+}
+
+func TestStagedScanCommitConsumes(t *testing.T) {
+	s := stagedFixture()
+	sc := s.StageScanWorkers(10, 1)
+	if sc.Batch.Records != 4 {
+		t.Fatalf("staged %d records, want 4", sc.Batch.Records)
+	}
+	// Staging consumes nothing: the records are still pending.
+	if n := s.PendingCount(10); n != 4 {
+		t.Fatalf("PendingCount after stage = %d, want 4", n)
+	}
+	sc.Commit()
+	if n := s.PendingCount(10); n != 0 {
+		t.Fatalf("PendingCount after commit = %d, want 0", n)
+	}
+	if b := s.Scan(10); b.Records != 0 {
+		t.Fatalf("scan after commit consumed %d records", b.Records)
+	}
+	// Commit is idempotent.
+	sc.Commit()
+}
+
+func TestStagedScanAbandonLeavesStoreUntouched(t *testing.T) {
+	s := stagedFixture()
+	sc := s.StageScanWorkers(10, 1)
+	sc.Abandon()
+	if n := s.PendingCount(10); n != 4 {
+		t.Fatalf("PendingCount after abandon = %d, want 4", n)
+	}
+	// The next scan sees exactly what the abandoned one saw.
+	b := s.Scan(10)
+	if b.Records != 4 || len(b.Deltas) != len(sc.Batch.Deltas) {
+		t.Fatalf("rescan after abandon: %d records, %d deltas", b.Records, len(b.Deltas))
+	}
+	// Commit after Abandon is a no-op.
+	sc.Commit()
+	if b := s.Scan(10); b.Records != 0 {
+		t.Fatal("abandoned stage consumed on late Commit")
+	}
+}
+
+func TestStagedScanCommitAfterClearIsNoop(t *testing.T) {
+	s := stagedFixture()
+	sc := s.StageScanWorkers(10, 1)
+	// A committer crossing the §6.4 threshold clears the store between
+	// stage and commit; the stale commit must not touch the reset store.
+	s.SetThreshold(1)
+	s.Capture(txd(3, delta.NodeDelta{Node: 9, Del: []uint64{1}}))
+	if s.DeltaMode() {
+		t.Fatal("threshold flip did not disable delta mode")
+	}
+	sc.Commit()
+	s.EnableDeltaMode()
+	if n := s.Records(); n != 0 {
+		t.Fatalf("store has %d records after clear + stale commit", n)
+	}
+	// The store works normally afterwards.
+	s.Capture(txd(4, delta.NodeDelta{Node: 2, Ins: []delta.Edge{{Dst: 7, W: 1}}}))
+	if b := s.Scan(10); b.Records != 1 {
+		t.Fatalf("post-clear scan consumed %d records, want 1", b.Records)
+	}
+}
+
+func TestStagedScanVisibilityBound(t *testing.T) {
+	s := stagedFixture()
+	s.Capture(txd(7, delta.NodeDelta{Node: 8, Del: []uint64{2}}))
+	sc := s.StageScanWorkers(3, 1) // ts 7 not visible
+	if sc.Batch.Records != 4 {
+		t.Fatalf("staged %d records, want 4", sc.Batch.Records)
+	}
+	sc.Commit()
+	if n := s.PendingCount(10); n != 1 {
+		t.Fatalf("PendingCount = %d, want the invisible record", n)
+	}
+}
+
+func TestStagedScanPersistentCommitDurable(t *testing.T) {
+	dir := t.TempDir()
+	pool, err := pmem.Create(filepath.Join(dir, "delta.pool"), 4<<20, sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewPersistent(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Ins: []delta.Edge{{Dst: 2, W: 1}}}))
+	s.Capture(txd(2, delta.NodeDelta{Node: 3, Del: []uint64{4}}))
+
+	sc := s.StageScanWorkers(10, 1)
+	sc.Commit()
+	if err := s.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+	pool.Close()
+
+	// Recovery must see the consumption: committed records do not replay.
+	pool2, err := pmem.Open(filepath.Join(dir, "delta.pool"), sim.DefaultPMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	s2, err := OpenPersistent(pool2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := s2.Scan(10); b.Records != 0 {
+		t.Fatalf("recovered store replayed %d consumed records", b.Records)
+	}
+}
+
+func TestHighWaterFiresOncePerCrossing(t *testing.T) {
+	s := NewVolatile()
+	s.SetHighWater(3)
+	if s.HighWater() != 3 {
+		t.Fatalf("HighWater = %d", s.HighWater())
+	}
+	fired := 0
+	s.OnHighWater(func() { fired++ })
+
+	s.Capture(txd(1, delta.NodeDelta{Node: 1, Del: []uint64{1}}, delta.NodeDelta{Node: 2, Del: []uint64{2}}))
+	if fired != 0 || s.OverHighWater() {
+		t.Fatalf("below mark: fired=%d over=%v", fired, s.OverHighWater())
+	}
+	s.Capture(txd(2, delta.NodeDelta{Node: 3, Del: []uint64{3}}, delta.NodeDelta{Node: 4, Del: []uint64{4}}))
+	if fired != 1 || !s.OverHighWater() {
+		t.Fatalf("crossing: fired=%d over=%v", fired, s.OverHighWater())
+	}
+	// Further growth does not re-fire.
+	s.Capture(txd(3, delta.NodeDelta{Node: 5, Del: []uint64{5}}))
+	if fired != 1 {
+		t.Fatalf("re-fired while over the mark: %d", fired)
+	}
+	// A store reset re-arms the trigger.
+	s.EnableDeltaMode()
+	s.Capture(txd(4,
+		delta.NodeDelta{Node: 1, Del: []uint64{1}},
+		delta.NodeDelta{Node: 2, Del: []uint64{2}},
+		delta.NodeDelta{Node: 3, Del: []uint64{3}},
+		delta.NodeDelta{Node: 4, Del: []uint64{4}},
+	))
+	if fired != 2 {
+		t.Fatalf("after reset: fired=%d, want 2", fired)
+	}
+}

@@ -76,8 +76,21 @@ type Store struct {
 	// consumedPrefix is the record index below which every published
 	// record has been consumed: scans and freshness checks start there
 	// instead of walking the store's whole append-only history. Advanced
-	// only by Scan (single scanner), reset by Clear.
+	// only by a committed scan (single scanner), reset by Clear.
 	consumedPrefix atomic.Uint64
+
+	// gen counts resets. A StagedScan captures it at stage time and
+	// refuses to commit consumption if the store was cleared in between
+	// (the staged records no longer exist).
+	gen atomic.Uint64
+
+	// highWater is the robustness backstop of the retry ladder: when the
+	// record count reaches it, onHighWater fires (once per crossing,
+	// re-armed by reset) so the engine can force an emergency propagation
+	// or apply committer backpressure. 0 disables.
+	highWater   atomic.Uint64
+	hwFired     atomic.Bool
+	onHighWater atomic.Value // func()
 
 	skippedTxns atomic.Uint64
 
@@ -262,14 +275,18 @@ func (s *Store) Capture(d *delta.TxDelta) {
 			s.failPersist(err)
 		}
 	}
+	s.checkHighWater()
 }
 
-// scanHit is one consumed record reference collected by scan pass 1; the
-// payloads stay in the shared arrays until grouping materializes them.
+// scanHit is one record reference collected by scan pass 1; the payloads
+// stay in the shared arrays until grouping materializes them. idx is the
+// record's table index, needed to mirror the invalidation to PMem when the
+// consumption commits.
 type scanHit struct {
 	node uint64
 	ts   mvto.TS
 	rec  *record
+	idx  uint64
 }
 
 // Scan is the delta store scan (§5.2) run by a propagation transaction with
@@ -297,21 +314,46 @@ func DefaultScanWorkers() int {
 }
 
 // ScanWorkers is Scan with an explicit worker count for pass 2 (grouping,
-// Combine, sorting). Pass 1 — consuming records and advancing the consumed
-// prefix — stays a single-consumer walk regardless of workers: consumption
-// mutates record state words and the prefix watermark, and keeping one
-// consumer is what makes the invalidation protocol a plain read-modify-
-// write (see the §5.3 comment below). The returned batch is identical for
-// every worker count.
+// Combine, sorting). It stages the scan and commits consumption
+// immediately — the historical all-or-nothing-free behavior. Callers that
+// must be able to roll back (the engine's failure-atomic propagation) use
+// StageScanWorkers and commit only after the batch has been applied.
 func (s *Store) ScanWorkers(tp mvto.TS, workers int) *delta.Batch {
+	sc := s.StageScanWorkers(tp, workers)
+	sc.Commit()
+	return sc.Batch
+}
+
+// StagedScan is a delta store scan whose consumption has not happened yet:
+// the batch is materialized, but every scanned record is still valid and
+// the consumed prefix has not moved. Exactly one of Commit or Abandon must
+// be called; until then no other scan may run (update propagation is
+// serialized by the engine, §4.3).
+type StagedScan struct {
+	// Batch is the combined, node-sorted delta batch of the scan.
+	Batch *delta.Batch
+
+	s         *Store
+	hits      []scanHit
+	newPrefix uint64
+	gen       uint64
+	done      bool
+}
+
+// StageScanWorkers runs scan passes 1 and 2 (§5.2) without consuming: hits
+// are collected and grouped, but record valid bits and the consumed prefix
+// are untouched, so Abandon leaves the store exactly as if the scan never
+// ran. This is the first half of the engine's failure-atomic propagation
+// protocol — delta consumption commits only after the replica swap
+// succeeded.
+func (s *Store) StageScanWorkers(tp mvto.TS, workers int) *StagedScan {
 	if workers <= 0 {
 		workers = DefaultScanWorkers()
 	}
 	s.clearMu.RLock()
 	defer s.clearMu.RUnlock()
 
-	// Pass 1: consume valid+visible records, collecting lightweight
-	// references.
+	// Pass 1: collect valid+visible records as lightweight references.
 	limit := s.records.Len()
 	start := s.consumedPrefix.Load()
 	newPrefix := limit
@@ -336,28 +378,65 @@ func (s *Store) ScanWorkers(tp mvto.TS, workers int) *delta.Batch {
 		if st&stValid == 0 {
 			return true // already consumed in a previous cycle
 		}
-		// Consume: clear the valid bit. Only one scanner runs at a time,
-		// and appenders never revisit published records, so a plain
-		// read-modify-write on the atomic is race-free.
-		rec.state.Store(st &^ stValid)
+		hits = append(hits, scanHit{node: rec.node, ts: rec.ts, rec: rec, idx: i})
+		return true
+	})
+
+	sc := &StagedScan{
+		Batch:     &delta.Batch{TS: tp, Records: len(hits)},
+		s:         s,
+		hits:      hits,
+		newPrefix: newPrefix,
+		gen:       s.gen.Load(),
+	}
+	// Pass 2 may permute sc.hits (groupHits sorts in place); Commit's
+	// invalidation walk is order-independent, so that is harmless.
+	if workers > 1 && len(hits) >= 2 {
+		sc.Batch.Deltas = s.groupParallel(hits, workers)
+	} else {
+		sc.Batch.Deltas = s.groupHits(hits)
+	}
+	return sc
+}
+
+// Commit consumes the staged records: valid bits are cleared (and mirrored
+// to the persistent image), and the consumed prefix advances. Only one
+// scanner runs at a time and appenders never revisit published records, so
+// the plain read-modify-write on each state word is race-free (§5.3). If
+// the store was cleared since the stage (a §6.4 rebuild-mode flip by a
+// concurrent committer), Commit is a no-op: the staged records no longer
+// exist and the pending rebuild covers their updates.
+func (sc *StagedScan) Commit() {
+	if sc.done {
+		return
+	}
+	sc.done = true
+	s := sc.s
+	s.clearMu.RLock()
+	defer s.clearMu.RUnlock()
+	if s.gen.Load() != sc.gen {
+		return
+	}
+	for i := range sc.hits {
+		h := &sc.hits[i]
+		st := h.rec.state.Load()
+		h.rec.state.Store(st &^ stValid)
 		if s.mirroring() {
-			if err := s.persist.invalidate(i); err != nil {
+			if err := s.persist.invalidate(h.idx); err != nil {
 				s.failPersist(err)
 			}
 		}
-		hits = append(hits, scanHit{node: rec.node, ts: rec.ts, rec: rec})
-		return true
-	})
-	s.consumedPrefix.Store(newPrefix)
-
-	batch := &delta.Batch{TS: tp, Records: len(hits)}
-	if workers > 1 && len(hits) >= 2 {
-		batch.Deltas = s.groupParallel(hits, workers)
-	} else {
-		batch.Deltas = s.groupHits(hits)
 	}
-	return batch
+	if sc.newPrefix > s.consumedPrefix.Load() {
+		s.consumedPrefix.Store(sc.newPrefix)
+	}
 }
+
+// Abandon discards the staged scan without consuming anything: every
+// staged record stays valid and the prefix stays put, so the next scan
+// sees exactly what this one saw (plus anything newer) — the store is
+// as-if the cycle never ran.
+func (sc *StagedScan) Abandon() { sc.done = true }
 
 // groupHits is scan pass 2: group hits by node (the sort keeps per-node
 // parts in timestamp order for Combine and yields the node-sorted deltas
@@ -501,6 +580,56 @@ func (s *Store) materialize(rec *record) delta.Combined {
 	return c
 }
 
+// PendingCount counts the published, still-valid records from transactions
+// older than tp — the record half of the engine's staleness bound in
+// Degraded mode. It walks from the consumed prefix, so its cost is
+// proportional to the unconsumed tail.
+func (s *Store) PendingCount(tp mvto.TS) int {
+	n := 0
+	s.forEachFrom(s.consumedPrefix.Load(), s.records.Len(), func(_ uint64, rec *record) bool {
+		st := rec.state.Load()
+		if st&stReady != 0 && st&stValid != 0 && rec.ts < tp {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// SetHighWater installs the delta-record high-water mark: when the record
+// count reaches it, the OnHighWater hook fires. This is the robustness
+// backstop that keeps propagation retries from hiding unbounded store
+// growth. 0 disables.
+func (s *Store) SetHighWater(n uint64) { s.highWater.Store(n) }
+
+// HighWater reports the installed high-water mark.
+func (s *Store) HighWater() uint64 { return s.highWater.Load() }
+
+// OverHighWater reports whether the record count has reached the mark.
+func (s *Store) OverHighWater() bool {
+	hw := s.highWater.Load()
+	return hw > 0 && s.records.Len() >= hw
+}
+
+// OnHighWater registers fn to run when an append pushes the record count
+// to the high-water mark — once per crossing, re-armed when the store is
+// cleared. fn runs on the committing goroutine and must not block; the
+// engine's hook kicks off an asynchronous emergency propagation.
+func (s *Store) OnHighWater(fn func()) { s.onHighWater.Store(fn) }
+
+// checkHighWater fires the hook on a crossing.
+func (s *Store) checkHighWater() {
+	if !s.OverHighWater() {
+		return
+	}
+	if !s.hwFired.CompareAndSwap(false, true) {
+		return
+	}
+	if fn, _ := s.onHighWater.Load().(func()); fn != nil {
+		fn()
+	}
+}
+
 // PendingAt reports whether any published record from a transaction older
 // than tp is still valid — i.e. whether a propagation at tp would have work
 // to do. The engine uses it for the freshness check (§4.3).
@@ -545,6 +674,8 @@ func (s *Store) EnableDeltaMode() {
 }
 
 func (s *Store) resetLocked() {
+	s.gen.Add(1)
+	s.hwFired.Store(false)
 	s.consumedPrefix.Store(0)
 	s.records.Reset()
 	s.inserts.Reset()

@@ -135,6 +135,39 @@ func (s Stats) Ops() int {
 	return s.EdgeInserts + s.EdgeDeletes + s.NodeInserts + s.NodeDeletes
 }
 
+// PlanBatch predicts applying b without mutating the graph: the exact
+// Stats ApplyBatchWorkers will report, the vertex-slot count after
+// application, and an upper bound on the post-application edge count
+// (ignoring deletes). The simulated device uses it to charge the ingest
+// kernel and reserve growth memory *before* the host-side twin mutates, so
+// a rejected ingest is failure-atomic.
+func (g *Graph) PlanBatch(b *delta.Batch) (st Stats, slots int, maxEdges int64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	xid := int64(len(g.verts)) - 1
+	slots = len(g.verts)
+	maxEdges = g.numEdges
+	for i := range b.Deltas {
+		d := &b.Deltas[i]
+		switch {
+		case d.Deleted:
+			st.NodeDeletes++
+		case int64(d.Node) <= xid:
+			st.EdgeInserts += len(d.Ins)
+			st.EdgeDeletes += len(d.Del)
+			maxEdges += int64(len(d.Ins))
+		default:
+			st.NodeInserts++
+			st.EdgeInserts += len(d.Ins)
+			maxEdges += int64(len(d.Ins))
+			if need := int(d.Node) + 1; need > slots {
+				slots = need
+			}
+		}
+	}
+	return st, slots, maxEdges
+}
+
 // ApplyBatch ingests one propagation batch — Algorithm 1 — with
 // GOMAXPROCS workers for the existing-node edge batches. See
 // ApplyBatchWorkers.

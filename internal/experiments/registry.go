@@ -32,6 +32,7 @@ func All() []Experiment {
 		{ID: "parallel", Desc: "Delta store append throughput vs clients (extension)", Run: Config.ParallelExp},
 		{ID: "parmerge", Desc: "Parallel scan/merge/rebuild ablation vs worker count (extension)", Run: Config.ParallelMergeExp},
 		{ID: "freshness", Desc: "Propagation amortization across analytics batches (extension)", Run: Config.FreshnessExp},
+		{ID: "faults", Desc: "Propagation under injected GPU faults: retry/fallback/degraded ladder (extension)", Run: Config.FaultsExp},
 	}
 }
 

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestGPUPlanCountsWithoutRules(t *testing.T) {
+	p := NewGPUPlan()
+	for i := 0; i < 3; i++ {
+		if err := p.Check(GPUMalloc); err != nil {
+			t.Fatalf("unarmed check failed: %v", err)
+		}
+	}
+	if err := p.Check(GPULaunch); err != nil {
+		t.Fatalf("unarmed check failed: %v", err)
+	}
+	if p.Count(GPUMalloc) != 3 || p.Count(GPULaunch) != 1 || p.Count(GPUIngest) != 0 {
+		t.Fatalf("counts = %v", p.Counts())
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("injected = %d without rules", p.Injected())
+	}
+}
+
+func TestGPUPlanTransientFiresOnce(t *testing.T) {
+	p := NewGPUPlan()
+	p.Arm(GPUReplace, 2, Transient)
+	if err := p.Check(GPUReplace); err != nil {
+		t.Fatalf("occurrence 1 faulted: %v", err)
+	}
+	if err := p.Check(GPUReplace); !errors.Is(err, ErrGPUInjected) {
+		t.Fatalf("occurrence 2 = %v, want injected fault", err)
+	}
+	// Transient: the retry succeeds.
+	if err := p.Check(GPUReplace); err != nil {
+		t.Fatalf("occurrence 3 faulted: %v", err)
+	}
+	if p.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", p.Injected())
+	}
+	// Other ops are untouched.
+	if err := p.Check(GPUMalloc); err != nil {
+		t.Fatalf("unrelated op faulted: %v", err)
+	}
+}
+
+func TestGPUPlanPersistentUntilHeal(t *testing.T) {
+	p := NewGPUPlan()
+	p.Arm(GPUIngest, 1, Persistent)
+	for i := 0; i < 3; i++ {
+		if err := p.Check(GPUIngest); !errors.Is(err, ErrGPUInjected) {
+			t.Fatalf("occurrence %d = %v, want injected fault", i+1, err)
+		}
+	}
+	if p.Injected() != 3 {
+		t.Fatalf("injected = %d, want 3", p.Injected())
+	}
+	p.Heal()
+	if err := p.Check(GPUIngest); err != nil {
+		t.Fatalf("post-heal check faulted: %v", err)
+	}
+}
+
+func TestGPUPlanArmResetsOpCounter(t *testing.T) {
+	p := NewGPUPlan()
+	for i := 0; i < 5; i++ {
+		if err := p.Check(GPUUpload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Arming counts occurrences from the arm point, not process start.
+	p.Arm(GPUUpload, 1, Transient)
+	if err := p.Check(GPUUpload); !errors.Is(err, ErrGPUInjected) {
+		t.Fatalf("first post-arm occurrence = %v, want injected fault", err)
+	}
+}

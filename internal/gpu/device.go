@@ -23,6 +23,27 @@ import (
 // would require partitioning / unified-memory techniques.
 var ErrOutOfMemory = errors.New("gpu: out of device memory")
 
+// Fault-point op names, consulted against the installed FaultInjector.
+// They match internal/faultinject's GPU* constants; plain strings keep the
+// two packages decoupled.
+const (
+	OpMalloc          = "malloc"
+	OpUpload          = "upload"
+	OpReplace         = "replace"
+	OpReplaceStreamed = "replace-streamed"
+	OpIngest          = "ingest"
+	OpLaunch          = "launch"
+)
+
+// FaultInjector is the hook the device consults before each fallible
+// operation. faultinject.GPUPlan implements it. Check is called at
+// operation submission — before any simulated device state mutates — so an
+// injected fault is always failure-atomic, matching real accelerator
+// semantics where allocation/copy/launch errors surface at the API call.
+type FaultInjector interface {
+	Check(op string) error
+}
+
 // Config describes a simulated device.
 type Config struct {
 	Name     string
@@ -36,10 +57,26 @@ type Device struct {
 	cfg     Config
 	memUsed atomic.Int64
 
+	inject atomic.Value // FaultInjector, nil until SetFaultInjector
+
 	mu       sync.Mutex
 	simTotal sim.Duration // accumulated simulated busy time
 	launches int64
 	hToD     int64 // bytes moved host→device
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault-injection
+// hook. Intended for tests and the fault-soak harness.
+func (d *Device) SetFaultInjector(fi FaultInjector) {
+	d.inject.Store(&fi)
+}
+
+// fault consults the installed injector for one operation.
+func (d *Device) fault(op string) error {
+	if p, _ := d.inject.Load().(*FaultInjector); p != nil && *p != nil {
+		return (*p).Check(op)
+	}
+	return nil
 }
 
 // DefaultA100 returns a device with the paper-calibrated defaults: 40 GB of
@@ -109,6 +146,9 @@ func (d *Device) Malloc(n int64) (*Buffer, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("gpu: Malloc(%d): negative size", n)
 	}
+	if err := d.fault(OpMalloc); err != nil {
+		return nil, err
+	}
 	for {
 		used := d.memUsed.Load()
 		if used+n > d.cfg.MemBytes {
@@ -155,6 +195,9 @@ func (d *Device) Launch(class string, work float64) (sim.Duration, error) {
 	if !ok {
 		return 0, fmt.Errorf("gpu: unknown kernel class %q", class)
 	}
+	if err := d.fault(OpLaunch); err != nil {
+		return 0, err
+	}
 	t := m.Run(work)
 	d.mu.Lock()
 	d.simTotal += t
@@ -174,6 +217,9 @@ type ResidentCSR struct {
 
 // UploadCSR allocates device memory for c and transfers it.
 func UploadCSR(d *Device, c *csr.CSR) (*ResidentCSR, sim.Duration, error) {
+	if err := d.fault(OpUpload); err != nil {
+		return nil, 0, err
+	}
 	buf, err := d.Malloc(c.Bytes())
 	if err != nil {
 		return nil, 0, err
@@ -186,8 +232,16 @@ func UploadCSR(d *Device, c *csr.CSR) (*ResidentCSR, sim.Duration, error) {
 // simulation) for kernels.
 func (r *ResidentCSR) CSR() *csr.CSR { return r.c }
 
-// Replace uploads the new CSR and frees the old replica's memory.
+// Replace uploads the new CSR and frees the old replica's memory. On
+// error (injected fault or OOM) the replica keeps serving its previous
+// content: r.c is only swapped after the transfer, so a failed Replace is
+// failure-atomic with respect to the replica's readable state. (The old
+// buffer may have been freed for the OOM retry; a later successful Replace
+// re-establishes the accounting — Free is idempotent.)
 func (r *ResidentCSR) Replace(c *csr.CSR) (sim.Duration, error) {
+	if err := r.dev.fault(OpReplace); err != nil {
+		return 0, err
+	}
 	buf, err := r.dev.Malloc(c.Bytes())
 	if err != nil {
 		// The A100 holds two SF30 CSRs comfortably; if it cannot, free
@@ -229,6 +283,9 @@ type StreamSegment struct {
 // charged to the device as HostToDevice). With no overlap (every segment
 // ready at mergeWall) exposed equals the full transfer, matching Replace.
 func (r *ResidentCSR) ReplaceStreamed(c *csr.CSR, segs []StreamSegment, mergeWall time.Duration) (exposed, bus sim.Duration, err error) {
+	if err := r.dev.fault(OpReplaceStreamed); err != nil {
+		return 0, 0, err
+	}
 	buf, err := r.dev.Malloc(c.Bytes())
 	if err != nil {
 		r.buf.Free()
@@ -292,6 +349,9 @@ func dynBytes(g *dyngraph.Graph) int64 {
 
 // UploadDyn allocates and transfers the dynamic structure.
 func UploadDyn(d *Device, g *dyngraph.Graph) (*ResidentDyn, sim.Duration, error) {
+	if err := d.fault(OpUpload); err != nil {
+		return nil, 0, err
+	}
 	buf, err := d.Malloc(dynBytes(g))
 	if err != nil {
 		return nil, 0, err
@@ -311,21 +371,40 @@ func (r *ResidentDyn) Ingest(b *delta.Batch) (sim.Duration, dyngraph.Stats, erro
 
 // IngestWorkers is Ingest with an explicit worker count for the host-side
 // hash-table updates (workers <= 0 selects GOMAXPROCS).
+//
+// Ingest is failure-atomic: every fallible step — the injected-fault
+// check, the growth allocation, the kernel launch — happens at submission,
+// before the host-side twin mutates, so on error the replica still serves
+// exactly its previous content and the same batch can be retried or
+// abandoned. The launch's work term is predicted by dyngraph.PlanBatch,
+// which returns exactly the Stats the application will report.
 func (r *ResidentDyn) IngestWorkers(b *delta.Batch, workers int) (sim.Duration, dyngraph.Stats, error) {
-	t := r.dev.HostToDevice(b.TransferBytes())
-	st := r.g.ApplyBatchWorkers(b, workers)
-	kt, err := r.dev.Launch(sim.KernelIngest, float64(st.Ops()))
-	if err != nil {
-		return 0, st, err
+	if err := r.dev.fault(OpIngest); err != nil {
+		return 0, dyngraph.Stats{}, err
 	}
-	// Track occupancy growth.
-	if newBytes := dynBytes(r.g); newBytes > r.buf.Bytes() {
-		r.buf.Free()
+	planned, slots, maxEdges := r.g.PlanBatch(b)
+	// Reserve growth up front at the post-batch upper bound; the
+	// conservative size is kept rather than re-allocated exactly, because a
+	// second allocation after the mutation would be a fallible op past the
+	// atomicity point.
+	var grown *Buffer
+	if newBytes := int64(slots)*16 + maxEdges*16*2; newBytes > r.buf.Bytes() {
 		nb, err := r.dev.Malloc(newBytes)
 		if err != nil {
-			return 0, st, err
+			return 0, planned, err
 		}
-		r.buf = nb
+		grown = nb
+	}
+	t := r.dev.HostToDevice(b.TransferBytes())
+	kt, err := r.dev.Launch(sim.KernelIngest, float64(planned.Ops()))
+	if err != nil {
+		grown.Free()
+		return 0, planned, err
+	}
+	st := r.g.ApplyBatchWorkers(b, workers)
+	if grown != nil {
+		r.buf.Free()
+		r.buf = grown
 	}
 	return t + kt, st, nil
 }

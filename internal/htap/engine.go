@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"h2tap/internal/analytics"
 	"h2tap/internal/costmodel"
 	"h2tap/internal/csr"
+	"h2tap/internal/delta"
 	"h2tap/internal/deltastore"
 	"h2tap/internal/dyngraph"
 	"h2tap/internal/gpu"
@@ -87,6 +89,15 @@ type Config struct {
 	// PageRankIters and Damping parameterize PageRank (defaults 10, 0.85).
 	PageRankIters int
 	Damping       float64
+	// Retry bounds the per-rung replica-apply attempts of a propagation
+	// cycle and their backoff; zero fields select defaults (3 attempts,
+	// 1ms base backoff doubling to 50ms).
+	Retry RetryPolicy
+	// HighWater, when > 0, installs the delta-store record high-water
+	// mark: crossing it triggers an emergency propagation, and — if the
+	// engine is Degraded so propagation cannot drain the store — puts the
+	// engine into Backpressure so committers stop feeding it.
+	HighWater uint64
 }
 
 // PropagationReport describes one update-propagation cycle (§4.2's second
@@ -116,6 +127,23 @@ type PropagationReport struct {
 	Overlapped     bool
 	IngestSim      sim.Duration // dynamic-structure ingest kernel
 
+	// Attempts counts replica-apply attempts across the cycle's escalation
+	// rungs (1 for a clean cycle); RetryWall is the wall time the failed
+	// attempts and backoff sleeps cost, included in Total.
+	Attempts  int
+	RetryWall time.Duration
+	// FallbackRebuild reports that the delta apply exhausted its retries
+	// and the cycle fell back to a full CSR rebuild.
+	FallbackRebuild bool
+	// Health and Staleness describe the engine after the cycle: a failed
+	// cycle leaves the engine Degraded with a non-zero staleness bound.
+	Health    Health
+	Staleness Staleness
+	// PersistErr records a §6.5 persistent-CSR-copy failure. The copy is
+	// recovery-only and off the critical path, so it does not fail the
+	// cycle: the replica is fresh and consistent regardless.
+	PersistErr error
+
 	Total sim.Latency // critical-path cost: scan+merge wall, transfer+ingest sim
 }
 
@@ -126,6 +154,12 @@ type Result struct {
 	Propagation PropagationReport
 	KernelSim   sim.Duration  // simulated GPU execution time
 	HostWall    time.Duration // host time spent computing the real result
+
+	// Degraded reports that the freshness propagation failed and the
+	// kernel ran on the last-good replica instead; Staleness is the bound
+	// on what the result may be missing.
+	Degraded  bool
+	Staleness Staleness
 
 	// Exactly one of the following is set, matching Kind.
 	Levels []int32   // BFS
@@ -158,11 +192,20 @@ type Engine struct {
 	dynRep    *gpu.ResidentDyn
 	replicaTS mvto.TS
 
-	// propMu serializes propagation cycles.
+	// propMu serializes propagation cycles (and scrubs).
 	propMu sync.Mutex
 
 	propagations int64
 	rebuilds     int64
+
+	// Fault-tolerance state (see health.go).
+	healthMu         sync.RWMutex
+	health           Health
+	lastFault        error
+	emergency        atomic.Bool // high-water emergency propagation in flight
+	retries          int64       // guarded by propMu
+	fallbackRebuilds int64       // guarded by propMu
+	degradedCycles   int64       // guarded by propMu
 }
 
 // Errors.
@@ -206,6 +249,14 @@ func newEngine(store *graph.Store, cfg Config, register bool) (*Engine, error) {
 	e := &Engine{store: store, ds: cfg.DeltaStore, dev: cfg.Device, cfg: cfg}
 	if register {
 		store.AddCapturer(e.ds)
+	}
+	if cfg.HighWater > 0 {
+		// Backstop against unbounded delta-store growth: crossing the
+		// high-water mark kicks off an emergency propagation; if the device
+		// is wedged and that fails, the engine degrades and Backpressure()
+		// starts rejecting commits at the facade.
+		e.ds.SetHighWater(cfg.HighWater)
+		e.ds.OnHighWater(e.emergencyPropagate)
 	}
 
 	ts := store.Oracle().LastCommitted()
@@ -311,6 +362,15 @@ func (e *Engine) Fresh() bool {
 // replica (merge+replace for static, coalesce+ingest for dynamic). If the
 // cost model flipped the delta store into rebuild mode, the CSR is rebuilt
 // instead and delta mode re-enabled (§6.4).
+//
+// The cycle is failure-atomic and fault-tolerant end to end: the scan is
+// staged, so delta consumption commits only after the replica swap
+// succeeded — on any failure the store is as-if the cycle never ran and no
+// committed update can be dropped. Device faults climb the escalation
+// ladder: bounded, backoff-spaced retries of the replica apply; then a
+// full rebuild fallback (itself retried); then the engine enters Degraded
+// (see health.go) with the cycle's error returned and a staleness bound in
+// the report.
 func (e *Engine) Propagate() (*PropagationReport, error) {
 	e.propMu.Lock()
 	defer e.propMu.Unlock()
@@ -329,24 +389,82 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 	bound := e.store.Oracle().StableTS() + 1
 	rep := &PropagationReport{Triggered: true, TS: bound}
 
-	if !e.ds.DeltaMode() {
-		if err := e.rebuild(bound, rep); err != nil {
-			return rep, err
-		}
+	err := e.runCycle(bound, rep)
+	if err != nil {
+		e.degradedCycles++
+		e.setHealth(Degraded, err)
+	} else {
 		e.propagations++
-		e.rebuilds++
-		return rep, nil
+		if rep.Rebuild {
+			e.rebuilds++
+		}
+		e.setHealth(Healthy, nil)
 	}
+	rep.Health, _ = e.Health()
+	rep.Staleness = e.Staleness()
+	return rep, err
+}
 
+// runCycle executes one propagation cycle's work under propMu.
+func (e *Engine) runCycle(bound mvto.TS, rep *PropagationReport) error {
 	workers := e.workers()
 	rep.Workers = workers
+
+	if !e.ds.DeltaMode() {
+		rep.Rebuild = true
+		return e.rebuildReplica(bound, rep)
+	}
+
 	scanStart := time.Now()
-	batch := e.ds.ScanWorkers(bound, workers)
+	sc := e.ds.StageScanWorkers(bound, workers)
 	rep.ScanWall = time.Since(scanStart)
-	rep.Records = batch.Records
-	rep.Deltas = len(batch.Deltas)
+	rep.Records = sc.Batch.Records
+	rep.Deltas = len(sc.Batch.Deltas)
 	rep.Total.AddWall(rep.ScanWall)
 
+	if err := e.applyBatch(sc.Batch, bound, rep, workers); err != nil {
+		// Rung 2: the delta apply exhausted its retries — fall back to a
+		// full rebuild from the main graph, which covers every committed
+		// update including the staged records.
+		rep.FallbackRebuild = true
+		e.fallbackRebuilds++
+		if rerr := e.rebuildReplica(bound, rep); rerr != nil {
+			// Rung 3: nothing worked. Abandon the stage — every staged
+			// record stays valid for the next cycle — and degrade.
+			sc.Abandon()
+			return rerr
+		}
+		// The rebuild re-enabled delta mode, clearing the store; Commit
+		// detects the clear and no-ops. (Explicit for clarity.)
+		sc.Commit()
+		return nil
+	}
+
+	// The replica swap succeeded: commit the consumption. This is the
+	// protocol's commit point — before it, the store could replay the
+	// whole batch; after it, the replica provably contains the batch.
+	sc.Commit()
+
+	// §6.5: the persistent CSR copy is only for recovery and does not gate
+	// analytics, so it runs outside the critical path — and a failure is
+	// recorded, not returned: the replica itself is fresh and consistent.
+	if e.cfg.Replica == StaticCSR && e.cfg.PersistPool != nil {
+		pStart := time.Now()
+		if _, err := csr.PersistTo(e.cfg.PersistPool, e.hostCSR); err != nil {
+			rep.PersistErr = fmt.Errorf("htap: persistent CSR copy: %w", err)
+		}
+		rep.PersistWall = time.Since(pStart)
+	}
+	return nil
+}
+
+// applyBatch is rung 1 of the escalation ladder: apply one staged batch to
+// the replica with bounded, backoff-spaced retries. The merge (static) is
+// host-side and infallible and runs once; only the device-side swap
+// retries. Replica state (hostCSR, dynamic structure, replicaTS) advances
+// only inside a successful attempt, so a failed rung leaves the replica on
+// its last-good version.
+func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationReport, workers int) error {
 	switch e.cfg.Replica {
 	case StaticCSR:
 		// With parallel workers, record when each merged node-range shard
@@ -371,105 +489,121 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 		rep.MergeStats = st
 		rep.Total.AddWall(rep.MergeWall)
 
-		e.replicaMu.Lock()
-		if workers > 1 {
-			// The simulated bus ships shards in row order (the layout order
-			// on the device); a shard can ship once it and — transitively —
-			// nothing before it is still being written, so its effective
-			// ready time is the max over itself and its predecessors.
-			segs := make([]gpu.StreamSegment, len(shards))
-			for i, s := range shards {
-				segs[s.Index] = gpu.StreamSegment{Bytes: s.Bytes, Ready: readys[i]}
-			}
-			var latest time.Duration
-			for i := range segs {
-				if segs[i].Ready > latest {
-					latest = segs[i].Ready
+		err := e.retryLoop(rep, func(n int) error {
+			e.replicaMu.Lock()
+			defer e.replicaMu.Unlock()
+			if workers > 1 && n == 1 {
+				// The simulated bus ships shards in row order (the layout
+				// order on the device); a shard can ship once it and —
+				// transitively — nothing before it is still being written,
+				// so its effective ready time is the max over itself and
+				// its predecessors. Only the first attempt streams: on a
+				// retry the merge has long finished and the ready times
+				// are meaningless, so a plain replace is both simpler and
+				// accurate.
+				segs := make([]gpu.StreamSegment, len(shards))
+				for i, s := range shards {
+					segs[s.Index] = gpu.StreamSegment{Bytes: s.Bytes, Ready: readys[i]}
 				}
-				segs[i].Ready = latest
+				var latest time.Duration
+				for i := range segs {
+					if segs[i].Ready > latest {
+						latest = segs[i].Ready
+					}
+					segs[i].Ready = latest
+				}
+				exposed, bus, err := e.staticRep.ReplaceStreamed(merged, segs, rep.MergeWall)
+				if err != nil {
+					return fmt.Errorf("htap: replica replace: %w", err)
+				}
+				rep.TransferSim = exposed
+				rep.TransferBusSim = bus
+				rep.Overlapped = true
+			} else {
+				t, err := e.staticRep.Replace(merged)
+				if err != nil {
+					return fmt.Errorf("htap: replica replace: %w", err)
+				}
+				rep.TransferSim = t
+				rep.TransferBusSim = t
+				rep.Overlapped = false
 			}
-			exposed, bus, err := e.staticRep.ReplaceStreamed(merged, segs, rep.MergeWall)
+			e.hostCSR = merged
+			e.replicaTS = bound
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		rep.Total.AddSim(rep.TransferSim)
+		return nil
+
+	case DynamicHash:
+		err := e.retryLoop(rep, func(int) error {
+			e.replicaMu.Lock()
+			defer e.replicaMu.Unlock()
+			// IngestWorkers is failure-atomic (all fallible device ops
+			// happen before the structure mutates), so retrying the same
+			// batch cannot double-apply.
+			t, _, err := e.dynRep.IngestWorkers(batch, workers)
 			if err != nil {
-				e.replicaMu.Unlock()
-				return rep, fmt.Errorf("htap: replica replace: %w", err)
-			}
-			rep.TransferSim = exposed
-			rep.TransferBusSim = bus
-			rep.Overlapped = true
-		} else {
-			t, err := e.staticRep.Replace(merged)
-			if err != nil {
-				e.replicaMu.Unlock()
-				return rep, fmt.Errorf("htap: replica replace: %w", err)
+				return fmt.Errorf("htap: dynamic ingest: %w", err)
 			}
 			rep.TransferSim = t
 			rep.TransferBusSim = t
-		}
-		e.hostCSR = merged
-		e.replicaTS = bound
-		e.replicaMu.Unlock()
-		rep.Total.AddSim(rep.TransferSim)
-
-		// §6.5: the persistent CSR copy is only for recovery and does not
-		// gate analytics, so it is reported outside the critical path.
-		if e.cfg.PersistPool != nil {
-			pStart := time.Now()
-			if _, err := csr.PersistTo(e.cfg.PersistPool, merged); err != nil {
-				return rep, fmt.Errorf("htap: persistent CSR copy: %w", err)
-			}
-			rep.PersistWall = time.Since(pStart)
-		}
-	case DynamicHash:
-		e.replicaMu.Lock()
-		t, _, err := e.dynRep.IngestWorkers(batch, workers)
+			e.replicaTS = bound
+			return nil
+		})
 		if err != nil {
-			e.replicaMu.Unlock()
-			return rep, fmt.Errorf("htap: dynamic ingest: %w", err)
+			return err
 		}
-		e.replicaTS = bound
-		e.replicaMu.Unlock()
-		rep.TransferSim = t
-		rep.TransferBusSim = t
-		rep.Total.AddSim(t)
+		rep.Total.AddSim(rep.TransferSim)
+		return nil
 	}
-	e.propagations++
-	return rep, nil
+	return nil
 }
 
-// rebuild is the §6.4 fallback: build a fresh CSR from the main graph at
-// the propagation snapshot, ship it, clear the delta store and re-enable
-// delta mode.
-func (e *Engine) rebuild(tp mvto.TS, rep *PropagationReport) error {
-	rep.Rebuild = true
-	rep.Workers = e.workers()
+// rebuildReplica is the §6.4 rebuild (and the fault ladder's rung-2
+// fallback): build a fresh CSR from the main graph at the propagation
+// snapshot, ship it with bounded retries, clear the delta store and
+// re-enable delta mode.
+func (e *Engine) rebuildReplica(tp mvto.TS, rep *PropagationReport) error {
 	start := time.Now()
-	rebuilt := csr.BuildWorkers(e.store, tp-1, rep.Workers)
-	rep.MergeWall = time.Since(start)
-	rep.Total.AddWall(rep.MergeWall)
-
-	e.replicaMu.Lock()
-	switch e.cfg.Replica {
-	case StaticCSR:
-		t, err := e.staticRep.Replace(rebuilt)
-		if err != nil {
-			e.replicaMu.Unlock()
-			return fmt.Errorf("htap: rebuild replace: %w", err)
-		}
-		e.hostCSR = rebuilt
-		rep.TransferSim = t
-	case DynamicHash:
-		old := e.dynRep
-		fresh, t, err := gpu.UploadDyn(e.dev, dyngraph.FromCSR(rebuilt))
-		if err != nil {
-			e.replicaMu.Unlock()
-			return fmt.Errorf("htap: rebuild dynamic upload: %w", err)
-		}
-		old.Free()
-		e.dynRep = fresh
-		rep.TransferSim = t
+	rebuilt := csr.BuildWorkers(e.store, tp-1, e.workers())
+	var dynFresh *dyngraph.Graph
+	if e.cfg.Replica == DynamicHash {
+		dynFresh = dyngraph.FromCSR(rebuilt)
 	}
-	e.replicaTS = tp
-	e.replicaMu.Unlock()
+	rep.MergeWall += time.Since(start)
+	rep.Total.AddWall(time.Since(start))
+
+	err := e.retryLoop(rep, func(int) error {
+		e.replicaMu.Lock()
+		defer e.replicaMu.Unlock()
+		switch e.cfg.Replica {
+		case StaticCSR:
+			t, err := e.staticRep.Replace(rebuilt)
+			if err != nil {
+				return fmt.Errorf("htap: rebuild replace: %w", err)
+			}
+			e.hostCSR = rebuilt
+			rep.TransferSim = t
+		case DynamicHash:
+			old := e.dynRep
+			fresh, t, err := gpu.UploadDyn(e.dev, dynFresh)
+			if err != nil {
+				return fmt.Errorf("htap: rebuild dynamic upload: %w", err)
+			}
+			old.Free()
+			e.dynRep = fresh
+			rep.TransferSim = t
+		}
+		e.replicaTS = tp
+		return nil
+	})
+	if err != nil {
+		return err
+	}
 	rep.TransferBusSim = rep.TransferSim
 	rep.Total.AddSim(rep.TransferSim)
 
@@ -494,14 +628,20 @@ func clampThreshold(th uint64) uint64 {
 // replica is stale with respect to the request's arrival time, update
 // propagation runs first; the kernel then executes on the (simulated)
 // device. src is the source vertex for BFS and SSSP.
+//
+// Degraded mode: a failed propagation does not fail the request. The
+// staged-consumption protocol guarantees the last-good replica is a
+// consistent committed prefix, so the kernel runs on it and the result is
+// marked Degraded with an explicit staleness bound instead.
 func (e *Engine) RunAnalytics(kind AnalyticsKind, src uint64) (*Result, error) {
 	res := &Result{Kind: kind}
 	if !e.Fresh() {
 		rep, err := e.Propagate()
-		if err != nil {
-			return nil, err
-		}
 		res.Propagation = *rep
+		if err != nil {
+			res.Degraded = true
+			res.Staleness = rep.Staleness
+		}
 	}
 	if err := e.runKernel(res, kind, src); err != nil {
 		return nil, err

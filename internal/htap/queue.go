@@ -112,16 +112,17 @@ func (q *Queue) dispatch() {
 		// Stale: propagate with respect to the arrival time. The scan and
 		// merge run now (pipelined with any executing analytics); the
 		// replica swap inside Propagate blocks on their shared locks.
+		// A failed propagation degrades the request, not the queue: the
+		// kernel still runs on the last-good replica (a consistent
+		// committed prefix) and the result carries the staleness bound.
 		rep, err := q.e.Propagate()
-		if err != nil {
-			t.err = err
-			close(t.done)
-			q.drained.Done()
-			continue
-		}
 		go func() {
 			defer q.drained.Done()
 			t.res = &Result{Kind: t.kind, Propagation: *rep}
+			if err != nil {
+				t.res.Degraded = true
+				t.res.Staleness = rep.Staleness
+			}
 			t.err = q.e.runKernel(t.res, t.kind, t.src)
 			close(t.done)
 		}()
