@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak bench-record verify-bench clean
+.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak obs-smoke bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
-# detection on the concurrency-heavy packages, and a short-budget
-# crash-point enumeration (an evenly spaced sample of injected crashes; run
-# crash-full for every point).
-verify: vet build test race crash
+# detection on the concurrency-heavy packages, a short-budget crash-point
+# enumeration (an evenly spaced sample of injected crashes; run crash-full
+# for every point), and the live observability-endpoint smoke.
+verify: vet build test race crash obs-smoke
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCombineReplay -fuzztime $(FUZZTIME) ./internal/delta
 	$(GO) test -run '^$$' -fuzz FuzzMerge -fuzztime $(FUZZTIME) ./internal/csr
 	$(GO) test -run '^$$' -fuzz FuzzScanGrouping -fuzztime $(FUZZTIME) ./internal/deltastore
+
+# obs-smoke boots the bench with the -obs HTTP listener and curls /metrics,
+# /healthz, /debug/trace and /debug/pprof mid-run, asserting the key metric
+# families are live (see scripts/obs-smoke.sh).
+obs-smoke:
+	./scripts/obs-smoke.sh
 
 # fault-soak hammers propagation with randomized GPU faults through the
 # bench CLI (see internal/crashtest gpufaults for the invariants checked).

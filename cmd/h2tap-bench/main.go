@@ -16,14 +16,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
 	"h2tap/internal/crashtest"
 	"h2tap/internal/experiments"
 	"h2tap/internal/faultinject"
 	"h2tap/internal/htap"
+	"h2tap/internal/obs"
 )
 
 func main() {
@@ -37,8 +40,11 @@ func main() {
 		workers    = flag.Int("workers", 0, "propagation worker count (0 = GOMAXPROCS); adds a series point to parmerge")
 		seed       = flag.Int64("seed", 1, "random seed")
 		skipHeavy  = flag.Bool("skip-heavy", false, "skip long-running experiments (fig9, table1)")
-		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables")
+		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables, plus one line per propagation cycle")
 		faults     = flag.Int("faults", 0, "GPU-fault soak mode: run this many randomized fault injections and exit")
+		obsAddr    = flag.String("obs", "", "serve /metrics, /healthz, /debug/trace and /debug/pprof on this address (e.g. 127.0.0.1:0) while experiments run")
+		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs listener up this long after the experiments finish")
+		cycleLog   = flag.String("cyclelog", "", "append one JSON line per propagation cycle to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,49 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	if *obsAddr != "" {
+		cfg.Obs = obs.New()
+		srv, err := obs.Serve(*obsAddr, cfg.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		// The smoke harness parses this line for the bound port.
+		fmt.Fprintf(os.Stderr, "obs: listening on %s\n", srv.Addr())
+		if *obsLinger > 0 {
+			defer time.Sleep(*obsLinger)
+		}
+	}
+
+	// Per-cycle JSON stream: to the -cyclelog file, or to stdout alongside
+	// the -json table objects.
+	var outMu sync.Mutex
+	if *cycleLog != "" || *jsonOut {
+		w := io.Writer(os.Stdout)
+		if *cycleLog != "" && *cycleLog != "-" {
+			f, err := os.Create(*cycleLog)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		cenc := json.NewEncoder(w)
+		cfg.OnCycle = func(rep *htap.PropagationReport) {
+			line := cycleLine{Type: "cycle", Health: rep.Health.String(), Report: rep}
+			if rep.PersistErr != nil {
+				line.PersistErr = rep.PersistErr.Error()
+			}
+			outMu.Lock()
+			defer outMu.Unlock()
+			if err := cenc.Encode(line); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+
 	var toRun []experiments.Experiment
 	if *exp == "all" {
 		for _, e := range experiments.All() {
@@ -103,7 +152,10 @@ func main() {
 		tab := e.Run(cfg)
 		tab.Note("experiment wall time: %v", time.Since(start).Round(time.Millisecond))
 		if *jsonOut {
-			if err := enc.Encode(tab.JSON()); err != nil {
+			outMu.Lock()
+			err := enc.Encode(tab.JSON())
+			outMu.Unlock()
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -111,6 +163,16 @@ func main() {
 			tab.Fprint(os.Stdout)
 		}
 	}
+}
+
+// cycleLine is the per-propagation-cycle JSON record emitted by -json /
+// -cyclelog: the full report (phase walls, predicted costs, staleness)
+// plus flattened health and persist-error strings.
+type cycleLine struct {
+	Type       string                  `json:"type"`
+	Health     string                  `json:"health"`
+	PersistErr string                  `json:"persist_err,omitempty"`
+	Report     *htap.PropagationReport `json:"report"`
 }
 
 // faultSoak hammers the propagation pipeline with randomized GPU faults:

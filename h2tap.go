@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"h2tap/internal/costmodel"
 	"h2tap/internal/deltastore"
@@ -37,6 +38,7 @@ import (
 	"h2tap/internal/graph"
 	"h2tap/internal/htap"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/pmem"
 	"h2tap/internal/sim"
 	"h2tap/internal/vfs"
@@ -80,7 +82,16 @@ type (
 	RetryPolicy = htap.RetryPolicy
 	// ScrubReport is the outcome of a replica integrity scrub.
 	ScrubReport = htap.ScrubReport
+	// Observer is the observability bundle: metrics registry, cycle
+	// tracer, cost-model drift tracker. Create one with NewObserver, pass
+	// it in Options.Observer, expose it with DB.ServeObs.
+	Observer = obs.Observer
+	// ObsServer is a running observability HTTP listener.
+	ObsServer = obs.Server
 )
+
+// NewObserver returns an Observer with every metric family pre-registered.
+func NewObserver() *Observer { return obs.New() }
 
 // Health states.
 const (
@@ -157,6 +168,19 @@ type Options struct {
 	// already Degraded (propagation failing), commits are rejected instead
 	// so a wedged device cannot hide unbounded delta-store growth.
 	DeltaHighWater uint64
+	// Observer, when set, wires the database into the observability layer:
+	// commit latency, WAL append/fsync counters, delta-store depth, every
+	// propagation-cycle metric, health and staleness gauges, cycle traces,
+	// cost-model drift. Serve it over HTTP with DB.ServeObs. Nil (the
+	// default) keeps all hot paths at a single nil check.
+	Observer *Observer
+	// SlowCycleThreshold, when > 0, logs a single-line phase breakdown of
+	// every propagation cycle whose critical-path total meets it.
+	SlowCycleThreshold time.Duration
+	// OnPropagation, when set, receives every finished propagation report
+	// (the bench uses it to emit per-cycle JSON lines). Called on the
+	// propagating goroutine — keep it cheap.
+	OnPropagation func(*PropagationReport)
 }
 
 // DB is an open H2TAP database.
@@ -174,6 +198,9 @@ type DB struct {
 	engineRef  atomic.Pointer[htap.Engine] // for commit-path guards racing StartEngine
 	engineErr  error
 	queue      *htap.Queue
+
+	obsMu   sync.Mutex
+	obsSrvs []*obs.Server
 
 	closeOnce sync.Once
 	closeErr  error
@@ -347,7 +374,45 @@ func Open(opts Options) (_ *DB, err error) {
 	}
 	db.store.AddOpLogger(db.wal)
 	db.store.AddCapturer(db.ds)
+	db.wireWALObs()
 	return db, nil
+}
+
+// wireWALObs registers the WAL's pull-based counters with the observer.
+// The engine wires everything else when it starts; the WAL belongs to the
+// facade, so its exposition is wired here.
+func (db *DB) wireWALObs() {
+	o := db.opts.Observer
+	if o == nil || db.wal == nil {
+		return
+	}
+	w := db.wal
+	o.Reg.CounterFunc("h2tap_wal_appends_total",
+		"Commit records successfully appended to the write-ahead log.",
+		func() float64 { return float64(w.Stats().Appends) })
+	o.Reg.CounterFunc("h2tap_wal_append_bytes_total",
+		"Bytes written by successful WAL appends (header + payload).",
+		func() float64 { return float64(w.Stats().AppendBytes) })
+	o.Reg.CounterFunc("h2tap_wal_fsyncs_total",
+		"Fsyncs issued on the WAL append path (SyncWAL mode).",
+		func() float64 { return float64(w.Stats().Syncs) })
+}
+
+// ServeObs starts the observability HTTP listener (e.g. "127.0.0.1:0" for
+// an ephemeral port) serving /metrics, /healthz, /debug/trace and
+// /debug/pprof from Options.Observer. The listener is closed by Close.
+func (db *DB) ServeObs(addr string) (*ObsServer, error) {
+	if db.opts.Observer == nil {
+		return nil, fmt.Errorf("h2tap: ServeObs requires Options.Observer")
+	}
+	srv, err := obs.Serve(addr, db.opts.Observer)
+	if err != nil {
+		return nil, err
+	}
+	db.obsMu.Lock()
+	db.obsSrvs = append(db.obsSrvs, srv)
+	db.obsMu.Unlock()
+	return srv, nil
 }
 
 // writeSentinel durably creates the pools-initialized marker.
@@ -392,6 +457,9 @@ func (db *DB) StartEngine() error {
 			PersistPool:   db.csrPool,
 			Retry:         db.opts.Retry,
 			HighWater:     db.opts.DeltaHighWater,
+			Obs:           db.opts.Observer,
+			OnCycle:       db.opts.OnPropagation,
+			SlowCycle:     db.opts.SlowCycleThreshold,
 		}
 		if db.opts.EnableCostModel {
 			m, err := htap.Calibrate(db.store)
@@ -561,6 +629,12 @@ func (db *DB) Close() error {
 		if db.queue != nil {
 			db.queue.Close()
 		}
+		db.obsMu.Lock()
+		for _, s := range db.obsSrvs {
+			s.Close()
+		}
+		db.obsSrvs = nil
+		db.obsMu.Unlock()
 		var firstErr error
 		if db.wal != nil {
 			if err := db.wal.Close(); err != nil {

@@ -94,6 +94,10 @@ type Store struct {
 
 	skippedTxns atomic.Uint64
 
+	// appendObs, when set, receives every Capture's appended record count
+	// and insert/delete payload element counts. One atomic load when unset.
+	appendObs atomic.Value // func(records, ins, dels int)
+
 	persist *persistence // nil for the volatile store
 
 	// persistBroken latches on the first PMem write failure. Mirroring
@@ -184,6 +188,25 @@ func (s *Store) SetThreshold(n uint64) {
 
 // Threshold reports the installed threshold.
 func (s *Store) Threshold() uint64 { return s.threshold.Load() }
+
+// SetAppendObserver installs the append observer: fn is called at the end
+// of every Capture that appended records, with the record count and the
+// insert/delete payload element counts. fn must be safe for concurrent use;
+// committers call it directly.
+func (s *Store) SetAppendObserver(fn func(records, ins, dels int)) {
+	s.appendObs.Store(fn)
+}
+
+// Depth reports the number of published-but-unconsumed records: the
+// replica's ingestion backlog (append high-water minus the consumed
+// prefix).
+func (s *Store) Depth() uint64 {
+	n := s.records.Len()
+	if p := s.consumedPrefix.Load(); p < n {
+		return n - p
+	}
+	return 0
+}
 
 // SkippedTxns reports how many committing transactions skipped appending
 // because delta mode was off.
@@ -276,6 +299,9 @@ func (s *Store) Capture(d *delta.TxDelta) {
 		}
 	}
 	s.checkHighWater()
+	if fn, ok := s.appendObs.Load().(func(records, ins, dels int)); ok && fn != nil {
+		fn(len(d.Nodes), insTotal, delTotal)
+	}
 }
 
 // scanHit is one record reference collected by scan pass 1; the payloads

@@ -22,8 +22,10 @@ import (
 	"h2tap/internal/deltai"
 	"h2tap/internal/deltastore"
 	"h2tap/internal/graph"
+	"h2tap/internal/htap"
 	"h2tap/internal/ldbc"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/relstore"
 	"h2tap/internal/workload"
 )
@@ -43,6 +45,13 @@ type Config struct {
 	// GOMAXPROCS default).
 	Workers int
 	Seed    int64
+
+	// Obs, when set, wires every engine-based experiment's engine into the
+	// observability layer (cmd/h2tap-bench passes it when -obs is set).
+	Obs *obs.Observer
+	// OnCycle, when set, receives every propagation report from
+	// engine-based experiments (the bench's per-cycle JSON stream).
+	OnCycle func(*htap.PropagationReport)
 }
 
 // Default returns the laptop-scale configuration. RMATScale 17 keeps

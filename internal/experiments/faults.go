@@ -90,7 +90,9 @@ func (c Config) runFaultScenario(replica htap.ReplicaKind, sc faultScenario, ops
 		Workers: c.Workers,
 		// Tight backoffs keep the ablation fast; the ladder shape is
 		// attempt-count-driven, not sleep-driven.
-		Retry: htap.RetryPolicy{MaxAttempts: 3, Backoff: 100 * time.Microsecond, MaxBackoff: 500 * time.Microsecond},
+		Retry:   htap.RetryPolicy{MaxAttempts: 3, Backoff: 100 * time.Microsecond, MaxBackoff: 500 * time.Microsecond},
+		Obs:     c.Obs,
+		OnCycle: c.OnCycle,
 	})
 	if err != nil {
 		panic(err)

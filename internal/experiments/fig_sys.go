@@ -73,7 +73,7 @@ func (c Config) Table1() *Table {
 
 	// H2TAP side: engine over the store, updates, then one propagation.
 	store, _ := c.rmatSetup()
-	eng, err := htap.NewEngine(store, htap.Config{Replica: htap.StaticCSR, Workers: c.Workers})
+	eng, err := htap.NewEngine(store, htap.Config{Replica: htap.StaticCSR, Workers: c.Workers, Obs: c.Obs, OnCycle: c.OnCycle})
 	if err != nil {
 		panic(err)
 	}

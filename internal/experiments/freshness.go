@@ -28,7 +28,7 @@ func (c Config) FreshnessExp() *Table {
 
 	for _, batch := range []int{1, 2, 4, 8} {
 		b := c.setup(1, captNone, false)
-		eng, err := htap.NewEngine(b.store, htap.Config{Replica: htap.StaticCSR, Workers: c.Workers})
+		eng, err := htap.NewEngine(b.store, htap.Config{Replica: htap.StaticCSR, Workers: c.Workers, Obs: c.Obs, OnCycle: c.OnCycle})
 		if err != nil {
 			panic(err)
 		}

@@ -33,6 +33,7 @@ func All() []Experiment {
 		{ID: "parmerge", Desc: "Parallel scan/merge/rebuild ablation vs worker count (extension)", Run: Config.ParallelMergeExp},
 		{ID: "freshness", Desc: "Propagation amortization across analytics batches (extension)", Run: Config.FreshnessExp},
 		{ID: "faults", Desc: "Propagation under injected GPU faults: retry/fallback/degraded ladder (extension)", Run: Config.FaultsExp},
+		{ID: "obs", Desc: "Observability instrumentation overhead: observer on vs off (extension)", Run: Config.ObsExp},
 	}
 }
 

@@ -63,6 +63,58 @@ type Device struct {
 	simTotal sim.Duration // accumulated simulated busy time
 	launches int64
 	hToD     int64 // bytes moved host→device
+	dToH     int64 // bytes moved device→host
+
+	// Per-op success counters and the injected-fault tally, for metrics
+	// exposition (pull-based: read at scrape time via Stats).
+	mallocs          atomic.Int64
+	uploads          atomic.Int64
+	replaces         atomic.Int64
+	replacesStreamed atomic.Int64
+	ingests          atomic.Int64
+	faultsInjected   atomic.Int64
+}
+
+// DeviceStats is a snapshot of the device's operation counters.
+type DeviceStats struct {
+	Mallocs          int64
+	Uploads          int64
+	Replaces         int64
+	ReplacesStreamed int64
+	Ingests          int64
+	Launches         int64
+	FaultsInjected   int64
+	BytesToDevice    int64
+	BytesToHost      int64
+	MemUsed          int64
+	SimTotal         sim.Duration
+}
+
+// Stats snapshots the operation counters for metrics exposition.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	launches, hToD, dToH, simTotal := d.launches, d.hToD, d.dToH, d.simTotal
+	d.mu.Unlock()
+	return DeviceStats{
+		Mallocs:          d.mallocs.Load(),
+		Uploads:          d.uploads.Load(),
+		Replaces:         d.replaces.Load(),
+		ReplacesStreamed: d.replacesStreamed.Load(),
+		Ingests:          d.ingests.Load(),
+		Launches:         launches,
+		FaultsInjected:   d.faultsInjected.Load(),
+		BytesToDevice:    hToD,
+		BytesToHost:      dToH,
+		MemUsed:          d.memUsed.Load(),
+		SimTotal:         simTotal,
+	}
+}
+
+// PredictTransfer evaluates the device's PCIe model for n bytes without
+// charging the bus — the predicted transfer cost the drift tracker compares
+// against the measured one.
+func (d *Device) PredictTransfer(n int64) sim.Duration {
+	return d.cfg.PCIe.Transfer(n)
 }
 
 // SetFaultInjector installs (or, with nil, removes) the fault-injection
@@ -74,7 +126,10 @@ func (d *Device) SetFaultInjector(fi FaultInjector) {
 // fault consults the installed injector for one operation.
 func (d *Device) fault(op string) error {
 	if p, _ := d.inject.Load().(*FaultInjector); p != nil && *p != nil {
-		return (*p).Check(op)
+		if err := (*p).Check(op); err != nil {
+			d.faultsInjected.Add(1)
+			return err
+		}
 	}
 	return nil
 }
@@ -155,6 +210,7 @@ func (d *Device) Malloc(n int64) (*Buffer, error) {
 			return nil, fmt.Errorf("%w: need %d, %d free", ErrOutOfMemory, n, d.cfg.MemBytes-used)
 		}
 		if d.memUsed.CompareAndSwap(used, used+n) {
+			d.mallocs.Add(1)
 			return &Buffer{dev: d, bytes: n}, nil
 		}
 	}
@@ -184,7 +240,10 @@ func (d *Device) HostToDevice(n int64) sim.Duration {
 // DeviceToHost charges a device→host transfer.
 func (d *Device) DeviceToHost(n int64) sim.Duration {
 	t := d.cfg.PCIe.Transfer(n)
-	d.charge(t)
+	d.mu.Lock()
+	d.simTotal += t
+	d.dToH += n
+	d.mu.Unlock()
 	return t
 }
 
@@ -225,6 +284,7 @@ func UploadCSR(d *Device, c *csr.CSR) (*ResidentCSR, sim.Duration, error) {
 		return nil, 0, err
 	}
 	t := d.HostToDevice(c.Bytes())
+	d.uploads.Add(1)
 	return &ResidentCSR{dev: d, buf: buf, c: c}, t, nil
 }
 
@@ -257,6 +317,7 @@ func (r *ResidentCSR) Replace(c *csr.CSR) (sim.Duration, error) {
 	t := r.dev.HostToDevice(c.Bytes())
 	r.buf = buf
 	r.c = c
+	r.dev.replaces.Add(1)
 	return t, nil
 }
 
@@ -328,6 +389,7 @@ func (r *ResidentCSR) ReplaceStreamed(c *csr.CSR, segs []StreamSegment, mergeWal
 	}
 	r.buf = buf
 	r.c = c
+	r.dev.replacesStreamed.Add(1)
 	return exposed, total, nil
 }
 
@@ -357,6 +419,7 @@ func UploadDyn(d *Device, g *dyngraph.Graph) (*ResidentDyn, sim.Duration, error)
 		return nil, 0, err
 	}
 	t := d.HostToDevice(int64(g.NumVertexSlots())*16 + g.NumEdges()*16)
+	d.uploads.Add(1)
 	return &ResidentDyn{dev: d, buf: buf, g: g}, t, nil
 }
 
@@ -406,6 +469,7 @@ func (r *ResidentDyn) IngestWorkers(b *delta.Batch, workers int) (sim.Duration, 
 		r.buf.Free()
 		r.buf = grown
 	}
+	r.dev.ingests.Add(1)
 	return t + kt, st, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"h2tap/internal/gpu"
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/pmem"
 	"h2tap/internal/sim"
 )
@@ -98,6 +99,21 @@ type Config struct {
 	// engine is Degraded so propagation cannot drain the store — puts the
 	// engine into Backpressure so committers stop feeding it.
 	HighWater uint64
+	// Obs, when set, wires the engine into the observability layer: commit
+	// and delta-append hooks, propagation phase histograms and counters,
+	// cycle traces, cost-model drift, health/staleness/device gauges. Nil
+	// keeps every hot path at a single nil check.
+	Obs *obs.Observer
+	// OnCycle, when set, receives every finished propagation report (after
+	// health and staleness are filled in). Called under propMu — keep it
+	// cheap; the bench uses it to emit per-cycle JSON lines.
+	OnCycle func(*PropagationReport)
+	// SlowCycle, when > 0, logs a single-line phase breakdown of every
+	// propagation cycle whose critical-path total meets the threshold.
+	SlowCycle time.Duration
+	// SlowCycleLog overrides the slow-cycle log destination (nil selects
+	// log.Printf).
+	SlowCycleLog func(format string, args ...any)
 }
 
 // PropagationReport describes one update-propagation cycle (§4.2's second
@@ -144,7 +160,28 @@ type PropagationReport struct {
 	// cycle: the replica is fresh and consistent regardless.
 	PersistErr error
 
+	// Predicted holds the §6.4 cost-model predictions for this cycle's
+	// phases, when a model is installed — the drift tracker compares them
+	// against the measured walls above.
+	Predicted PredictedCosts
+
 	Total sim.Latency // critical-path cost: scan+merge wall, transfer+ingest sim
+}
+
+// PredictedCosts are the cost-model predictions for one propagation cycle.
+// Zero fields mean "no prediction" (no model installed, or the phase did
+// not run).
+type PredictedCosts struct {
+	// FromModel reports that a §6.4 cost model was installed this cycle.
+	FromModel bool
+	// Scan is the scan model evaluated at the cycle's record count.
+	Scan time.Duration
+	// Merge is copy(graph size) + modify(record count) — the delta path.
+	Merge time.Duration
+	// Rebuild is the rebuild model at the rebuilt graph's edge count.
+	Rebuild time.Duration
+	// Transfer is the PCIe model at the shipped byte volume.
+	Transfer sim.Duration
 }
 
 // Result is one analytics execution with its latency breakdown — the Table
@@ -286,6 +323,7 @@ func newEngine(store *graph.Store, cfg Config, register bool) (*Engine, error) {
 		return nil, fmt.Errorf("htap: unknown replica kind %d", cfg.Replica)
 	}
 	e.replicaTS = ts + 1 // covers all commits < ts+1, i.e. ≤ ts
+	e.wireObs()
 	return e, nil
 }
 
@@ -389,7 +427,8 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 	bound := e.store.Oracle().StableTS() + 1
 	rep := &PropagationReport{Triggered: true, TS: bound}
 
-	err := e.runCycle(bound, rep)
+	tc := e.cfg.Obs.StartCycle("propagation")
+	err := e.runCycle(bound, rep, tc)
 	if err != nil {
 		e.degradedCycles++
 		e.setHealth(Degraded, err)
@@ -402,33 +441,46 @@ func (e *Engine) Propagate() (*PropagationReport, error) {
 	}
 	rep.Health, _ = e.Health()
 	rep.Staleness = e.Staleness()
+	e.observeCycle(rep, tc, err)
 	return rep, err
 }
 
 // runCycle executes one propagation cycle's work under propMu.
-func (e *Engine) runCycle(bound mvto.TS, rep *PropagationReport) error {
+func (e *Engine) runCycle(bound mvto.TS, rep *PropagationReport, tc *obs.Cycle) error {
 	workers := e.workers()
 	rep.Workers = workers
 
 	if !e.ds.DeltaMode() {
 		rep.Rebuild = true
-		return e.rebuildReplica(bound, rep)
+		return e.rebuildReplica(bound, rep, tc)
 	}
 
+	sp := tc.Span("scan")
 	scanStart := time.Now()
 	sc := e.ds.StageScanWorkers(bound, workers)
 	rep.ScanWall = time.Since(scanStart)
+	sp.Arg("records", itoa(sc.Batch.Records))
+	sp.End()
 	rep.Records = sc.Batch.Records
 	rep.Deltas = len(sc.Batch.Deltas)
 	rep.Total.AddWall(rep.ScanWall)
+	if m := e.model(); m != nil {
+		rep.Predicted.FromModel = true
+		rep.Predicted.Scan = modelDur(m.Scan.Predict(float64(rep.Records)))
+		if e.cfg.Replica == StaticCSR {
+			// The copy/modify models describe the CSR merge.
+			rep.Predicted.Merge = modelDur(m.Copy.Predict(float64(e.hostCSR.NumEdges())) +
+				m.Modify.Predict(float64(rep.Records)))
+		}
+	}
 
-	if err := e.applyBatch(sc.Batch, bound, rep, workers); err != nil {
+	if err := e.applyBatch(sc.Batch, bound, rep, workers, tc); err != nil {
 		// Rung 2: the delta apply exhausted its retries — fall back to a
 		// full rebuild from the main graph, which covers every committed
 		// update including the staged records.
 		rep.FallbackRebuild = true
 		e.fallbackRebuilds++
-		if rerr := e.rebuildReplica(bound, rep); rerr != nil {
+		if rerr := e.rebuildReplica(bound, rep, tc); rerr != nil {
 			// Rung 3: nothing worked. Abandon the stage — every staged
 			// record stays valid for the next cycle — and degrade.
 			sc.Abandon()
@@ -449,11 +501,14 @@ func (e *Engine) runCycle(bound mvto.TS, rep *PropagationReport) error {
 	// analytics, so it runs outside the critical path — and a failure is
 	// recorded, not returned: the replica itself is fresh and consistent.
 	if e.cfg.Replica == StaticCSR && e.cfg.PersistPool != nil {
+		sp := tc.Span("persist")
 		pStart := time.Now()
 		if _, err := csr.PersistTo(e.cfg.PersistPool, e.hostCSR); err != nil {
 			rep.PersistErr = fmt.Errorf("htap: persistent CSR copy: %w", err)
+			sp.Arg("err", err.Error())
 		}
 		rep.PersistWall = time.Since(pStart)
+		sp.End()
 	}
 	return nil
 }
@@ -464,7 +519,7 @@ func (e *Engine) runCycle(bound mvto.TS, rep *PropagationReport) error {
 // retries. Replica state (hostCSR, dynamic structure, replicaTS) advances
 // only inside a successful attempt, so a failed rung leaves the replica on
 // its last-good version.
-func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationReport, workers int) error {
+func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationReport, workers int, tc *obs.Cycle) error {
 	switch e.cfg.Replica {
 	case StaticCSR:
 		// With parallel workers, record when each merged node-range shard
@@ -484,12 +539,15 @@ func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationR
 				segMu.Unlock()
 			}
 		}
+		sp := tc.Span("merge")
 		merged, st := csr.MergeObserved(e.hostCSR, batch, workers, onShard)
 		rep.MergeWall = time.Since(mergeStart)
 		rep.MergeStats = st
 		rep.Total.AddWall(rep.MergeWall)
+		sp.End()
+		rep.Predicted.Transfer = e.dev.PredictTransfer(merged.Bytes())
 
-		err := e.retryLoop(rep, func(n int) error {
+		err := e.retryLoop(rep, tc, "transfer", func(n int) error {
 			e.replicaMu.Lock()
 			defer e.replicaMu.Unlock()
 			if workers > 1 && n == 1 {
@@ -539,7 +597,8 @@ func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationR
 		return nil
 
 	case DynamicHash:
-		err := e.retryLoop(rep, func(int) error {
+		rep.Predicted.Transfer = e.dev.PredictTransfer(batch.TransferBytes())
+		err := e.retryLoop(rep, tc, "ingest", func(int) error {
 			e.replicaMu.Lock()
 			defer e.replicaMu.Unlock()
 			// IngestWorkers is failure-atomic (all fallible device ops
@@ -567,17 +626,31 @@ func (e *Engine) applyBatch(batch *delta.Batch, bound mvto.TS, rep *PropagationR
 // fallback): build a fresh CSR from the main graph at the propagation
 // snapshot, ship it with bounded retries, clear the delta store and
 // re-enable delta mode.
-func (e *Engine) rebuildReplica(tp mvto.TS, rep *PropagationReport) error {
+func (e *Engine) rebuildReplica(tp mvto.TS, rep *PropagationReport, tc *obs.Cycle) error {
+	sp := tc.Span("rebuild")
 	start := time.Now()
 	rebuilt := csr.BuildWorkers(e.store, tp-1, e.workers())
 	var dynFresh *dyngraph.Graph
 	if e.cfg.Replica == DynamicHash {
 		dynFresh = dyngraph.FromCSR(rebuilt)
 	}
-	rep.MergeWall += time.Since(start)
-	rep.Total.AddWall(time.Since(start))
+	buildWall := time.Since(start)
+	rep.MergeWall += buildWall
+	rep.Total.AddWall(buildWall)
+	sp.End()
+	if m := e.model(); m != nil {
+		rep.Predicted.FromModel = true
+		rep.Predicted.Rebuild = modelDur(m.Rebuild.Predict(float64(rebuilt.NumEdges())))
+		// The rebuild wall is measured here (the report's MergeWall can mix
+		// in a failed merge on the fallback path), so its drift observation
+		// is recorded here too.
+		e.cfg.Obs.RecordDrift("rebuild", m.Rebuild.Predict(float64(rebuilt.NumEdges())), buildWall.Seconds())
+	}
+	if e.cfg.Replica == StaticCSR {
+		rep.Predicted.Transfer = e.dev.PredictTransfer(rebuilt.Bytes())
+	}
 
-	err := e.retryLoop(rep, func(int) error {
+	err := e.retryLoop(rep, tc, "transfer", func(int) error {
 		e.replicaMu.Lock()
 		defer e.replicaMu.Unlock()
 		switch e.cfg.Replica {

@@ -12,6 +12,7 @@ import (
 
 	"h2tap/internal/csr"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 )
 
 // Health is the engine's availability state.
@@ -93,15 +94,19 @@ func (e *Engine) Health() (Health, error) {
 	return e.health, e.lastFault
 }
 
-// setHealth records a cycle outcome.
+// setHealth records a cycle outcome, counting actual state transitions.
 func (e *Engine) setHealth(h Health, err error) {
 	e.healthMu.Lock()
+	changed := e.health != h
 	e.health = h
 	if h == Healthy {
 		err = nil
 	}
 	e.lastFault = err
 	e.healthMu.Unlock()
+	if changed {
+		e.cfg.Obs.HealthTransition(h == Degraded)
+	}
 }
 
 // Staleness reports the current staleness bound. Healthy engines report a
@@ -180,16 +185,21 @@ func (e *Engine) emergencyPropagate() {
 // backoff between tries. Failed attempts are real cost — their wall time
 // and the backoff sleeps are charged to the report (RetryWall and Total),
 // so retry accounting stays honest. Runs under propMu.
-func (e *Engine) retryLoop(rep *PropagationReport, attempt func(n int) error) error {
+func (e *Engine) retryLoop(rep *PropagationReport, tc *obs.Cycle, rung string, attempt func(n int) error) error {
 	pol := e.cfg.Retry.withDefaults()
 	backoff := pol.Backoff
 	for n := 1; ; n++ {
 		rep.Attempts++
+		sp := tc.Span(rung)
+		sp.Arg("attempt", itoa(n))
 		start := time.Now()
 		err := attempt(n)
 		if err == nil {
+			sp.End()
 			return nil
 		}
+		sp.Arg("err", err.Error())
+		sp.End()
 		wasted := time.Since(start)
 		rep.RetryWall += wasted
 		rep.Total.AddWall(wasted)
@@ -197,7 +207,9 @@ func (e *Engine) retryLoop(rep *PropagationReport, attempt func(n int) error) er
 		if n >= pol.MaxAttempts {
 			return err
 		}
+		bs := tc.Span("backoff")
 		time.Sleep(backoff)
+		bs.End()
 		rep.RetryWall += backoff
 		rep.Total.AddWall(backoff)
 		if backoff *= 2; backoff > pol.MaxBackoff {
@@ -251,7 +263,7 @@ func (e *Engine) Scrub() (*ScrubReport, error) {
 		defer tp.Commit()
 		bound := e.store.Oracle().StableTS() + 1
 		prep := &PropagationReport{Triggered: true, TS: bound, Workers: e.workers()}
-		if err := e.rebuildReplica(bound, prep); err != nil {
+		if err := e.rebuildReplica(bound, prep, nil); err != nil {
 			e.setHealth(Degraded, err)
 			rep.Wall = time.Since(start)
 			return rep, err

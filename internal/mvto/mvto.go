@@ -16,6 +16,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // TS is a transaction timestamp. Timestamp 0 is reserved to mean "no
@@ -175,6 +176,24 @@ type Oracle struct {
 
 	finishMu sync.Mutex
 	finished map[TS]struct{} // finished transactions above stable
+
+	// commitObs, when set, receives every commit's latency (hook execution
+	// through oracle publication). Nil-checked on the commit path so the
+	// uninstrumented cost is one atomic load.
+	commitObs atomic.Pointer[func(time.Duration)]
+}
+
+// SetCommitObserver installs (or, with nil, removes) the commit observer:
+// fn is called after every successful Commit with the latency of the commit
+// itself — hook execution (delta capture, WAL append) plus oracle
+// publication. fn must be safe for concurrent use; committers call it
+// directly.
+func (o *Oracle) SetCommitObserver(fn func(time.Duration)) {
+	if fn == nil {
+		o.commitObs.Store(nil)
+		return
+	}
+	o.commitObs.Store(&fn)
 }
 
 // NewOracle returns an oracle whose first timestamp is 1 (0 is reserved for
@@ -287,6 +306,11 @@ func (t *Txn) OnCommit(fn func(TS)) { t.onCommit = append(t.onCommit, fn) }
 // Commit finishes the transaction: commit hooks run (version finalization,
 // delta capture), then the oracle's committed high-water mark advances.
 func (t *Txn) Commit() error {
+	obs := t.oracle.commitObs.Load()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	if !t.status.CompareAndSwap(int32(Active), int32(Committed)) {
 		return ErrTxnDone
 	}
@@ -297,6 +321,9 @@ func (t *Txn) Commit() error {
 	t.oracle.finish(t.ts)
 	t.undo = nil
 	t.onCommit = nil
+	if obs != nil {
+		(*obs)(time.Since(start))
+	}
 	return nil
 }
 

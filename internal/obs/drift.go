@@ -1,0 +1,100 @@
+package obs
+
+import "sync"
+
+// DriftModels are the cost-model components whose predictions the engine
+// checks against measured wall time: the §6.4 scan/merge/rebuild linear
+// models and the PCIe transfer model.
+var DriftModels = []string{"scan", "merge", "rebuild", "transfer"}
+
+// Drift tracks predicted-vs-actual cost per model over a rolling window and
+// exposes the rolling mean relative error — the evidence that the §6.4
+// threshold is being computed from coefficients that still match reality.
+type Drift struct {
+	mu     sync.Mutex
+	window int
+	series map[string]*driftSeries
+}
+
+type driftSeries struct {
+	pred, act []float64 // ring buffers
+	next      int
+	n         int // observations in the window
+	total     uint64
+}
+
+// NewDrift returns a tracker with the given rolling-window size per model.
+func NewDrift(window int) *Drift {
+	if window <= 0 {
+		window = 128
+	}
+	return &Drift{window: window, series: make(map[string]*driftSeries)}
+}
+
+// Record adds one (predicted, actual) observation in seconds.
+func (d *Drift) Record(model string, predicted, actual float64) {
+	if d == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.series[model]
+	if s == nil {
+		s = &driftSeries{pred: make([]float64, d.window), act: make([]float64, d.window)}
+		d.series[model] = s
+	}
+	s.pred[s.next] = predicted
+	s.act[s.next] = actual
+	s.next = (s.next + 1) % d.window
+	if s.n < d.window {
+		s.n++
+	}
+	s.total++
+}
+
+// RelErr reports the rolling mean relative error |pred-actual|/actual of
+// the model's window; observations with actual == 0 are skipped. Returns 0
+// with no usable observations.
+func (d *Drift) RelErr(model string) float64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.series[model]
+	if s == nil {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 0; i < s.n; i++ {
+		if s.act[i] == 0 {
+			continue
+		}
+		e := (s.pred[i] - s.act[i]) / s.act[i]
+		if e < 0 {
+			e = -e
+		}
+		sum += e
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Count reports the total observations recorded for the model (not capped
+// by the window).
+func (d *Drift) Count(model string) uint64 {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.series[model]
+	if s == nil {
+		return 0
+	}
+	return s.total
+}

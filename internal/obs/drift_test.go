@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftRelErr(t *testing.T) {
+	d := NewDrift(8)
+	if d.RelErr("scan") != 0 || d.Count("scan") != 0 {
+		t.Fatal("unknown model not zero")
+	}
+	d.Record("scan", 2, 1)   // |2-1|/1 = 1
+	d.Record("scan", 1, 2)   // |1-2|/2 = 0.5
+	d.Record("scan", 3, 3)   // 0
+	if got, want := d.RelErr("scan"), 0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RelErr = %v, want %v", got, want)
+	}
+	if d.Count("scan") != 3 {
+		t.Fatalf("Count = %d, want 3", d.Count("scan"))
+	}
+	// Models are independent.
+	if d.RelErr("merge") != 0 {
+		t.Fatal("merge leaked scan observations")
+	}
+}
+
+func TestDriftZeroActualSkipped(t *testing.T) {
+	d := NewDrift(8)
+	d.Record("merge", 1, 0) // unusable: would divide by zero
+	if d.RelErr("merge") != 0 {
+		t.Fatalf("RelErr = %v, want 0 with only a zero-actual sample", d.RelErr("merge"))
+	}
+	if d.Count("merge") != 1 {
+		t.Fatal("zero-actual sample not counted as an observation")
+	}
+	d.Record("merge", 2, 1)
+	if got := d.RelErr("merge"); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("RelErr = %v, want 1 (zero-actual skipped from the mean)", got)
+	}
+}
+
+func TestDriftWindowRolls(t *testing.T) {
+	d := NewDrift(2)
+	d.Record("rebuild", 10, 1) // relerr 9, will be evicted
+	d.Record("rebuild", 2, 1)  // relerr 1
+	d.Record("rebuild", 3, 1)  // relerr 2, evicts the first
+	if got, want := d.RelErr("rebuild"), 1.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RelErr = %v, want %v (window of 2)", got, want)
+	}
+	// Count is total, not window-capped.
+	if d.Count("rebuild") != 3 {
+		t.Fatalf("Count = %d, want 3", d.Count("rebuild"))
+	}
+}
+
+func TestDriftNilSafe(t *testing.T) {
+	var d *Drift
+	d.Record("scan", 1, 1)
+	if d.RelErr("scan") != 0 || d.Count("scan") != 0 {
+		t.Fatal("nil drift not a no-op")
+	}
+}

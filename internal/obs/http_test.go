@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String(), rec.Header()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := New()
+	o.ObserveCommit(time.Millisecond)
+	code, body, hdr := get(t, Handler(o), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(body, "h2tap_commit_seconds_count 1") {
+		t.Fatalf("metrics body missing commit count:\n%s", body)
+	}
+}
+
+func TestHealthzEndpoint(t *testing.T) {
+	o := New()
+	h := Handler(o)
+	if code, body, _ := get(t, h, "/healthz"); code != http.StatusOK || !strings.HasPrefix(body, "ok: ") {
+		t.Fatalf("default healthz = %d %q", code, body)
+	}
+	o.SetHealthSource(func() (bool, string) { return false, "pending=12" })
+	code, body, _ := get(t, h, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded: pending=12") {
+		t.Fatalf("degraded healthz = %d %q", code, body)
+	}
+	o.SetHealthSource(func() (bool, string) { return true, "replica fresh" })
+	if code, _, _ := get(t, h, "/healthz"); code != http.StatusOK {
+		t.Fatalf("recovered healthz = %d", code)
+	}
+}
+
+func TestDebugTraceEndpoint(t *testing.T) {
+	o := New()
+	o.Tracer.SetClock(fakeClock())
+	for i := 0; i < 3; i++ {
+		c := o.StartCycle("propagation")
+		c.Span("scan").End()
+		c.Finish()
+	}
+	h := Handler(o)
+
+	code, body, hdr := get(t, h, "/debug/trace")
+	if code != http.StatusOK || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("trace = %d %q", code, hdr.Get("Content-Type"))
+	}
+	var out chromeTrace
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 6 { // 3 cycles × (cycle + scan span)
+		t.Fatalf("events = %d, want 6", len(out.TraceEvents))
+	}
+
+	// ?n=1 returns only the newest cycle.
+	_, body, _ = get(t, h, "/debug/trace?n=1")
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 2 || out.TraceEvents[0].TID != 3 {
+		t.Fatalf("n=1 events = %+v", out.TraceEvents)
+	}
+}
+
+func TestPprofEndpoint(t *testing.T) {
+	code, body, _ := get(t, Handler(New()), "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d", code)
+	}
+}
+
+func TestServe(t *testing.T) {
+	o := New()
+	srv, err := Serve("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "h2tap_commit_seconds") {
+		t.Fatalf("live /metrics = %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

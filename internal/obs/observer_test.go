@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilObserverSafe(t *testing.T) {
+	var o *Observer
+	o.ObserveCommit(time.Millisecond)
+	o.DeltaAppend(1, 1, 0)
+	o.ObservePhase("scan", time.Millisecond)
+	o.ObserveCycleDone(CycleStats{OK: true})
+	o.HealthTransition(true)
+	o.RecordDrift("scan", 1, 1)
+	o.SetHealthSource(func() (bool, string) { return false, "x" })
+	if c := o.StartCycle("p"); c != nil {
+		t.Fatal("nil observer handed out a cycle")
+	}
+	if ok, detail := o.Health(); !ok || detail != "no observer" {
+		t.Fatalf("nil Health = %v %q", ok, detail)
+	}
+}
+
+// TestFamiliesPreRegistered: every static family is visible from the first
+// scrape, at zero, before any instrumentation fires — so dashboards and the
+// smoke test can assert presence without racing the first propagation.
+func TestFamiliesPreRegistered(t *testing.T) {
+	out := expo(New().Reg)
+	for _, family := range []string{
+		"h2tap_commit_seconds",
+		"h2tap_delta_appends_total",
+		"h2tap_delta_append_records_total",
+		"h2tap_delta_append_inserts_total",
+		"h2tap_delta_append_deletes_total",
+		`h2tap_propagation_phase_seconds_bucket{phase="scan",le="+Inf"}`,
+		`h2tap_propagation_phase_seconds_bucket{phase="transfer",le="+Inf"}`,
+		"h2tap_propagation_total_seconds",
+		`h2tap_propagation_cycles_total{result="ok"} 0`,
+		`h2tap_propagation_cycles_total{result="degraded"} 0`,
+		`h2tap_propagation_rebuilds_total{cause="cost-model"} 0`,
+		`h2tap_propagation_rebuilds_total{cause="fallback"} 0`,
+		"h2tap_propagation_records_total",
+		"h2tap_propagation_attempts_total",
+		"h2tap_propagation_retries_total",
+		`h2tap_health_transitions_total{to="degraded"} 0`,
+		`h2tap_costmodel_rel_error{model="scan"} 0`,
+		`h2tap_costmodel_rel_error{model="merge"} 0`,
+		`h2tap_costmodel_rel_error{model="rebuild"} 0`,
+		`h2tap_costmodel_rel_error{model="transfer"} 0`,
+		`h2tap_costmodel_predictions_total{model="scan"} 0`,
+	} {
+		if !strings.Contains(out, family) {
+			t.Fatalf("family %q absent from first scrape:\n%s", family, out)
+		}
+	}
+}
+
+func TestObserveCycleDoneCounters(t *testing.T) {
+	o := New()
+	o.ObserveCycleDone(CycleStats{OK: true, Total: time.Second, Records: 10, Deltas: 7, Attempts: 1})
+	o.ObserveCycleDone(CycleStats{OK: false, Total: time.Second, Attempts: 4})
+	o.ObserveCycleDone(CycleStats{OK: true, Attempts: 1, Rebuild: true})
+	o.ObserveCycleDone(CycleStats{OK: true, Attempts: 2, Rebuild: true, FallbackRebuild: true})
+	out := expo(o.Reg)
+	for _, line := range []string{
+		`h2tap_propagation_cycles_total{result="ok"} 3`,
+		`h2tap_propagation_cycles_total{result="degraded"} 1`,
+		"h2tap_propagation_records_total 10",
+		"h2tap_propagation_deltas_total 7",
+		"h2tap_propagation_attempts_total 8",
+		"h2tap_propagation_retries_total 4", // (4-1) + (2-1)
+		`h2tap_propagation_rebuilds_total{cause="cost-model"} 1`,
+		`h2tap_propagation_rebuilds_total{cause="fallback"} 1`,
+		"h2tap_propagation_total_seconds_count 4",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestDeltaAppendAndCommit(t *testing.T) {
+	o := New()
+	o.ObserveCommit(time.Millisecond)
+	o.ObserveCommit(2 * time.Millisecond)
+	o.DeltaAppend(3, 2, 1)
+	out := expo(o.Reg)
+	for _, line := range []string{
+		"h2tap_commit_seconds_count 2",
+		"h2tap_delta_appends_total 1",
+		"h2tap_delta_append_records_total 3",
+		"h2tap_delta_append_inserts_total 2",
+		"h2tap_delta_append_deletes_total 1",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestObservePhaseLazyRegistration(t *testing.T) {
+	o := New()
+	o.ObservePhase("scrub", time.Millisecond) // not a pre-registered phase
+	if !strings.Contains(expo(o.Reg), `h2tap_propagation_phase_seconds_count{phase="scrub"} 1`) {
+		t.Fatal("unknown phase not lazily registered")
+	}
+}
+
+func TestHealthSource(t *testing.T) {
+	o := New()
+	if ok, detail := o.Health(); !ok || detail != "no engine" {
+		t.Fatalf("default Health = %v %q", ok, detail)
+	}
+	o.SetHealthSource(func() (bool, string) { return false, "first" })
+	o.SetHealthSource(func() (bool, string) { return false, "degraded; pending=9" })
+	ok, detail := o.Health()
+	if ok || detail != "degraded; pending=9" {
+		t.Fatalf("Health = %v %q, want last-registered source", ok, detail)
+	}
+	o.HealthTransition(true)
+	o.HealthTransition(false)
+	out := expo(o.Reg)
+	if !strings.Contains(out, `h2tap_health_transitions_total{to="degraded"} 1`) ||
+		!strings.Contains(out, `h2tap_health_transitions_total{to="healthy"} 1`) {
+		t.Fatalf("transition counters wrong:\n%s", out)
+	}
+}
+
+func TestRecordDriftExposed(t *testing.T) {
+	o := New()
+	o.RecordDrift("transfer", 1.5, 1.0)
+	out := expo(o.Reg)
+	if !strings.Contains(out, `h2tap_costmodel_predictions_total{model="transfer"} 1`) {
+		t.Fatalf("prediction counter not pulled:\n%s", out)
+	}
+	if !strings.Contains(out, `h2tap_costmodel_rel_error{model="transfer"} 0.5`) {
+		t.Fatalf("rel error gauge not pulled:\n%s", out)
+	}
+}

@@ -1,0 +1,372 @@
+// Package obs is the engine's observability layer: a dependency-free
+// (stdlib-only) metrics registry with Prometheus text exposition, a
+// ring-buffered span tracer for propagation cycles exportable as Chrome
+// trace-event JSON, and a cost-model drift tracker comparing the §6.4
+// predictions against measured wall time. Every hook the hot paths call is
+// nil-receiver-safe, so an uninstrumented engine pays only a nil check.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// desc is the identity of one metric series: family name, help, type, and
+// its label set.
+type desc struct {
+	name   string
+	help   string
+	typ    string // "counter", "gauge", "histogram"
+	labels []Label
+}
+
+// key uniquely identifies the series within the registry.
+func (d *desc) key() string { return d.name + labelString(d.labels) }
+
+// labelString renders a label set as {k="v",...}, or "" when empty.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the Prometheus text-format label escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// metric is one registered series.
+type metric interface {
+	desc() *desc
+	// write appends the series' sample lines in exposition format.
+	write(w io.Writer)
+}
+
+// Registry is a race-safe metric registry. Creation methods are
+// get-or-create: asking for an existing (name, labels) series returns the
+// same instrument, so packages can resolve their handles independently.
+type Registry struct {
+	mu    sync.RWMutex
+	byKey map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]metric)}
+}
+
+// lookup returns the existing series for d, or installs make().
+func (r *Registry) lookup(d desc, mk func() metric) metric {
+	key := d.key()
+	r.mu.RLock()
+	m := r.byKey[key]
+	r.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m := r.byKey[key]; m != nil {
+		return m
+	}
+	m = mk()
+	r.byKey[key] = m
+	return m
+}
+
+// Counter returns the monotonically increasing counter for (name, labels),
+// creating it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	d := desc{name: name, help: help, typ: "counter", labels: labels}
+	m := r.lookup(d, func() metric { return &Counter{d: d} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", d.key(), m.desc().typ))
+	}
+	return c
+}
+
+// Gauge returns the settable gauge for (name, labels).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	d := desc{name: name, help: help, typ: "gauge", labels: labels}
+	m := r.lookup(d, func() metric { return &Gauge{d: d} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", d.key(), m.desc().typ))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated at exposition time. Re-registering
+// the same series swaps the callback (last registration wins), so a
+// recreated engine can re-point the gauges at itself.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.funcMetric("gauge", name, help, fn, labels)
+}
+
+// CounterFunc registers a counter whose value is pulled from fn at
+// exposition time — for subsystems that already count atomically (device op
+// counts, WAL appends) where a push hook would double the bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.funcMetric("counter", name, help, fn, labels)
+}
+
+func (r *Registry) funcMetric(typ, name, help string, fn func() float64, labels []Label) {
+	d := desc{name: name, help: help, typ: typ, labels: labels}
+	m := r.lookup(d, func() metric { return &funcMetric{d: d} })
+	f, ok := m.(*funcMetric)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", d.key(), m.desc().typ))
+	}
+	f.fn.Store(&fn)
+}
+
+// Histogram returns the fixed-bucket histogram for (name, labels). buckets
+// are ascending upper bounds (an implicit +Inf bucket is appended); nil
+// selects DefBuckets. Bucket layouts are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	d := desc{name: name, help: help, typ: "histogram", labels: labels}
+	m := r.lookup(d, func() metric { return newHistogram(d, buckets) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %s", d.key(), m.desc().typ))
+	}
+	return h
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format, grouped by family with one HELP/TYPE header each.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	metrics := make([]metric, 0, len(r.byKey))
+	for _, m := range r.byKey {
+		metrics = append(metrics, m)
+	}
+	r.mu.RUnlock()
+
+	sort.Slice(metrics, func(i, j int) bool {
+		di, dj := metrics[i].desc(), metrics[j].desc()
+		if di.name != dj.name {
+			return di.name < dj.name
+		}
+		return labelString(di.labels) < labelString(dj.labels)
+	})
+	lastFamily := ""
+	for _, m := range metrics {
+		d := m.desc()
+		if d.name != lastFamily {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", d.name, d.help, d.name, d.typ)
+			lastFamily = d.name
+		}
+		m.write(w)
+	}
+}
+
+// Counter is a monotonically increasing uint64 counter.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reports the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) desc() *desc { return &c.d }
+func (c *Counter) write(w io.Writer) {
+	fmt.Fprintf(w, "%s%s %d\n", c.d.name, labelString(c.d.labels), c.v.Load())
+}
+
+// Gauge is a settable float64 gauge.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add accumulates delta (CAS loop; gauges are read-mostly).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) desc() *desc { return &g.d }
+func (g *Gauge) write(w io.Writer) {
+	fmt.Fprintf(w, "%s%s %s\n", g.d.name, labelString(g.d.labels), formatFloat(g.Value()))
+}
+
+// funcMetric is a pull-evaluated series (GaugeFunc / CounterFunc).
+type funcMetric struct {
+	d  desc
+	fn atomic.Pointer[func() float64]
+}
+
+func (f *funcMetric) desc() *desc { return &f.d }
+func (f *funcMetric) write(w io.Writer) {
+	var v float64
+	if fn := f.fn.Load(); fn != nil {
+		v = (*fn)()
+	}
+	fmt.Fprintf(w, "%s%s %s\n", f.d.name, labelString(f.d.labels), formatFloat(v))
+}
+
+// DefBuckets are the default histogram buckets, in seconds: 1µs to 10s,
+// roughly logarithmic — sized for commit latencies (µs) through propagation
+// cycles (ms–s).
+var DefBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram. Observations are lock-free: one
+// atomic add on the bucket plus a CAS-add on the sum.
+type Histogram struct {
+	d      desc
+	bounds []float64 // ascending upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(d desc, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending", d.name))
+		}
+	}
+	bounds := append([]float64(nil), buckets...)
+	return &Histogram{d: d, bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value (seconds for duration histograms).
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum reports the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket counts by
+// linear interpolation within the containing bucket — the standard
+// histogram_quantile estimate. Returns NaN with no observations; values in
+// the +Inf bucket clamp to the highest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: clamp to the largest finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) desc() *desc { return &h.d }
+func (h *Histogram) write(w io.Writer) {
+	base := h.d.labels
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.d.name,
+			labelString(append(append([]Label(nil), base...), L("le", formatFloat(b)))), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.d.name,
+		labelString(append(append([]Label(nil), base...), L("le", "+Inf"))), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.d.name, labelString(base), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.d.name, labelString(base), h.total.Load())
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func expo(r *Registry) string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests")
+	c2 := r.Counter("reqs_total", "requests")
+	if c1 != c2 {
+		t.Fatal("same (name) did not return the same counter")
+	}
+	c3 := r.Counter("reqs_total", "requests", L("code", "200"))
+	if c3 == c1 {
+		t.Fatal("labeled series aliased the unlabeled one")
+	}
+	c1.Inc()
+	c1.Add(2)
+	if c1.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c1.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	if g != r.Gauge("depth", "queue depth") {
+		t.Fatal("get-or-create returned a different gauge")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge over a counter did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+func TestFuncMetricLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("live", "h", func() float64 { return 1 })
+	r.GaugeFunc("live", "h", func() float64 { return 2 })
+	if !strings.Contains(expo(r), "live 2\n") {
+		t.Fatalf("last-registered func did not win:\n%s", expo(r))
+	}
+	r.CounterFunc("pulled_total", "h", func() float64 { return 7 }, L("op", "x"))
+	out := expo(r)
+	if !strings.Contains(out, `pulled_total{op="x"} 7`) {
+		t.Fatalf("counter func missing:\n%s", out)
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("family_total", "the family", L("k", "b")).Inc()
+	r.Counter("family_total", "the family", L("k", "a")).Add(2)
+	r.Gauge("zgauge", "a gauge").Set(1.5)
+	out := expo(r)
+
+	// One HELP/TYPE header per family, before its samples.
+	if strings.Count(out, "# HELP family_total") != 1 || strings.Count(out, "# TYPE family_total counter") != 1 {
+		t.Fatalf("family headers wrong:\n%s", out)
+	}
+	// Series within a family sort by label string.
+	a := strings.Index(out, `family_total{k="a"} 2`)
+	b := strings.Index(out, `family_total{k="b"} 1`)
+	if a < 0 || b < 0 || a > b {
+		t.Fatalf("sample lines missing or unsorted (a=%d b=%d):\n%s", a, b, out)
+	}
+	if !strings.Contains(out, "# TYPE zgauge gauge\nzgauge 1.5\n") {
+		t.Fatalf("gauge exposition wrong:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "h", L("v", "a\"b\\c\nd")).Inc()
+	if !strings.Contains(expo(r), `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", expo(r))
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 18.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	out := expo(r)
+	// Cumulative le buckets: le is always the LAST label.
+	for _, line := range []string{
+		`lat_seconds_bucket{le="1"} 2`, // 0.5 and the boundary value 1
+		`lat_seconds_bucket{le="2"} 4`,
+		`lat_seconds_bucket{le="5"} 5`,
+		`lat_seconds_bucket{le="+Inf"} 6`,
+		`lat_seconds_sum 18`,
+		`lat_seconds_count 6`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestHistogramLabeledBucketOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("phase_seconds", "h", []float64{1}, L("phase", "scan")).Observe(0.5)
+	out := expo(r)
+	if !strings.Contains(out, `phase_seconds_bucket{phase="scan",le="1"} 1`) {
+		t.Fatalf("le not appended after base labels:\n%s", out)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "h", []float64{1, 2, 3, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("quantile of empty histogram not NaN")
+	}
+	for _, v := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Observe(v)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.5, 2}, {1, 4}, {-1, 0}, {2, 4}, // out-of-range q clamps
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	// +Inf bucket clamps to the highest finite bound.
+	h2 := r.Histogram("q2_seconds", "h", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("+Inf quantile = %v, want clamp to 2", got)
+	}
+}
+
+func TestHistogramDefBucketsAndDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d_seconds", "h", nil)
+	h.ObserveDuration(2500 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatal("duration not observed")
+	}
+	// 2.5ms lands exactly on the 2.5e-3 DefBucket boundary (le-inclusive).
+	if !strings.Contains(expo(r), `d_seconds_bucket{le="0.0025"} 1`) {
+		t.Fatalf("2.5ms not in le=0.0025 bucket:\n%s", expo(r))
+	}
+}
+
+func TestHistogramBadBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "h", []float64{2, 1})
+}
+
+// TestRegistryRace hammers the registry from concurrent writers (counter
+// increments, gauge stores, histogram observations, get-or-create lookups,
+// func re-registrations) while readers render the exposition. Run with
+// -race; correctness of the final counter value is asserted too.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const writers, iters = 8, 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func(id int) {
+			defer ww.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("race_total", "h").Inc()
+				r.Gauge("race_gauge", "h").Set(float64(i))
+				r.Histogram("race_seconds", "h", nil).Observe(float64(i) * 1e-6)
+				r.Counter("race_by_id_total", "h", L("id", string(rune('a'+id)))).Inc()
+				r.GaugeFunc("race_func", "h", func() float64 { return float64(id) })
+			}
+		}(g)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := r.Counter("race_total", "h").Value(); got != writers*iters {
+		t.Fatalf("race_total = %d, want %d", got, writers*iters)
+	}
+	if got := r.Histogram("race_seconds", "h", nil).Count(); got != writers*iters {
+		t.Fatalf("race_seconds count = %d, want %d", got, writers*iters)
+	}
+}

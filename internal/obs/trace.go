@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records propagation cycles as span trees in a fixed-size ring:
+// the newest N finished cycles are retained, older ones are dropped. A nil
+// *Tracer is a valid no-op tracer; every method (and every method of the
+// nil *Cycle it hands out) is safe to call, so instrumented code needs no
+// conditionals.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []*Cycle
+	cap  int
+	seq  uint64
+	now  func() time.Time
+}
+
+// NewTracer returns a tracer retaining the last n finished cycles.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = 64
+	}
+	return &Tracer{cap: n, now: time.Now}
+}
+
+// SetClock overrides the tracer's time source (tests and golden files).
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
+}
+
+// StartCycle opens a new cycle trace. The cycle is not visible to Cycles
+// until Finish is called.
+func (t *Tracer) StartCycle(name string) *Cycle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.seq++
+	seq := t.seq
+	now := t.now
+	t.mu.Unlock()
+	return &Cycle{tr: t, seq: seq, name: name, start: now()}
+}
+
+// finish pushes a completed cycle into the ring.
+func (t *Tracer) finish(c *Cycle) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == t.cap {
+		copy(t.ring, t.ring[1:])
+		t.ring[len(t.ring)-1] = c
+		return
+	}
+	t.ring = append(t.ring, c)
+}
+
+// Cycles snapshots the retained finished cycles, oldest first. With n > 0
+// only the newest n are returned.
+func (t *Tracer) Cycles(n int) []*Cycle {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.ring
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return append([]*Cycle(nil), out...)
+}
+
+// Cycle is one propagation cycle's span tree. Spans are recorded flat with
+// the phase nesting expressed by time containment, which is how trace
+// viewers reconstruct the tree.
+type Cycle struct {
+	tr    *Tracer
+	seq   uint64
+	name  string
+	start time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	spans []*Span
+	args  []Label
+}
+
+// Span is one timed phase within a cycle.
+type Span struct {
+	c     *Cycle
+	name  string
+	start time.Time
+
+	mu   sync.Mutex
+	end  time.Time
+	args []Label
+}
+
+// Span opens a child span. End must be called on the returned span.
+func (c *Cycle) Span(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	s := &Span{c: c, name: name, start: c.tr.clock()}
+	c.mu.Lock()
+	c.spans = append(c.spans, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Arg attaches a key/value annotation to the cycle.
+func (c *Cycle) Arg(key, value string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.args = append(c.args, L(key, value))
+	c.mu.Unlock()
+}
+
+// Finish closes the cycle and publishes it to the tracer's ring.
+func (c *Cycle) Finish() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.end = c.tr.clock()
+	c.mu.Unlock()
+	c.tr.finish(c)
+}
+
+// End closes the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.end = s.c.tr.clock()
+	s.mu.Unlock()
+}
+
+// Arg attaches a key/value annotation to the span.
+func (s *Span) Arg(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.args = append(s.args, L(key, value))
+	s.mu.Unlock()
+}
+
+// traceEvent is one Chrome trace-event ("X" complete event), the format
+// Perfetto and chrome://tracing load directly.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"`  // microseconds since trace epoch
+	Dur  int64             `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace-event JSON envelope.
+type chromeTrace struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders cycles as Chrome trace-event JSON. Each cycle is
+// a complete event on its own track (tid = cycle sequence number) with its
+// spans as nested complete events; timestamps are microseconds relative to
+// the earliest cycle start, so the trace loads at t=0.
+func WriteChromeTrace(w io.Writer, cycles []*Cycle) error {
+	var epoch time.Time
+	for _, c := range cycles {
+		if epoch.IsZero() || c.start.Before(epoch) {
+			epoch = c.start
+		}
+	}
+	micros := func(t time.Time) int64 { return t.Sub(epoch).Microseconds() }
+
+	out := chromeTrace{TraceEvents: []traceEvent{}}
+	for _, c := range cycles {
+		c.mu.Lock()
+		ev := traceEvent{
+			Name: c.name, Cat: "propagation", Ph: "X",
+			TS: micros(c.start), Dur: c.end.Sub(c.start).Microseconds(),
+			PID: 1, TID: c.seq, Args: argMap(c.args),
+		}
+		spans := append([]*Span(nil), c.spans...)
+		c.mu.Unlock()
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, s := range spans {
+			s.mu.Lock()
+			end := s.end
+			if end.IsZero() {
+				end = s.start // unclosed span: zero-length marker
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: s.name, Cat: "phase", Ph: "X",
+				TS: micros(s.start), Dur: end.Sub(s.start).Microseconds(),
+				PID: 1, TID: c.seq, Args: argMap(s.args),
+			})
+			s.mu.Unlock()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func argMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}

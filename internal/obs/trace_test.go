@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock returns a deterministic time source advancing 1ms per call,
+// starting at a fixed epoch.
+func fakeClock() func() time.Time {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		t := base.Add(time.Duration(n) * time.Millisecond)
+		n++
+		return t
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetClock(time.Now)
+	c := tr.StartCycle("x")
+	if c != nil {
+		t.Fatal("nil tracer handed out a cycle")
+	}
+	// The nil cycle and its nil spans absorb everything.
+	s := c.Span("scan")
+	s.Arg("k", "v")
+	s.End()
+	c.Arg("k", "v")
+	c.Finish()
+	if got := tr.Cycles(0); got != nil {
+		t.Fatalf("nil tracer cycles = %v", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	tr.SetClock(fakeClock())
+	for i := 0; i < 3; i++ {
+		tr.StartCycle("c").Finish()
+	}
+	got := tr.Cycles(0)
+	if len(got) != 2 {
+		t.Fatalf("retained %d cycles, want 2", len(got))
+	}
+	// Oldest first, and the first cycle (seq 1) was evicted.
+	if got[0].seq != 2 || got[1].seq != 3 {
+		t.Fatalf("seqs = %d,%d, want 2,3", got[0].seq, got[1].seq)
+	}
+	if one := tr.Cycles(1); len(one) != 1 || one[0].seq != 3 {
+		t.Fatalf("Cycles(1) = %+v, want newest only", one)
+	}
+}
+
+func TestUnfinishedCycleInvisible(t *testing.T) {
+	tr := NewTracer(4)
+	c := tr.StartCycle("open")
+	if len(tr.Cycles(0)) != 0 {
+		t.Fatal("unfinished cycle visible")
+	}
+	c.Finish()
+	if len(tr.Cycles(0)) != 1 {
+		t.Fatal("finished cycle not visible")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceEvents == nil || len(out.TraceEvents) != 0 {
+		t.Fatalf("empty trace = %s, want traceEvents: []", b.String())
+	}
+}
+
+// TestChromeTraceGolden drives the tracer on a fake clock through two
+// cycles — spans with args, one span left unclosed — and compares the
+// Chrome trace-event JSON byte-for-byte against the golden file. Run with
+// -update to regenerate.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetClock(fakeClock())
+
+	c1 := tr.StartCycle("propagation") // t=0ms
+	c1.Arg("records", "42")
+	s := c1.Span("scan") // t=1ms
+	s.Arg("records", "42")
+	s.End()               // t=2ms
+	m := c1.Span("merge") // t=3ms
+	m.End()               // t=4ms
+	c1.Finish()           // t=5ms
+
+	c2 := tr.StartCycle("propagation") // t=6ms
+	c2.Arg("rebuild", "fallback")
+	c2.Span("rebuild") // t=7ms, never ended: zero-length marker
+	c2.Finish()        // t=8ms
+
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, tr.Cycles(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", b.Bytes(), want)
+	}
+
+	// And it is structurally valid trace-event JSON a viewer can load.
+	var out chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 5 {
+		t.Fatalf("events = %d, want 5", len(out.TraceEvents))
+	}
+	ev := out.TraceEvents[0]
+	if ev.Name != "propagation" || ev.Ph != "X" || ev.TS != 0 || ev.Dur != 5000 || ev.TID != 1 {
+		t.Fatalf("cycle event = %+v", ev)
+	}
+	if scan := out.TraceEvents[1]; scan.Name != "scan" || scan.TS != 1000 || scan.Dur != 1000 || scan.Args["records"] != "42" {
+		t.Fatalf("scan event = %+v", scan)
+	}
+	if open := out.TraceEvents[4]; open.Name != "rebuild" || open.Dur != 0 {
+		t.Fatalf("unclosed span event = %+v", open)
+	}
+}

@@ -57,6 +57,24 @@ type Log struct {
 	failed  error
 	buf     []byte // record assembly buffer (header + payload)
 	payload []byte // payload encoding buffer
+
+	appends     uint64 // records successfully appended
+	appendBytes uint64 // bytes of those records (header + payload)
+	syncs       uint64 // fsyncs issued by successful appends
+}
+
+// Stats is a snapshot of the log's append counters.
+type Stats struct {
+	Appends     uint64 // commit records successfully appended
+	AppendBytes uint64 // bytes written by those appends (header + payload)
+	Syncs       uint64 // fsyncs issued on the append path
+}
+
+// Stats snapshots the append counters for metrics exposition.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Appends: l.appends, AppendBytes: l.appendBytes, Syncs: l.syncs}
 }
 
 // Options configures Open.
@@ -173,8 +191,11 @@ func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
 			l.fail(err)
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		l.syncs++
 	}
 	l.off += int64(len(l.buf))
+	l.appends++
+	l.appendBytes += uint64(len(l.buf))
 	return nil
 }
 

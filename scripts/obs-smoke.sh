@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# obs-smoke.sh — end-to-end smoke test of the live observability surface:
+# builds h2tap-bench, runs the freshness experiment with the -obs listener
+# on an ephemeral port, scrapes /metrics, /healthz, /debug/trace and
+# /debug/pprof mid-run, and asserts the key metric families are present and
+# that at least one propagation cycle was counted.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+  [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/h2tap-bench" ./cmd/h2tap-bench
+
+"$tmp/h2tap-bench" -exp freshness -obs 127.0.0.1:0 -obs-linger 120s \
+  >/dev/null 2>"$tmp/stderr" &
+pid=$!
+
+# The bench prints "obs: listening on host:port" to stderr once bound.
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^obs: listening on //p' "$tmp/stderr" | head -1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: bench exited early"; cat "$tmp/stderr"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs-smoke: listener never came up"; cat "$tmp/stderr"; exit 1; }
+echo "obs-smoke: scraping http://$addr"
+
+# Poll /metrics until a propagation cycle has been counted (the experiment
+# needs a moment to reach its first Propagate).
+cycled=""
+for _ in $(seq 1 300); do
+  curl -sf "http://$addr/metrics" >"$tmp/metrics" || true
+  if grep -E 'h2tap_propagation_cycles_total\{result="ok"\} [1-9]' "$tmp/metrics" >/dev/null; then
+    cycled=1
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$cycled" ] || { echo "obs-smoke: no propagation cycle observed"; cat "$tmp/metrics"; exit 1; }
+
+# Key metric families. Histograms append the 'le' label LAST, so bucket
+# patterns anchor on the leading labels only.
+while IFS= read -r family; do
+  grep -qF "$family" "$tmp/metrics" || {
+    echo "obs-smoke: missing family: $family"
+    exit 1
+  }
+done <<'EOF'
+h2tap_commit_seconds_count
+h2tap_delta_appends_total
+h2tap_delta_depth
+h2tap_propagation_phase_seconds_bucket{phase="scan"
+h2tap_propagation_total_seconds_count
+h2tap_propagation_retries_total
+h2tap_propagation_rebuilds_total{cause="fallback"}
+h2tap_health_state
+h2tap_health_transitions_total{to="degraded"}
+h2tap_staleness_pending_records
+h2tap_costmodel_rel_error{model="scan"}
+h2tap_costmodel_rel_error{model="transfer"}
+h2tap_costmodel_predictions_total{model="rebuild"}
+h2tap_gpu_ops_total{op="
+h2tap_gpu_bytes_total{dir="h2d"}
+EOF
+
+# /healthz answers 200 (healthy) or 503 (degraded) with a detail line.
+code=$(curl -s -o "$tmp/health" -w '%{http_code}' "http://$addr/healthz")
+case "$code" in
+  200) grep -q '^ok: ' "$tmp/health" || { echo "obs-smoke: bad healthz body"; cat "$tmp/health"; exit 1; } ;;
+  503) grep -q '^degraded: ' "$tmp/health" || { echo "obs-smoke: bad healthz body"; cat "$tmp/health"; exit 1; } ;;
+  *) echo "obs-smoke: /healthz returned $code"; exit 1 ;;
+esac
+
+# /debug/trace returns Chrome trace-event JSON with at least one cycle.
+curl -sf "http://$addr/debug/trace?n=4" >"$tmp/trace"
+grep -q '"traceEvents"' "$tmp/trace" || { echo "obs-smoke: bad trace envelope"; exit 1; }
+grep -q '"name": "propagation"' "$tmp/trace" || { echo "obs-smoke: no cycle in trace"; exit 1; }
+
+# /debug/pprof is live.
+curl -sf "http://$addr/debug/pprof/" >/dev/null || { echo "obs-smoke: pprof index unreachable"; exit 1; }
+
+kill "$pid" 2>/dev/null || true
+echo "obs-smoke: ok (metrics, healthz=$code, trace, pprof)"
