@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak obs-smoke bench-record verify-bench clean
+.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak obs-smoke server-smoke bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
 # detection on the concurrency-heavy packages, a short-budget crash-point
 # enumeration (an evenly spaced sample of injected crashes; run crash-full
-# for every point), and the live observability-endpoint smoke.
-verify: vet build test race crash obs-smoke
+# for every point), the live observability-endpoint smoke, and the network
+# service-layer smoke.
+verify: vet build test race crash obs-smoke server-smoke
 
 build:
 	$(GO) build ./...
@@ -53,6 +54,13 @@ fuzz-smoke:
 # families are live (see scripts/obs-smoke.sh).
 obs-smoke:
 	./scripts/obs-smoke.sh
+
+# server-smoke boots h2tap-server on an ephemeral port, drives faulted
+# client load through h2tap-loadgen -client, SIGTERMs it and asserts a
+# clean graceful drain with the committed state durable across a restart
+# (see scripts/server-smoke.sh).
+server-smoke:
+	./scripts/server-smoke.sh
 
 # fault-soak hammers propagation with randomized GPU faults through the
 # bench CLI (see internal/crashtest gpufaults for the invariants checked).

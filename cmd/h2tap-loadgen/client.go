@@ -1,0 +1,381 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// clientConfig is the overload/fault harness: N concurrent connections
+// driving the h2tap-server API at a target rate, reporting accepted-request
+// latency percentiles and shed counts, optionally mixing in network-fault
+// clients (slow-loris, mid-request disconnects, oversized and malformed
+// bodies, clock-skewed deadlines).
+type clientConfig struct {
+	base     string
+	conns    int
+	rate     float64 // total target requests/s, 0 = open throttle
+	duration time.Duration
+	mix      string // commit | analytics | mixed
+	faults   bool
+	timeout  time.Duration
+	jsonOut  bool
+}
+
+// clientReport aggregates one run. Exported fields marshal to the -json
+// line the smoke script and CI parse.
+type clientReport struct {
+	Requests     int64            `json:"requests"`
+	Accepted     int64            `json:"accepted"`
+	Shed         map[string]int64 `json:"shed"` // by structured error code
+	Errors       int64            `json:"errors"`
+	CommitP50    float64          `json:"commit_p50_ms"`
+	CommitP99    float64          `json:"commit_p99_ms"`
+	AnalyticsP50 float64          `json:"analytics_p50_ms"`
+	AnalyticsP99 float64          `json:"analytics_p99_ms"`
+	Throughput   float64          `json:"accepted_per_sec"`
+	Faults       map[string]int64 `json:"faults,omitempty"`
+}
+
+type latRecorder struct {
+	mu      sync.Mutex
+	commit  []float64 // ms
+	analyze []float64
+}
+
+func (r *latRecorder) add(analytics bool, d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	if analytics {
+		r.analyze = append(r.analyze, ms)
+	} else {
+		r.commit = append(r.commit, ms)
+	}
+	r.mu.Unlock()
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	i := int(p * float64(len(xs)-1))
+	return xs[i]
+}
+
+// shedCounter tallies structured rejections by error code.
+type shedCounter struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+func (s *shedCounter) inc(code string) {
+	s.mu.Lock()
+	s.m[code]++
+	s.mu.Unlock()
+}
+
+type apiErrorEnvelope struct {
+	Error struct {
+		Code         string `json:"code"`
+		Message      string `json:"message"`
+		RetryAfterMs int64  `json:"retry_after_ms"`
+	} `json:"error"`
+}
+
+// runClient drives the server and prints the report. Returns a process
+// exit code.
+func runClient(cfg clientConfig) int {
+	u, err := url.Parse(cfg.base)
+	if err != nil || u.Host == "" {
+		fmt.Fprintf(os.Stderr, "h2tap-loadgen: bad -client URL %q\n", cfg.base)
+		return 2
+	}
+	rec := &latRecorder{}
+	sheds := &shedCounter{m: make(map[string]int64)}
+	var requests, accepted, errs atomic.Int64
+
+	// Pacer: a buffered token channel refilled on a 1ms tick. With rate 0
+	// the channel is closed semantics-free and workers run open-throttle.
+	var tokens chan struct{}
+	stopPace := make(chan struct{})
+	if cfg.rate > 0 {
+		tokens = make(chan struct{}, cfg.conns*4)
+		go func() {
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			carry := 0.0
+			for {
+				select {
+				case <-stopPace:
+					return
+				case <-tick.C:
+					carry += cfg.rate / 1000
+					for ; carry >= 1; carry-- {
+						select {
+						case tokens <- struct{}{}:
+						default:
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conns; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// One transport per worker = one real connection stream, the
+			// "N concurrent connections" the harness advertises.
+			tr := &http.Transport{MaxIdleConns: 2, MaxIdleConnsPerHost: 2}
+			hc := &http.Client{Transport: tr, Timeout: cfg.timeout}
+			defer tr.CloseIdleConnections()
+			rng := rand.New(rand.NewSource(int64(worker)*7919 + 17))
+			session := fmt.Sprintf("worker-%d", worker)
+			for time.Now().Before(deadline) {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-time.After(10 * time.Millisecond):
+						continue
+					}
+				}
+				analytics := false
+				switch cfg.mix {
+				case "analytics":
+					analytics = true
+				case "mixed":
+					analytics = rng.Intn(10) == 0
+				}
+				requests.Add(1)
+				start := time.Now()
+				var code string
+				var ok bool
+				if analytics {
+					ok, code = doAnalytics(hc, cfg.base, session, rng)
+				} else {
+					ok, code = doCommit(hc, cfg.base, session, rng)
+				}
+				switch {
+				case ok:
+					accepted.Add(1)
+					rec.add(analytics, time.Since(start))
+				case code != "":
+					sheds.inc(code)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	var faultCounts map[string]int64
+	var faultWG sync.WaitGroup
+	if cfg.faults {
+		faultCounts = runFaults(&faultWG, u.Host, cfg.base, deadline)
+	}
+	wg.Wait()
+	close(stopPace)
+	faultWG.Wait()
+
+	rec.mu.Lock()
+	rep := clientReport{
+		Requests:     requests.Load(),
+		Accepted:     accepted.Load(),
+		Errors:       errs.Load(),
+		Shed:         sheds.m,
+		CommitP50:    percentile(rec.commit, 0.50),
+		CommitP99:    percentile(rec.commit, 0.99),
+		AnalyticsP50: percentile(rec.analyze, 0.50),
+		AnalyticsP99: percentile(rec.analyze, 0.99),
+		Throughput:   float64(accepted.Load()) / cfg.duration.Seconds(),
+		Faults:       faultCounts,
+	}
+	rec.mu.Unlock()
+
+	if cfg.jsonOut {
+		json.NewEncoder(os.Stdout).Encode(rep) //nolint:errcheck
+	} else {
+		fmt.Printf("client: %d requests, %d accepted (%.0f/s), %d transport errors\n",
+			rep.Requests, rep.Accepted, rep.Throughput, rep.Errors)
+		fmt.Printf("commit latency:    p50 %.2fms  p99 %.2fms  (%d samples)\n",
+			rep.CommitP50, rep.CommitP99, len(rec.commit))
+		fmt.Printf("analytics latency: p50 %.2fms  p99 %.2fms  (%d samples)\n",
+			rep.AnalyticsP50, rep.AnalyticsP99, len(rec.analyze))
+		var codes []string
+		for c := range rep.Shed {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		for _, c := range codes {
+			fmt.Printf("shed[%s]: %d\n", c, rep.Shed[c])
+		}
+		for f, n := range rep.Faults {
+			fmt.Printf("fault[%s]: %d injected\n", f, n)
+		}
+	}
+	if rep.Accepted == 0 {
+		fmt.Fprintln(os.Stderr, "h2tap-loadgen: no request was accepted")
+		return 1
+	}
+	return 0
+}
+
+// post sends one JSON request, classifying the outcome: accepted (2xx),
+// shed (structured error code), or transport error ("").
+func post(hc *http.Client, url, session string, body any) (ok bool, code string) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return false, ""
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return false, ""
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Session-ID", session)
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, ""
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	if resp.StatusCode < 300 {
+		return true, ""
+	}
+	var env apiErrorEnvelope
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&env); err == nil && env.Error.Code != "" {
+		return false, env.Error.Code
+	}
+	return false, fmt.Sprintf("http_%d", resp.StatusCode)
+}
+
+// doCommit issues a small one-shot transaction: a fresh node linked to a
+// random earlier one — the §6.2-style insert mix over the wire.
+func doCommit(hc *http.Client, base, session string, rng *rand.Rand) (bool, string) {
+	ops := []map[string]any{
+		{"op": "add-node", "label": "Person", "props": map[string]any{"seq": rng.Int63n(1 << 30)}},
+	}
+	return post(hc, base+"/v1/commit", session, map[string]any{"ops": ops})
+}
+
+func doAnalytics(hc *http.Client, base, session string, rng *rand.Rand) (bool, string) {
+	kinds := []string{"bfs", "pagerank", "wcc"}
+	body := map[string]any{"kind": kinds[rng.Intn(len(kinds))], "src": 0, "wait": true}
+	return post(hc, base+"/v1/analytics", session, body)
+}
+
+// runFaults starts the network-fault clients; each runs until the shared
+// deadline and tallies how many faults it injected. These assert nothing
+// themselves — the point is that the *server-side* report stays sane while
+// they run (and the server tests assert exactly that).
+func runFaults(wg *sync.WaitGroup, host, base string, deadline time.Time) map[string]int64 {
+	counts := map[string]int64{}
+	var mu sync.Mutex
+	bump := func(k string) {
+		mu.Lock()
+		counts[k]++
+		mu.Unlock()
+	}
+	run := func(name string, fn func() bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if fn() {
+					bump(name)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}()
+	}
+
+	// Slow-loris: drip one header byte at a time; the server's
+	// ReadHeaderTimeout must cut the connection loose.
+	run("slowloris", func() bool {
+		c, err := net.DialTimeout("tcp", host, time.Second)
+		if err != nil {
+			return false
+		}
+		defer c.Close()
+		io.WriteString(c, "POST /v1/commit HTTP/1.1\r\n") //nolint:errcheck
+		for _, b := range []byte("Host: h\r\nContent-Length: 100\r\n") {
+			if _, err := c.Write([]byte{b}); err != nil {
+				return true // server cut us off: the defense worked
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		return true
+	})
+
+	// Mid-request disconnect: promise a body, send half, hang up.
+	run("disconnect", func() bool {
+		c, err := net.DialTimeout("tcp", host, time.Second)
+		if err != nil {
+			return false
+		}
+		io.WriteString(c, "POST /v1/commit HTTP/1.1\r\nHost: h\r\nContent-Type: application/json\r\nContent-Length: 64\r\n\r\n{\"ops\":[{\"op\"") //nolint:errcheck
+		c.Close()
+		return true
+	})
+
+	// Malformed body: valid HTTP, garbage JSON → structured 400.
+	run("malformed", func() bool {
+		hc := &http.Client{Timeout: 2 * time.Second}
+		resp, err := hc.Post(base+"/v1/commit", "application/json",
+			strings.NewReader(`{"ops": [{"op": }`))
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusBadRequest
+	})
+
+	// Oversized body → 413 without buffering the payload.
+	run("oversize", func() bool {
+		hc := &http.Client{Timeout: 2 * time.Second}
+		big := bytes.Repeat([]byte("x"), 2<<20)
+		resp, err := hc.Post(base+"/v1/commit", "application/json", bytes.NewReader(big))
+		if err != nil {
+			return true // connection reset mid-upload is a valid defense
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusRequestEntityTooLarge
+	})
+
+	// Clock-skewed deadline: absolute deadline in the past → immediate
+	// structured shed, never admitted.
+	run("skew", func() bool {
+		hc := &http.Client{Timeout: 2 * time.Second}
+		req, _ := http.NewRequest(http.MethodPost, base+"/v1/commit",
+			strings.NewReader(`{"ops":[{"op":"add-node","label":"P"}]}`))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Deadline-Unix-Ms", "1000") // 1970
+		resp, err := hc.Do(req)
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusGatewayTimeout
+	})
+	return counts
+}

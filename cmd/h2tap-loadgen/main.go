@@ -9,6 +9,16 @@
 //	h2tap-loadgen -kind snb -sf 1 -downscale 10
 //	h2tap-loadgen -kind rmat -scale 16
 //	h2tap-loadgen -kind snb -sf 1 -queries 10000 -mix mixed -replica dynamic
+//
+// With -client it instead becomes the network overload/fault harness for
+// cmd/h2tap-server: N concurrent connections drive the HTTP API at a
+// target rate, reporting p50/p99 commit and analytics latency plus shed
+// counts by structured error code; -faults mixes in slow-loris clients,
+// mid-request disconnects, oversized/malformed bodies, and clock-skewed
+// deadlines:
+//
+//	h2tap-loadgen -client http://127.0.0.1:8080 -conns 64 -rate 2000 -duration 30s
+//	h2tap-loadgen -client http://127.0.0.1:8080 -conns 32 -faults -client-mix mixed
 package main
 
 import (
@@ -37,8 +47,30 @@ func main() {
 		analytics = flag.Bool("analytics", true, "run BFS/PageRank after the workload")
 		dump      = flag.String("dump", "", "write a JSONL snapshot of the final graph to this file")
 		load      = flag.String("load", "", "load the graph from a JSONL snapshot instead of generating")
+
+		client    = flag.String("client", "", "client mode: base URL of a running h2tap-server")
+		conns     = flag.Int("conns", 16, "client mode: concurrent connections")
+		rate      = flag.Float64("rate", 0, "client mode: total target requests/s (0 = open throttle)")
+		duration  = flag.Duration("duration", 10*time.Second, "client mode: run length")
+		clientMix = flag.String("client-mix", "commit", "client mode: commit | analytics | mixed")
+		faults    = flag.Bool("faults", false, "client mode: inject network faults alongside the load")
+		reqTO     = flag.Duration("req-timeout", 10*time.Second, "client mode: per-request client timeout")
+		jsonOut   = flag.Bool("json", false, "client mode: emit the report as one JSON line")
 	)
 	flag.Parse()
+
+	if *client != "" {
+		os.Exit(runClient(clientConfig{
+			base:     *client,
+			conns:    *conns,
+			rate:     *rate,
+			duration: *duration,
+			mix:      *clientMix,
+			faults:   *faults,
+			timeout:  *reqTO,
+			jsonOut:  *jsonOut,
+		}))
+	}
 
 	opts := h2tap.Options{}
 	if *replica == "dynamic" {

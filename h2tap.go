@@ -25,6 +25,7 @@
 package h2tap
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -231,7 +232,13 @@ func (g deltaGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
 // cannot drain the store, so admitting more updates would grow it without
 // bound. Commits succeed again once a propagation cycle recovers the
 // engine.
-var ErrBackpressure = fmt.Errorf("h2tap: engine degraded and delta store over high-water mark; commit rejected")
+//
+// It is a sentinel: Tx.Commit wraps it, so match with
+// errors.Is(err, h2tap.ErrBackpressure). The network service layer
+// (internal/server) maps it onto HTTP 503 + Retry-After — the system-wide
+// rung of its shedding ladder, distinct from the per-client 429s of the
+// rate limiter and admission semaphore (see DESIGN.md §5g).
+var ErrBackpressure = errors.New("h2tap: engine degraded and delta store over high-water mark; commit rejected")
 
 // backpressureGuard is the committer-side half of the high-water backstop.
 // It reads the engine through the atomic ref because commits can race

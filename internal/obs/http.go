@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -74,5 +75,19 @@ func Serve(addr string, o *Observer) (*Server, error) {
 // Addr reports the bound listen address (host:port).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close shuts the listener down.
-func (s *Server) Close() error { return s.srv.Close() }
+// closeTimeout bounds how long Close waits for in-flight scrapes. DB.Close
+// calls Close while scrapers may be mid-request; a hung or slow-reading
+// scraper must not be able to wedge database shutdown.
+const closeTimeout = 2 * time.Second
+
+// Close shuts the listener down gracefully: it stops accepting, gives
+// in-flight requests up to closeTimeout to finish, then hard-closes any
+// stragglers. Safe to call while requests are being served.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package server is the network service layer over the h2tap.DB facade:
+// an HTTP/JSON front end with robustness as the headline feature. Every
+// request passes an admission-control ladder — connection cap, read/write
+// timeouts, body-size cap, drain gate, per-session token bucket, global
+// in-flight semaphore, health-aware backpressure, per-request deadline —
+// so overload is shed with structured 429/503 + Retry-After instead of
+// collapsing the process. See DESIGN.md §5g for the ladder rationale.
+package server
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config parameterizes the admission-control ladder and the listener.
+// The zero value selects every default; Validate fills them in.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+
+	// MaxConns caps simultaneously open TCP connections; excess dials
+	// queue in the accept backlog instead of spawning per-conn state.
+	MaxConns int
+	// MaxInFlight caps concurrently executing API requests (the global
+	// admission semaphore). Requests beyond it are shed with 429.
+	MaxInFlight int
+
+	// SessionRate and SessionBurst parameterize the per-session token
+	// bucket: a session sustains SessionRate requests/second with bursts
+	// up to SessionBurst. Sessions are keyed by the X-Session-ID header
+	// (falling back to the remote host), so one greedy client cannot
+	// starve the rest of the admission semaphore.
+	SessionRate  float64
+	SessionBurst float64
+
+	// DefaultDeadline bounds a request that does not ask for its own
+	// deadline; MaxDeadline caps what a request may ask for via the
+	// X-Timeout-Ms header. Both are enforced through context.Context
+	// threaded down the handler path.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// HTTP server timeouts: the slow-loris bounds.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+
+	// MaxBodyBytes caps a request body; oversized bodies get 413.
+	MaxBodyBytes int64
+
+	// TxIdleTimeout evicts (aborts) interactive transaction sessions that
+	// have gone quiet, so abandoned clients cannot pin MVTO state forever.
+	TxIdleTimeout time.Duration
+
+	// DrainTimeout bounds graceful drain: in-flight requests get this
+	// long to finish after shutdown begins before connections are closed.
+	DrainTimeout time.Duration
+
+	// RetryAfterHint is the Retry-After a load-shed response suggests when
+	// no better bound is known (token-bucket sheds compute the exact
+	// next-token wait instead).
+	RetryAfterHint time.Duration
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxConns       = 1024
+	DefaultMaxInFlight    = 256
+	DefaultSessionRate    = 1000.0
+	DefaultSessionBurst   = 2000.0
+	DefaultDeadline       = 5 * time.Second
+	DefaultMaxDeadline    = 30 * time.Second
+	DefaultReadHeader     = 2 * time.Second
+	DefaultRead           = 10 * time.Second
+	DefaultWrite          = 10 * time.Second
+	DefaultIdle           = 60 * time.Second
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultTxIdleTimeout  = 60 * time.Second
+	DefaultDrainTimeout   = 10 * time.Second
+	DefaultRetryAfterHint = time.Second
+)
+
+// Validate fills defaults and rejects nonsensical combinations.
+func (c *Config) Validate() error {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.SessionRate == 0 {
+		c.SessionRate = DefaultSessionRate
+	}
+	if c.SessionBurst == 0 {
+		c.SessionBurst = DefaultSessionBurst
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = DefaultDeadline
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = DefaultMaxDeadline
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = DefaultReadHeader
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = DefaultRead
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWrite
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdle
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.TxIdleTimeout == 0 {
+		c.TxIdleTimeout = DefaultTxIdleTimeout
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.RetryAfterHint == 0 {
+		c.RetryAfterHint = DefaultRetryAfterHint
+	}
+	if c.MaxConns < 1 || c.MaxInFlight < 1 {
+		return fmt.Errorf("server: MaxConns and MaxInFlight must be >= 1")
+	}
+	if c.SessionRate < 0 || c.SessionBurst < 1 {
+		return fmt.Errorf("server: SessionRate must be >= 0 and SessionBurst >= 1")
+	}
+	if c.DefaultDeadline > c.MaxDeadline {
+		return fmt.Errorf("server: DefaultDeadline %v exceeds MaxDeadline %v", c.DefaultDeadline, c.MaxDeadline)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// apiError is the structured error envelope every non-2xx response carries.
+// Clients branch on Code; RetryAfterMs mirrors the Retry-After header with
+// millisecond precision for sheds that compute an exact wait.
+type apiError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// Error codes. Shed codes (anything that maps to 429/503) name the rung of
+// the admission ladder that rejected the request, so overload behavior is
+// observable from the client side alone.
+const (
+	codeBadRequest     = "bad_request"
+	codeNotFound       = "not_found"
+	codeMethod         = "method_not_allowed"
+	codeTooLarge       = "payload_too_large"
+	codeRateLimited    = "rate_limited"      // per-session token bucket
+	codeOverCapacity   = "over_capacity"     // global in-flight semaphore
+	codeBackpressure   = "backpressure"      // engine Degraded + delta high water
+	codeDraining       = "draining"          // graceful drain in progress
+	codeDeadline       = "deadline_exceeded" // per-request deadline hit
+	codeTxNotFound     = "tx_not_found"
+	codeTxConflict     = "tx_conflict" // concurrent use of one interactive tx
+	codeCommitRejected = "commit_rejected"
+	codeInternal       = "internal"
+	codeUnavailable    = "unavailable"
+)
+
+// writeError emits the structured envelope. retryAfter <= 0 omits the
+// Retry-After header.
+func writeError(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	e := apiError{Code: code, Message: msg}
+	if retryAfter > 0 {
+		e.RetryAfterMs = retryAfter.Milliseconds()
+		if e.RetryAfterMs == 0 {
+			e.RetryAfterMs = 1
+		}
+		// Retry-After is whole seconds; round up so clients never retry
+		// before the hint.
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Error: e}) //nolint:errcheck // best-effort body
+}
+
+// shed emits a load-shed response (429/503 family) and counts it.
+func (s *Server) shed(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	s.metrics.shed(code)
+	writeError(w, status, code, msg, retryAfter)
+}

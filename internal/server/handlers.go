@@ -1,0 +1,547 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"h2tap"
+)
+
+// --- request/response wire types -----------------------------------------
+
+// op is one mutation inside a transaction body.
+type op struct {
+	Op     string                     `json:"op"` // add-node | add-rel | del-rel | del-node | set-prop
+	Label  string                     `json:"label,omitempty"`
+	Props  map[string]json.RawMessage `json:"props,omitempty"`
+	Src    uint64                     `json:"src,omitempty"`
+	Dst    uint64                     `json:"dst,omitempty"`
+	Weight float64                    `json:"weight,omitempty"`
+	Rel    uint64                     `json:"rel,omitempty"`
+	Node   uint64                     `json:"node,omitempty"`
+	Key    string                     `json:"key,omitempty"`
+	Value  json.RawMessage            `json:"value,omitempty"`
+}
+
+// opResult reports the id an op created, if any.
+type opResult struct {
+	Node *uint64 `json:"node,omitempty"`
+	Rel  *uint64 `json:"rel,omitempty"`
+}
+
+type beginResponse struct {
+	Tx string `json:"tx"`
+	TS uint64 `json:"ts"`
+}
+
+type applyRequest struct {
+	Tx  string `json:"tx"`
+	Ops []op   `json:"ops"`
+}
+
+type applyResponse struct {
+	Results []opResult `json:"results"`
+}
+
+type commitRequest struct {
+	Tx  string `json:"tx,omitempty"`
+	Ops []op   `json:"ops,omitempty"`
+}
+
+type commitResponse struct {
+	TS      uint64     `json:"ts"`
+	Results []opResult `json:"results,omitempty"`
+}
+
+type analyticsRequest struct {
+	Kind string `json:"kind"`
+	Src  uint64 `json:"src,omitempty"`
+	Wait bool   `json:"wait,omitempty"`
+}
+
+type stalenessJSON struct {
+	ReplicaTS      uint64 `json:"replica_ts"`
+	LastCommitted  uint64 `json:"last_committed"`
+	TSLag          uint64 `json:"ts_lag"`
+	PendingRecords int    `json:"pending_records"`
+}
+
+type analyticsResponse struct {
+	Kind          string         `json:"kind"`
+	Degraded      bool           `json:"degraded"`
+	Staleness     stalenessJSON  `json:"staleness"`
+	KernelSimUs   int64          `json:"kernel_sim_us"`
+	HostWallUs    int64          `json:"host_wall_us"`
+	PropagationUs int64          `json:"propagation_us"`
+	Digest        map[string]any `json:"digest"`
+}
+
+type ticketResponse struct {
+	Ticket string `json:"ticket"`
+}
+
+// --- JSON value conversion ------------------------------------------------
+
+// toValue maps a JSON property value onto a graph value. Whole numbers
+// become Int (JSON has one number type; the graph store has two), other
+// numbers Float.
+func toValue(raw json.RawMessage) (h2tap.Value, error) {
+	var v any
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	if err := dec.Decode(&v); err != nil {
+		return h2tap.Value{}, err
+	}
+	switch t := v.(type) {
+	case string:
+		return h2tap.Str(t), nil
+	case bool:
+		return h2tap.Bool(t), nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return h2tap.Int(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return h2tap.Value{}, err
+		}
+		return h2tap.Float(f), nil
+	default:
+		return h2tap.Value{}, fmt.Errorf("unsupported property type %T", v)
+	}
+}
+
+func toProps(raw map[string]json.RawMessage) (map[string]h2tap.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	props := make(map[string]h2tap.Value, len(raw))
+	for k, r := range raw {
+		v, err := toValue(r)
+		if err != nil {
+			return nil, fmt.Errorf("property %q: %w", k, err)
+		}
+		props[k] = v
+	}
+	return props, nil
+}
+
+// --- transaction endpoints ------------------------------------------------
+
+func (s *Server) handleTxBegin(w http.ResponseWriter, r *http.Request) {
+	if !requirePost(w, r) {
+		return
+	}
+	ts, err := s.sessions.begin(s.db.Begin(), time.Now())
+	if err != nil {
+		s.shed(w, http.StatusServiceUnavailable, codeDraining, "server is draining", s.cfg.RetryAfterHint)
+		return
+	}
+	writeJSON(w, http.StatusOK, beginResponse{Tx: ts.id, TS: uint64(ts.tx.TS())})
+}
+
+// withSession checks the named session out for the duration of fn.
+func (s *Server) withSession(w http.ResponseWriter, id string, fn func(*txSession) bool) {
+	if id == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing tx id", 0)
+		return
+	}
+	ts, code := s.sessions.acquire(id, time.Now())
+	if ts == nil {
+		status := http.StatusNotFound
+		if code == codeTxConflict {
+			status = http.StatusConflict
+		}
+		writeError(w, status, code, fmt.Sprintf("tx %q: %s", id, code), 0)
+		return
+	}
+	done := fn(ts)
+	s.sessions.release(ts, done, time.Now())
+}
+
+// applyOps runs the ops against tx, honoring ctx between ops so a deadline
+// cannot be stretched by a long batch.
+func applyOps(ctx context.Context, tx *h2tap.Tx, ops []op) ([]opResult, error) {
+	results := make([]opResult, 0, len(ops))
+	for i := range ops {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		o := &ops[i]
+		var res opResult
+		switch o.Op {
+		case "add-node":
+			props, err := toProps(o.Props)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			id, err := tx.AddNode(o.Label, props)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			n := uint64(id)
+			res.Node = &n
+		case "add-rel":
+			w := o.Weight
+			if w == 0 {
+				w = 1
+			}
+			id, err := tx.AddRel(h2tap.NodeID(o.Src), h2tap.NodeID(o.Dst), o.Label, w)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			rid := uint64(id)
+			res.Rel = &rid
+		case "del-rel":
+			if err := tx.DeleteRel(h2tap.RelID(o.Rel)); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case "del-node":
+			if err := tx.DeleteNode(h2tap.NodeID(o.Node)); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case "set-prop":
+			v, err := toValue(o.Value)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			if err := tx.SetNodeProp(h2tap.NodeID(o.Node), o.Key, v); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q", i, o.Op)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func (s *Server) handleTxApply(w http.ResponseWriter, r *http.Request) {
+	var req applyRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.withSession(w, req.Tx, func(ts *txSession) bool {
+		results, err := applyOps(r.Context(), ts.tx, req.Ops)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				// The tx survives a deadline on one apply batch; the
+				// session idle timer still bounds its total life.
+				s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded applying ops", 0)
+				return false
+			}
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+			return false
+		}
+		writeJSON(w, http.StatusOK, applyResponse{Results: results})
+		return false
+	})
+}
+
+func (s *Server) handleTxCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.withSession(w, req.Tx, func(ts *txSession) bool {
+		s.writeCommit(w, r.Context(), ts.tx, nil)
+		return true
+	})
+}
+
+func (s *Server) handleTxAbort(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	s.withSession(w, req.Tx, func(ts *txSession) bool {
+		ts.tx.Abort() //nolint:errcheck // abort of a live tx cannot fail meaningfully
+		writeJSON(w, http.StatusOK, struct{}{})
+		return true
+	})
+}
+
+// handleCommit is the one-shot path: begin, apply, commit in one request.
+// This is what the load generator drives; it holds no cross-request state.
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req commitRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "empty ops", 0)
+		return
+	}
+	if s.testHookPreCommit != nil {
+		s.testHookPreCommit()
+	}
+	tx := s.db.Begin()
+	results, err := applyOps(r.Context(), tx, req.Ops)
+	if err != nil {
+		tx.Abort() //nolint:errcheck
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded applying ops", 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+		return
+	}
+	s.writeCommit(w, r.Context(), tx, results)
+}
+
+// writeCommit commits tx and maps the outcome onto the wire: success
+// surfaces the MVTO commit timestamp; ErrBackpressure becomes the
+// health-aware 503 + Retry-After; anything else is a commit rejection.
+func (s *Server) writeCommit(w http.ResponseWriter, ctx context.Context, tx *h2tap.Tx, results []opResult) {
+	if err := ctx.Err(); err != nil {
+		tx.Abort() //nolint:errcheck
+		s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded before commit", 0)
+		return
+	}
+	ts := tx.TS()
+	if err := tx.Commit(); err != nil {
+		if errors.Is(err, h2tap.ErrBackpressure) {
+			s.shed(w, http.StatusServiceUnavailable, codeBackpressure,
+				"engine degraded and delta store over high water; retry later",
+				s.cfg.RetryAfterHint)
+			return
+		}
+		writeError(w, http.StatusConflict, codeCommitRejected, err.Error(), 0)
+		return
+	}
+	writeJSON(w, http.StatusOK, commitResponse{TS: uint64(ts), Results: results})
+}
+
+// --- analytics endpoints --------------------------------------------------
+
+var analyticsKinds = map[string]h2tap.AnalyticsKind{
+	"bfs":      h2tap.BFS,
+	"pagerank": h2tap.PageRank,
+	"sssp":     h2tap.SSSP,
+	"wcc":      h2tap.WCC,
+	"cdlp":     h2tap.CDLP,
+	"lcc":      h2tap.LCC,
+}
+
+func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
+	var req analyticsRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	kind, ok := analyticsKinds[req.Kind]
+	if !ok {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("unknown analytics kind %q", req.Kind), 0)
+		return
+	}
+	entry, err := s.tickets.submit(s.db, kind, req.Src)
+	if err != nil {
+		// Submission failures are availability problems (engine failed to
+		// start, queue closed during drain), not client errors.
+		s.shed(w, http.StatusServiceUnavailable, codeUnavailable, err.Error(), s.cfg.RetryAfterHint)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, ticketResponse{Ticket: entry.id})
+		return
+	}
+	select {
+	case <-entry.done:
+		s.writeAnalytics(w, req.Kind, entry)
+	case <-r.Context().Done():
+		// The kernel keeps running and the ticket stays pollable; only
+		// this request's wait is cancelled.
+		s.shed(w, http.StatusGatewayTimeout, codeDeadline,
+			fmt.Sprintf("deadline waiting for analytics; poll ticket %q", entry.id), 0)
+	}
+}
+
+func (s *Server) handleAnalyticsPoll(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("ticket")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "missing ticket", 0)
+		return
+	}
+	entry := s.tickets.get(id)
+	if entry == nil {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("ticket %q", id), 0)
+		return
+	}
+	select {
+	case <-entry.done:
+		s.writeAnalytics(w, entry.kind, entry)
+	default:
+		writeJSON(w, http.StatusAccepted, map[string]string{"status": "pending", "ticket": id})
+	}
+}
+
+// writeAnalytics renders a finished ticket. Result vectors are summarized
+// into a digest — the service exists to exercise HTAP under load, and
+// shipping million-entry rank vectors per request would make the network
+// the benchmark.
+func (s *Server) writeAnalytics(w http.ResponseWriter, kind string, e *ticketEntry) {
+	if e.err != nil {
+		writeError(w, http.StatusServiceUnavailable, codeUnavailable, e.err.Error(), 0)
+		return
+	}
+	res := e.res
+	resp := analyticsResponse{
+		Kind:     kind,
+		Degraded: res.Degraded,
+		Staleness: stalenessJSON{
+			ReplicaTS:      uint64(res.Staleness.ReplicaTS),
+			LastCommitted:  uint64(res.Staleness.LastCommitted),
+			TSLag:          res.Staleness.TSLag,
+			PendingRecords: res.Staleness.PendingRecords,
+		},
+		KernelSimUs:   time.Duration(res.KernelSim).Microseconds(),
+		HostWallUs:    res.HostWall.Microseconds(),
+		PropagationUs: res.Propagation.Total.Total().Microseconds(),
+		Digest:        digest(res),
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// digest compresses a result vector into a few stable summary facts.
+func digest(res *h2tap.Result) map[string]any {
+	d := map[string]any{}
+	switch {
+	case res.Levels != nil:
+		reach := 0
+		for _, l := range res.Levels {
+			if l >= 0 {
+				reach++
+			}
+		}
+		d["vertices"] = len(res.Levels)
+		d["reachable"] = reach
+	case res.Ranks != nil:
+		best, bestRank := 0, math.Inf(-1)
+		for i, r := range res.Ranks {
+			if r > bestRank {
+				best, bestRank = i, r
+			}
+		}
+		d["vertices"] = len(res.Ranks)
+		d["top_vertex"] = best
+		d["top_rank"] = bestRank
+	case res.Dists != nil:
+		reach := 0
+		for _, v := range res.Dists {
+			if !math.IsInf(v, 1) {
+				reach++
+			}
+		}
+		d["vertices"] = len(res.Dists)
+		d["reached"] = reach
+	case res.Comp != nil:
+		seen := make(map[uint64]struct{})
+		for _, c := range res.Comp {
+			seen[c] = struct{}{}
+		}
+		d["vertices"] = len(res.Comp)
+		d["groups"] = len(seen)
+	case res.Coef != nil:
+		sum := 0.0
+		for _, c := range res.Coef {
+			sum += c
+		}
+		d["vertices"] = len(res.Coef)
+		if len(res.Coef) > 0 {
+			d["mean_coef"] = sum / float64(len(res.Coef))
+		}
+	}
+	return d
+}
+
+// --- stats & health -------------------------------------------------------
+
+type statsResponse struct {
+	h2tap.Stats
+	HealthStr  string `json:"health"`
+	InFlight   int64  `json:"http_inflight"`
+	OpenConns  int64  `json:"http_open_conns"`
+	TxSessions int    `json:"tx_sessions"`
+	Draining   bool   `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.db.Stats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:      st,
+		HealthStr:  st.Health.String(),
+		InFlight:   s.inflight.Load(),
+		OpenConns:  s.conns.Load(),
+		TxSessions: s.sessions.size(),
+		Draining:   s.draining.Load(),
+	})
+}
+
+// handleHealthz mirrors the PR-4 obs /healthz contract (200 "ok: ..." /
+// 503 "degraded: ...") with the staleness detail inline, so one probe
+// format works against both the obs listener and the service port. It is
+// exempt from admission: an overloaded server must still answer probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h, fault := s.db.Health()
+	st := s.db.ReplicaStaleness()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	detail := fmt.Sprintf("replica_ts=%d last_committed=%d ts_lag=%d pending=%d",
+		uint64(st.ReplicaTS), uint64(st.LastCommitted), st.TSLag, st.PendingRecords)
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "draining: %s\n", detail)
+		return
+	}
+	if h == h2tap.Degraded {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: %v; %s\n", fault, detail)
+		return
+	}
+	fmt.Fprintf(w, "ok: %s\n", detail)
+}
+
+// --- helpers --------------------------------------------------------------
+
+func requirePost(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethod, "POST required", 0)
+		return false
+	}
+	return true
+}
+
+// decodeBody parses a JSON POST body, mapping oversize and malformed input
+// onto their structured rejections.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if !requirePost(w, r) {
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", tooLarge.Limit), 0)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Sprintf("malformed request: %v", err), 0)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client may have gone
+}

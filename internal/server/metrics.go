@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"h2tap/internal/obs"
+)
+
+// metrics is the server's observability surface, registered on the shared
+// obs.Registry so the service metrics scrape alongside the engine's. A nil
+// Observer degrades to no-ops (same convention as the engine hot paths).
+type metrics struct {
+	reg *obs.Registry
+
+	mu      sync.RWMutex
+	latency map[string]*obs.Histogram // accepted-request latency per endpoint
+	status  map[string]*obs.Counter   // responses per endpoint × status class
+	sheds   map[string]*obs.Counter   // load sheds per ladder rung
+
+	panics *obs.Counter
+}
+
+// Endpoints pre-registered so every family is visible from the first
+// scrape; unknown paths are folded into "other" to bound cardinality.
+var endpointNames = []string{
+	"tx_begin", "tx_apply", "tx_commit", "tx_abort",
+	"commit", "analytics", "analytics_poll", "stats", "healthz", "other",
+}
+
+// Shed reasons (admission-ladder rungs) pre-registered for the same reason.
+var shedReasons = []string{
+	codeRateLimited, codeOverCapacity, codeBackpressure, codeDraining,
+	codeDeadline, codeTooLarge, codeUnavailable,
+}
+
+var statusClasses = []string{"2xx", "4xx", "5xx"}
+
+func newMetrics(o *obs.Observer) *metrics {
+	m := &metrics{
+		latency: make(map[string]*obs.Histogram),
+		status:  make(map[string]*obs.Counter),
+		sheds:   make(map[string]*obs.Counter),
+	}
+	if o == nil {
+		return m
+	}
+	m.reg = o.Reg
+	for _, ep := range endpointNames {
+		m.latency[ep] = m.reg.Histogram("h2tap_http_request_seconds",
+			"Latency of accepted (admitted) API requests by endpoint.",
+			nil, obs.L("endpoint", ep))
+		for _, cls := range statusClasses {
+			m.status[ep+" "+cls] = m.reg.Counter("h2tap_http_responses_total",
+				"API responses by endpoint and status class.",
+				obs.L("endpoint", ep), obs.L("class", cls))
+		}
+	}
+	for _, r := range shedReasons {
+		m.sheds[r] = m.reg.Counter("h2tap_http_shed_total",
+			"Requests rejected by the admission-control ladder, by rung.",
+			obs.L("reason", r))
+	}
+	m.panics = m.reg.Counter("h2tap_http_panics_total",
+		"Handler panics recovered by the middleware.")
+	return m
+}
+
+// wireGauges registers pull-based gauges over live server state.
+func (m *metrics) wireGauges(s *Server) {
+	if m.reg == nil {
+		return
+	}
+	m.reg.GaugeFunc("h2tap_http_inflight",
+		"API requests currently holding an admission slot.",
+		func() float64 { return float64(s.inflight.Load()) })
+	m.reg.GaugeFunc("h2tap_http_open_conns",
+		"Open TCP connections on the service listener.",
+		func() float64 { return float64(s.conns.Load()) })
+	m.reg.GaugeFunc("h2tap_http_tx_sessions",
+		"Open interactive transaction sessions.",
+		func() float64 { return float64(s.sessions.size()) })
+	m.reg.GaugeFunc("h2tap_http_rate_buckets",
+		"Live per-session rate-limit buckets.",
+		func() float64 { return float64(s.limiter.size()) })
+}
+
+func (m *metrics) observe(endpoint string, status int, d time.Duration, admitted bool) {
+	if m.reg == nil {
+		return
+	}
+	cls := "2xx"
+	switch {
+	case status >= 500:
+		cls = "5xx"
+	case status >= 400:
+		cls = "4xx"
+	}
+	if c := m.status[endpoint+" "+cls]; c != nil {
+		c.Inc()
+	}
+	if admitted {
+		if h := m.latency[endpoint]; h != nil {
+			h.ObserveDuration(d)
+		}
+	}
+}
+
+func (m *metrics) shed(reason string) {
+	if m.reg == nil {
+		return
+	}
+	if c := m.sheds[reason]; c != nil {
+		c.Inc()
+	}
+}
+
+func (m *metrics) panicked() {
+	if m.reg == nil {
+		return
+	}
+	m.panics.Inc()
+}
+
+// endpointName folds a request path into its bounded-cardinality label.
+func endpointName(path string) string {
+	switch path {
+	case "/v1/tx/begin":
+		return "tx_begin"
+	case "/v1/tx/apply":
+		return "tx_apply"
+	case "/v1/tx/commit":
+		return "tx_commit"
+	case "/v1/tx/abort":
+		return "tx_abort"
+	case "/v1/commit":
+		return "commit"
+	case "/v1/analytics":
+		return "analytics"
+	case "/v1/analytics/poll":
+		return "analytics_poll"
+	case "/v1/stats":
+		return "stats"
+	case "/healthz":
+		return "healthz"
+	default:
+		return "other"
+	}
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// statusRecorder captures the response status for the metrics middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// sessionKey identifies the rate-limit principal: the client-chosen
+// X-Session-ID header when present, else the remote host. The header lets
+// a load generator model many independent clients from one address; a real
+// deployment would derive it from auth instead.
+func sessionKey(r *http.Request) string {
+	if id := r.Header.Get("X-Session-ID"); id != "" {
+		if len(id) > 64 {
+			id = id[:64]
+		}
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// requestDeadline resolves the per-request deadline from the admission
+// headers:
+//
+//	X-Timeout-Ms       relative budget, capped at MaxDeadline
+//	X-Deadline-Unix-Ms absolute wall-clock deadline; a value in the past
+//	                   (clock-skewed client) is shed immediately rather
+//	                   than admitted and cancelled mid-flight
+//
+// Absent both, DefaultDeadline applies.
+func (s *Server) requestDeadline(r *http.Request, now time.Time) (time.Duration, error) {
+	if v := r.Header.Get("X-Deadline-Unix-Ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad X-Deadline-Unix-Ms %q", v)
+		}
+		d := time.UnixMilli(ms).Sub(now)
+		if d <= 0 {
+			return 0, nil // already expired
+		}
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+		return d, nil
+	}
+	if v := r.Header.Get("X-Timeout-Ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms <= 0 {
+			return 0, fmt.Errorf("bad X-Timeout-Ms %q", v)
+		}
+		d := time.Duration(ms) * time.Millisecond
+		if d > s.cfg.MaxDeadline {
+			d = s.cfg.MaxDeadline
+		}
+		return d, nil
+	}
+	return s.cfg.DefaultDeadline, nil
+}
+
+// admit wraps an API handler in the admission-control ladder. Rungs, in
+// order (cheapest rejection first):
+//
+//  1. drain gate        → 503 draining
+//  2. body-size cap     → declared length here, then MaxBytesReader (413)
+//  3. deadline resolve  → skewed-past deadlines shed as 504 before they
+//     can consume a slot (header parse only — cheaper than admission)
+//  4. per-session bucket → 429 rate_limited + exact Retry-After
+//  5. global semaphore  → 429 over_capacity
+//  6. deadline enforce  → context deadline threaded into the handler
+//
+// Health-aware shedding (backpressure → 503) happens at the commit sites,
+// where ErrBackpressure actually surfaces; see handleCommit.
+func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		if s.draining.Load() {
+			s.shed(w, http.StatusServiceUnavailable, codeDraining,
+				"server is draining", s.cfg.RetryAfterHint)
+			return
+		}
+		if r.ContentLength > s.cfg.MaxBodyBytes {
+			s.shed(w, http.StatusRequestEntityTooLarge, codeTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes), 0)
+			return
+		}
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		d, err := s.requestDeadline(r, now)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+			return
+		}
+		if d <= 0 {
+			s.shed(w, http.StatusGatewayTimeout, codeDeadline,
+				"request deadline already expired (skewed client clock?)", 0)
+			return
+		}
+
+		if ok, wait := s.limiter.take(sessionKey(r), now); !ok {
+			s.shed(w, http.StatusTooManyRequests, codeRateLimited,
+				"session rate limit exceeded", wait)
+			return
+		}
+
+		select {
+		case s.slots <- struct{}{}:
+			s.inflight.Add(1)
+			defer func() {
+				s.inflight.Add(-1)
+				<-s.slots
+			}()
+		default:
+			s.shed(w, http.StatusTooManyRequests, codeOverCapacity,
+				fmt.Sprintf("over %d in-flight requests", s.cfg.MaxInFlight),
+				s.cfg.RetryAfterHint)
+			return
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next(w, r.WithContext(ctx))
+	}
+}
+
+// instrument is the outermost layer: panic recovery plus per-endpoint
+// latency/status accounting. A panic is converted into a structured 500 and
+// the server keeps serving; the stack goes to the error log.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		ep := endpointName(r.URL.Path)
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panicked()
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError, codeInternal,
+						"internal error", 0)
+				}
+			}
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			// A shed is not an accepted request: keep the latency
+			// histogram to admitted work so the p99 bound is about
+			// requests the server agreed to serve.
+			admitted := status != http.StatusTooManyRequests &&
+				status != http.StatusServiceUnavailable &&
+				status != http.StatusRequestEntityTooLarge
+			s.metrics.observe(ep, status, time.Since(start), admitted)
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}

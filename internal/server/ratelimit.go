@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is a classic token bucket: capacity `burst`, refill `rate`
+// tokens/second. It is small enough to keep one per live session.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{tokens: burst, last: now, rate: rate, burst: burst}
+}
+
+// take spends one token. When the bucket is dry it reports the wait until
+// the next token accrues, which becomes the response's Retry-After.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	if b.rate <= 0 {
+		// Unrefillable bucket: rate 0 means "burst only"; suggest a
+		// generic backoff.
+		return false, time.Second
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// limiter hands out per-key token buckets and evicts idle ones lazily (no
+// janitor goroutine: the sweep rides on every Nth acquisition, so the
+// limiter cannot leak goroutines across server restarts).
+type limiter struct {
+	rate, burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*limiterEntry
+	ops     int
+}
+
+type limiterEntry struct {
+	b        *bucket
+	lastSeen time.Time
+}
+
+// limiterSweepEvery and limiterIdle bound the lazy eviction: every
+// limiterSweepEvery acquisitions, entries idle longer than limiterIdle go.
+const (
+	limiterSweepEvery = 4096
+	limiterIdle       = 5 * time.Minute
+)
+
+func newLimiter(rate, burst float64) *limiter {
+	return &limiter{rate: rate, burst: burst, buckets: make(map[string]*limiterEntry)}
+}
+
+// take spends one token from key's bucket, creating it on first sight.
+func (l *limiter) take(key string, now time.Time) (bool, time.Duration) {
+	l.mu.Lock()
+	e := l.buckets[key]
+	if e == nil {
+		e = &limiterEntry{b: newBucket(l.rate, l.burst, now)}
+		l.buckets[key] = e
+	}
+	e.lastSeen = now
+	l.ops++
+	if l.ops >= limiterSweepEvery {
+		l.ops = 0
+		for k, ent := range l.buckets {
+			if now.Sub(ent.lastSeen) > limiterIdle {
+				delete(l.buckets, k)
+			}
+		}
+	}
+	l.mu.Unlock()
+	return e.b.take(now)
+}
+
+// size reports live bucket count (for the gauge).
+func (l *limiter) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+
+	"h2tap"
+	"h2tap/internal/obs"
+)
+
+// Server is the network service layer: an HTTP/JSON front end over one
+// h2tap.DB with the admission-control ladder of DESIGN.md §5g. Create with
+// New, run with Start, stop with Drain (graceful) or Close (abrupt).
+type Server struct {
+	db  *h2tap.DB
+	cfg Config
+	obs *obs.Observer
+	log *log.Logger
+
+	slots    chan struct{} // global in-flight semaphore
+	inflight atomic.Int64
+	conns    atomic.Int64
+	draining atomic.Bool
+
+	limiter  *limiter
+	sessions *sessions
+	tickets  *tickets
+	metrics  *metrics
+
+	mu   sync.Mutex
+	ln   net.Listener
+	http *http.Server
+
+	// testHookPreCommit, when set by tests, runs inside the admission slot
+	// before each one-shot commit — it models a slow engine so overload
+	// tests can saturate MaxInFlight deterministically. Always nil in
+	// production.
+	testHookPreCommit func()
+}
+
+// New builds a server over db. obsv may be nil (metrics off). cfg zero
+// values select defaults.
+func New(db *h2tap.DB, cfg Config, obsv *obs.Observer, logger *log.Logger) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		db:       db,
+		cfg:      cfg,
+		obs:      obsv,
+		log:      logger,
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		limiter:  newLimiter(cfg.SessionRate, cfg.SessionBurst),
+		sessions: newSessions(cfg.TxIdleTimeout),
+		tickets:  newTickets(),
+	}
+	s.metrics = newMetrics(obsv)
+	s.metrics.wireGauges(s)
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Printf(format, args...)
+	}
+}
+
+// mux assembles the route table. /healthz and the obs surface bypass the
+// admission ladder: probes and scrapes must work exactly when the server
+// is too loaded to admit API traffic.
+func (s *Server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/tx/begin", s.admit(s.handleTxBegin))
+	mux.HandleFunc("/v1/tx/apply", s.admit(s.handleTxApply))
+	mux.HandleFunc("/v1/tx/commit", s.admit(s.handleTxCommit))
+	mux.HandleFunc("/v1/tx/abort", s.admit(s.handleTxAbort))
+	mux.HandleFunc("/v1/commit", s.admit(s.handleCommit))
+	mux.HandleFunc("/v1/analytics", s.admit(s.handleAnalytics))
+	mux.HandleFunc("/v1/analytics/poll", s.admit(s.handleAnalyticsPoll))
+	mux.HandleFunc("/v1/stats", s.admit(s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.obs != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			s.obs.Reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.WriteChromeTrace(w, s.obs.Tracer.Cycles(0)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no route %s", r.URL.Path), 0)
+	})
+	return s.instrument(mux)
+}
+
+// Start binds the listener and serves in a background goroutine.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	lim := &limitListener{Listener: ln, sem: make(chan struct{}, s.cfg.MaxConns), conns: &s.conns}
+	hs := &http.Server{
+		Handler:           s.mux(),
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+		ErrorLog:          log.New(discard{}, "", 0), // TLS/conn noise; real errors surface elsewhere
+	}
+	s.mu.Lock()
+	s.ln, s.http = lim, hs
+	s.mu.Unlock()
+	go hs.Serve(lim) //nolint:errcheck // ErrServerClosed on shutdown
+	s.logf("server: listening on %s", ln.Addr())
+	return nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Drain is the graceful-shutdown path, bounded by ctx (callers typically
+// pass a DrainTimeout context):
+//
+//  1. flip the drain gate: new requests shed 503 draining
+//  2. http.Server.Shutdown: stop accepting, wait for in-flight requests
+//  3. abort open interactive transactions, wait for analytics watchers
+//  4. checkpoint the database so recovery replays a short log
+//
+// On ctx expiry remaining connections are closed hard; Drain reports the
+// first error but always runs every step.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	var firstErr error
+	if hs != nil {
+		if err := hs.Shutdown(ctx); err != nil {
+			firstErr = fmt.Errorf("server: drain: %w", err)
+			hs.Close() //nolint:errcheck // hard-close stragglers past the bound
+		}
+	}
+	aborted := s.sessions.drain()
+	s.tickets.drainWait()
+	if err := s.db.Checkpoint(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("server: drain checkpoint: %w", err)
+	}
+	s.logf("server: drained (%d open transactions aborted)", aborted)
+	return firstErr
+}
+
+// Close shuts down abruptly (tests and error paths; production uses Drain).
+func (s *Server) Close() error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	hs := s.http
+	s.mu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Close()
+	}
+	s.sessions.drain()
+	s.tickets.drainWait()
+	return err
+}
+
+// limitListener caps concurrently open connections: Accept blocks at the
+// cap, so excess dials queue in the kernel backlog instead of fanning out
+// per-connection goroutines (the first rung of the admission ladder).
+type limitListener struct {
+	net.Listener
+	sem   chan struct{}
+	conns *atomic.Int64
+}
+
+func (l *limitListener) Accept() (net.Conn, error) {
+	l.sem <- struct{}{}
+	c, err := l.Listener.Accept()
+	if err != nil {
+		<-l.sem
+		return nil, err
+	}
+	l.conns.Add(1)
+	return &limitConn{Conn: c, release: func() {
+		l.conns.Add(-1)
+		<-l.sem
+	}}, nil
+}
+
+type limitConn struct {
+	net.Conn
+	once    sync.Once
+	release func()
+}
+
+func (c *limitConn) Close() error {
+	err := c.Conn.Close()
+	c.once.Do(c.release)
+	return err
+}
+
+// discard silences the http.Server error log.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// DrainContext is a convenience: a context bounded by the configured
+// DrainTimeout.
+func (s *Server) DrainContext() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+}

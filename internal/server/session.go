@@ -1,0 +1,162 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"h2tap"
+)
+
+// txSession is one interactive transaction held open across HTTP requests.
+// A *graph.Tx is single-goroutine; busy serializes the HTTP handlers that
+// touch it (a second concurrent request on the same tx is a client bug and
+// gets tx_conflict rather than a data race).
+type txSession struct {
+	id      string
+	tx      *h2tap.Tx
+	created time.Time
+
+	mu       sync.Mutex
+	busy     bool
+	lastUsed time.Time
+	gone     bool // committed, aborted, or evicted
+}
+
+// sessions is the interactive-transaction table with idle eviction: an
+// abandoned client must not pin MVTO locks and versions forever.
+type sessions struct {
+	idle time.Duration
+
+	mu   sync.Mutex
+	m    map[string]*txSession
+	ops  int
+	seal bool // draining: no new sessions
+}
+
+func newSessions(idle time.Duration) *sessions {
+	return &sessions{idle: idle, m: make(map[string]*txSession)}
+}
+
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var errDraining = fmt.Errorf("server: draining")
+
+// begin registers a fresh transaction session.
+func (s *sessions) begin(tx *h2tap.Tx, now time.Time) (*txSession, error) {
+	ts := &txSession{id: newSessionID(), tx: tx, created: now, lastUsed: now}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seal {
+		return nil, errDraining
+	}
+	s.m[ts.id] = ts
+	s.ops++
+	if s.ops >= 64 {
+		s.ops = 0
+		s.evictIdleLocked(now)
+	}
+	return ts, nil
+}
+
+// evictIdleLocked aborts sessions idle past the bound. Called with s.mu
+// held; skips busy sessions (their in-flight request refreshes lastUsed).
+func (s *sessions) evictIdleLocked(now time.Time) {
+	for id, ts := range s.m {
+		ts.mu.Lock()
+		expired := !ts.busy && now.Sub(ts.lastUsed) > s.idle
+		if expired {
+			ts.gone = true
+		}
+		ts.mu.Unlock()
+		if expired {
+			ts.tx.Abort() //nolint:errcheck // eviction is best-effort
+			delete(s.m, id)
+		}
+	}
+}
+
+// acquire checks a session out for one request. Exactly one request may
+// hold a session at a time.
+func (s *sessions) acquire(id string, now time.Time) (*txSession, string) {
+	s.mu.Lock()
+	ts := s.m[id]
+	s.mu.Unlock()
+	if ts == nil {
+		return nil, codeTxNotFound
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if ts.gone {
+		return nil, codeTxNotFound
+	}
+	if ts.busy {
+		return nil, codeTxConflict
+	}
+	ts.busy = true
+	ts.lastUsed = now
+	return ts, ""
+}
+
+// release checks a session back in; done removes it from the table (after
+// commit/abort). During drain a released-but-unfinished session is aborted
+// here, on the goroutine that owns the tx, so drain never races a handler.
+func (s *sessions) release(ts *txSession, done bool, now time.Time) {
+	s.mu.Lock()
+	sealed := s.seal
+	if done || sealed {
+		delete(s.m, ts.id)
+	}
+	s.mu.Unlock()
+	ts.mu.Lock()
+	ts.busy = false
+	ts.lastUsed = now
+	abort := sealed && !done && !ts.gone
+	if done || sealed {
+		ts.gone = true
+	}
+	ts.mu.Unlock()
+	if abort {
+		ts.tx.Abort() //nolint:errcheck // drain is best-effort
+	}
+}
+
+// drain seals the table (no new sessions) and aborts every idle open
+// transaction. Busy sessions — possible only if the HTTP drain timed out —
+// are aborted by their own request in release, because a *graph.Tx is
+// single-goroutine and drain must not race the handler that holds it.
+func (s *sessions) drain() int {
+	s.mu.Lock()
+	s.seal = true
+	idle := make([]*txSession, 0, len(s.m))
+	n := len(s.m)
+	for id, ts := range s.m {
+		ts.mu.Lock()
+		if !ts.busy {
+			ts.gone = true
+			idle = append(idle, ts)
+			delete(s.m, id)
+		}
+		ts.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, ts := range idle {
+		ts.tx.Abort() //nolint:errcheck
+	}
+	return n
+}
+
+// size reports open interactive transactions (for the gauge).
+func (s *sessions) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

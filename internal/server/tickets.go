@@ -1,0 +1,109 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"h2tap"
+)
+
+// ticketEntry is one submitted analytics request. done closes when the
+// engine finishes it; res/err are written exactly once before the close
+// (the happens-before edge pollers rely on).
+type ticketEntry struct {
+	id   string
+	kind string
+
+	done chan struct{}
+	res  *h2tap.Result
+	err  error
+
+	created  time.Time
+	finished time.Time
+}
+
+// tickets tracks submitted analytics for the submit/poll protocol. One
+// watcher goroutine per ticket bridges the engine's blocking Wait to the
+// entry's done channel; the WaitGroup lets drain account for them all.
+type tickets struct {
+	ttl time.Duration
+
+	mu  sync.Mutex
+	m   map[string]*ticketEntry
+	ops int
+
+	watchers sync.WaitGroup
+}
+
+// ticketTTL is how long a finished ticket stays pollable.
+const ticketTTL = 2 * time.Minute
+
+var kindNames = func() map[h2tap.AnalyticsKind]string {
+	m := make(map[h2tap.AnalyticsKind]string, len(analyticsKinds))
+	for name, k := range analyticsKinds {
+		m[k] = name
+	}
+	return m
+}()
+
+func newTickets() *tickets {
+	return &tickets{ttl: ticketTTL, m: make(map[string]*ticketEntry)}
+}
+
+// submit enqueues the request on the engine's dispatch queue and registers
+// a pollable ticket for it.
+func (t *tickets) submit(db *h2tap.DB, kind h2tap.AnalyticsKind, src uint64) (*ticketEntry, error) {
+	tk, err := db.Submit(kind, h2tap.NodeID(src))
+	if err != nil {
+		return nil, err
+	}
+	e := &ticketEntry{
+		id:      newSessionID(),
+		kind:    kindNames[kind],
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	t.mu.Lock()
+	t.m[e.id] = e
+	t.ops++
+	if t.ops >= 64 {
+		t.ops = 0
+		t.evictLocked(time.Now())
+	}
+	t.mu.Unlock()
+	t.watchers.Add(1)
+	go func() {
+		defer t.watchers.Done()
+		res, werr := tk.Wait()
+		e.res, e.err = res, werr
+		e.finished = time.Now()
+		close(e.done)
+	}()
+	return e, nil
+}
+
+func (t *tickets) get(id string) *ticketEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+// evictLocked drops finished tickets past their poll TTL.
+func (t *tickets) evictLocked(now time.Time) {
+	for id, e := range t.m {
+		select {
+		case <-e.done:
+			if now.Sub(e.finished) > t.ttl {
+				delete(t.m, id)
+			}
+		default:
+		}
+	}
+}
+
+// drainWait blocks until every watcher goroutine has finished. The engine
+// queue's Close (inside DB.Close) waits for in-flight kernels, so this
+// returns promptly once the queue has drained.
+func (t *tickets) drainWait() {
+	t.watchers.Wait()
+}

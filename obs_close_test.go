@@ -1,0 +1,91 @@
+package h2tap
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCloseWhileObsServing is the regression test for DB.Close racing a
+// concurrently serving ObsServer: scrapers hammer /metrics and /healthz in
+// a loop while Close runs. Close must finish within its bounded shutdown
+// timeout, never panic, and leave the listener actually closed.
+func TestCloseWhileObsServing(t *testing.T) {
+	obs := NewObserver()
+	db, _ := seedDB(t, Options{Observer: obs}, 4)
+	if _, err := db.RunAnalytics(BFS, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := db.ServeObs("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + srv.Addr()
+
+	var stop atomic.Bool
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := &http.Client{Timeout: 2 * time.Second}
+			for !stop.Load() {
+				for _, path := range []string{"/metrics", "/healthz"} {
+					resp, err := hc.Get(base + path)
+					if err != nil {
+						return // listener closed under us: expected once Close starts
+					}
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+					served.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let the scrapers get going, then close the database out from under
+	// them. Close holds the obs server's bounded graceful shutdown, so it
+	// must return comfortably within that bound plus slack.
+	deadlineErr := make(chan error, 1)
+	for served.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		start := time.Now()
+		err := db.Close()
+		if d := time.Since(start); d > 5*time.Second {
+			deadlineErr <- fmt.Errorf("Close took %v; want bounded shutdown", d)
+			return
+		}
+		deadlineErr <- err
+	}()
+	select {
+	case err := <-deadlineErr:
+		if err != nil {
+			t.Fatalf("Close while serving: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close wedged behind in-flight scrapes")
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	// The listener is really gone.
+	hc := &http.Client{Timeout: time.Second}
+	if resp, err := hc.Get(base + "/metrics"); err == nil {
+		resp.Body.Close()
+		t.Fatal("obs listener still serving after Close")
+	}
+	if served.Load() == 0 {
+		t.Fatal("no scrape completed before Close")
+	}
+	// Idempotence still holds with the graceful path.
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
