@@ -18,20 +18,26 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the entire suite under the race detector, including the
-# propagation stress tests (committers racing Propagate cycles).
+# race runs the suite under the race detector, including the propagation
+# stress tests (committers racing Propagate cycles) and the sharded
+# stitch-tearing test. Crash enumeration runs with the -short budget here:
+# its full sweeps (single-domain + 2PC) are minutes-long even without the
+# race detector and have their own targets (crash-full).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./internal/crashtest
+	$(GO) test -race $$($(GO) list ./... | grep -v internal/crashtest)
 
 # bench-record stores the propagation benchmark series (Fig 10 kernels plus
-# the parallel-merge ablation) for comparison across changes.
+# the parallel-merge ablation and the shard-scaling series) for comparison
+# across changes.
 bench-record:
-	$(GO) test . -run '^$$' -bench 'BenchmarkFig10|BenchmarkAblationParallelMerge' -benchtime 3x | tee bench_record.txt
+	$(GO) test . -run '^$$' -bench 'BenchmarkFig10|BenchmarkAblationParallelMerge|BenchmarkShardScaling' -benchtime 3x | tee bench_record.txt
 
 # verify-bench fails if the 8-worker scan+merge pipeline is slower than the
-# serial path beyond noise (see benchguard_test.go for the threshold).
+# serial path beyond noise, or if the sharded single-participant commit fast
+# path regresses toward 2PC cost (see benchguard_test.go for thresholds).
 verify-bench:
-	H2TAP_VERIFY_BENCH=1 $(GO) test . -run TestVerifyBenchSpeedup -v
+	H2TAP_VERIFY_BENCH=1 $(GO) test . -run 'TestVerifyBench' -v
 
 crash:
 	$(GO) test -short ./internal/crashtest

@@ -828,3 +828,120 @@ func makeTxDeltas(n int) []*delta.TxDelta {
 	}
 	return out
 }
+
+// ShardScaling: the sharded engine's two costs vs shard count (DESIGN.md
+// §5h). commit measures the transactional write path — at N=1 the unsharded
+// engine, at N>1 mostly cross-shard edges paying the full 2PC prepare/decide
+// round. stitch measures a composite analytics run: per-shard replica
+// acquisition behind the watermark barrier plus host-side CSR stitching.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		open := func(b *testing.B) (*DB, []uint64) {
+			b.Helper()
+			db, err := Open(Options{Shards: shards})
+			if err != nil {
+				b.Fatalf("Open: %v", err)
+			}
+			var ids []uint64
+			add := func(tx interface {
+				AddNode(string, map[string]Value) (uint64, error)
+			}) {
+				for i := 0; i < 256; i++ {
+					id, err := tx.AddNode("V", nil)
+					if err != nil {
+						b.Fatalf("AddNode: %v", err)
+					}
+					ids = append(ids, id)
+				}
+			}
+			if shards > 1 {
+				tx, err := db.BeginSharded()
+				if err != nil {
+					b.Fatalf("BeginSharded: %v", err)
+				}
+				add(tx)
+				if err := tx.Commit(); err != nil {
+					b.Fatalf("Commit: %v", err)
+				}
+			} else {
+				tx := db.Begin()
+				add(tx)
+				if err := tx.Commit(); err != nil {
+					b.Fatalf("Commit: %v", err)
+				}
+			}
+			return db, ids
+		}
+
+		b.Run(fmt.Sprintf("commit/shards=%d", shards), func(b *testing.B) {
+			db, ids := open(b)
+			defer db.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src := ids[i%len(ids)]
+				dst := ids[(i*7+1)%len(ids)]
+				if shards > 1 {
+					tx, err := db.BeginSharded()
+					if err != nil {
+						b.Fatalf("BeginSharded: %v", err)
+					}
+					if _, err := tx.AddRel(src, dst, "e", 1); err != nil {
+						tx.Abort() // duplicate (src,dst) pair: skip, keep timing
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatalf("Commit: %v", err)
+					}
+				} else {
+					tx := db.Begin()
+					if _, err := tx.AddRel(src, dst, "e", 1); err != nil {
+						tx.Abort()
+						continue
+					}
+					if err := tx.Commit(); err != nil {
+						b.Fatalf("Commit: %v", err)
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("stitch/shards=%d", shards), func(b *testing.B) {
+			db, ids := open(b)
+			defer db.Close()
+			load := func(tx interface {
+				AddRel(uint64, uint64, string, float64) (uint64, error)
+			}) {
+				for i := 0; i+1 < len(ids); i++ {
+					if _, err := tx.AddRel(ids[i], ids[i+1], "e", 1); err != nil {
+						b.Fatalf("AddRel: %v", err)
+					}
+				}
+			}
+			if shards > 1 {
+				tx, err := db.BeginSharded()
+				if err != nil {
+					b.Fatalf("BeginSharded: %v", err)
+				}
+				load(tx)
+				if err := tx.Commit(); err != nil {
+					b.Fatalf("Commit: %v", err)
+				}
+			} else {
+				tx := db.Begin()
+				load(tx)
+				if err := tx.Commit(); err != nil {
+					b.Fatalf("Commit: %v", err)
+				}
+			}
+			if err := db.StartEngine(); err != nil {
+				b.Fatalf("StartEngine: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.RunAnalytics(BFS, NodeID(ids[0])); err != nil {
+					b.Fatalf("RunAnalytics: %v", err)
+				}
+			}
+		})
+	}
+}

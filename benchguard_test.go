@@ -49,3 +49,73 @@ func TestVerifyBenchSpeedup(t *testing.T) {
 			speedup, serial, par)
 	}
 }
+
+// TestVerifyBenchShardFastPath guards the sharded engine's single-participant
+// commit fast path (`make verify-bench`): a transaction whose writes all land
+// in one shard must commit WITHOUT the two-phase protocol — no prepare
+// record, no coordinator append, no distributed transaction ID. If routing
+// ever sends single-shard transactions through 2PC, commit latency jumps to
+// the cross-shard regime and the generous 25× ceiling trips. Volatile
+// cluster, so the numbers measure pure protocol overhead, not fsync.
+func TestVerifyBenchShardFastPath(t *testing.T) {
+	if os.Getenv("H2TAP_VERIFY_BENCH") == "" {
+		t.Skip("set H2TAP_VERIFY_BENCH=1 to run the bench regression guard")
+	}
+	const txN = 2000
+
+	single, err := Open(Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer single.Close()
+	sharded, err := Open(Options{Shards: 4})
+	if err != nil {
+		t.Fatalf("Open sharded: %v", err)
+	}
+	defer sharded.Close()
+
+	measure := func(commit func() error) time.Duration {
+		best := time.Duration(1 << 62)
+		for rep := 0; rep < 3; rep++ {
+			t0 := time.Now()
+			for i := 0; i < txN; i++ {
+				if err := commit(); err != nil {
+					t.Fatalf("commit: %v", err)
+				}
+			}
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	base := measure(func() error {
+		tx := single.Begin()
+		if _, err := tx.AddNode("V", nil); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+	// Single-participant sharded transactions: one AddNode lands in exactly
+	// one shard, so Commit must take the fast path.
+	fast := measure(func() error {
+		tx, err := sharded.BeginSharded()
+		if err != nil {
+			return err
+		}
+		if _, err := tx.AddNode("V", nil); err != nil {
+			return err
+		}
+		return tx.Commit()
+	})
+
+	ratio := float64(fast) / float64(base)
+	t.Logf("%d single-op txs: unsharded=%v sharded-fast-path=%v ratio=%.2f×", txN, base, fast, ratio)
+	if ratio > 25 {
+		t.Fatalf("sharded single-participant commit fast path regressed: %.2f× unsharded (want <= 25×; 2PC-level cost suggests routing broke)", ratio)
+	}
+	if n := sharded.Cluster().CrossTxLive(); n != 0 {
+		t.Fatalf("single-participant commits registered %d cross-shard transactions, want 0", n)
+	}
+}

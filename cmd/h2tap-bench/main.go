@@ -42,6 +42,7 @@ func main() {
 		skipHeavy  = flag.Bool("skip-heavy", false, "skip long-running experiments (fig9, table1)")
 		jsonOut    = flag.Bool("json", false, "emit one JSON object per experiment instead of tables, plus one line per propagation cycle")
 		faults     = flag.Int("faults", 0, "GPU-fault soak mode: run this many randomized fault injections and exit")
+		shards     = flag.Int("shards", 0, "shard count for the shards experiment (0 = sweep 1,2,4,8; N>1 compares single-domain vs N)")
 		obsAddr    = flag.String("obs", "", "serve /metrics, /healthz, /debug/trace and /debug/pprof on this address (e.g. 127.0.0.1:0) while experiments run")
 		obsLinger  = flag.Duration("obs-linger", 0, "keep the -obs listener up this long after the experiments finish")
 		cycleLog   = flag.String("cyclelog", "", "append one JSON line per propagation cycle to this file ('-' for stdout)")
@@ -80,6 +81,9 @@ func main() {
 		cfg.Workers = *workers
 	}
 	cfg.Seed = *seed
+	if *shards > 0 {
+		cfg.Shards = *shards
+	}
 
 	if *obsAddr != "" {
 		cfg.Obs = obs.New()

@@ -25,7 +25,6 @@
 package h2tap
 
 import (
-	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -41,6 +40,7 @@ import (
 	"h2tap/internal/mvto"
 	"h2tap/internal/obs"
 	"h2tap/internal/pmem"
+	"h2tap/internal/shard"
 	"h2tap/internal/sim"
 	"h2tap/internal/vfs"
 	"h2tap/internal/wal"
@@ -133,6 +133,13 @@ const (
 
 // Options configures Open.
 type Options struct {
+	// Shards partitions the engine into N independent MVTO/delta domains
+	// with two-phase cross-shard commits and stitched cross-shard analytics
+	// (DESIGN.md §5h). Zero or one selects the single-domain engine —
+	// identical to previous releases. Sharded databases use BeginSharded
+	// (global node IDs) instead of Begin, and do not support Undirected,
+	// Observer, Submit, BulkLoad or Scrub.
+	Shards int
 	// Replica selects the GPU-side structure (default StaticCSR).
 	Replica ReplicaKind
 	// Undirected switches the main graph to undirected mode: relationships
@@ -190,6 +197,9 @@ type DB struct {
 	store *graph.Store
 	ds    *deltastore.Store
 
+	// cluster is set instead of the fields above when Options.Shards > 1.
+	cluster *shard.Cluster
+
 	deltaPool *pmem.Pool
 	csrPool   *pmem.Pool
 	wal       *wal.Log
@@ -238,7 +248,7 @@ func (g deltaGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
 // (internal/server) maps it onto HTTP 503 + Retry-After — the system-wide
 // rung of its shedding ladder, distinct from the per-client 429s of the
 // rate limiter and admission semaphore (see DESIGN.md §5g).
-var ErrBackpressure = errors.New("h2tap: engine degraded and delta store over high-water mark; commit rejected")
+var ErrBackpressure = htap.ErrBackpressure
 
 // backpressureGuard is the committer-side half of the high-water backstop.
 // It reads the engine through the atomic ref because commits can race
@@ -262,6 +272,9 @@ func (g backpressureGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
 // resumes at its durable prefix, and the first replica build consumes
 // whatever that prefix already covers.
 func Open(opts Options) (_ *DB, err error) {
+	if opts.Shards > 1 {
+		return openSharded(opts)
+	}
 	db := &DB{opts: opts}
 	if opts.Undirected {
 		db.store = graph.NewUndirectedStore()
@@ -441,12 +454,22 @@ func writeSentinel(fsys vfs.FS, path, dir string) error {
 	return nil
 }
 
-// Begin starts a read-write transaction on the main graph.
-func (db *DB) Begin() *Tx { return db.store.Begin() }
+// Begin starts a read-write transaction on the main graph. On a sharded
+// database it panics (it cannot report an error): use BeginSharded, whose
+// transactions speak global IDs and commit atomically across shards.
+func (db *DB) Begin() *Tx {
+	if db.cluster != nil {
+		panic("h2tap: Begin on a sharded database; use BeginSharded")
+	}
+	return db.store.Begin()
+}
 
 // BulkLoad loads an initial dataset, bypassing per-operation transaction
 // overhead. It must run before concurrent transactions.
 func (db *DB) BulkLoad(nodes []NodeSpec, edges []EdgeSpec) error {
+	if db.cluster != nil {
+		return fmt.Errorf("%w: BulkLoad (load through BeginSharded transactions)", ErrSharded)
+	}
 	_, err := db.store.BulkLoad(nodes, edges)
 	return err
 }
@@ -455,6 +478,9 @@ func (db *DB) BulkLoad(nodes []NodeSpec, edges []EdgeSpec) error {
 // snapshot and starts the analytics machinery. It is called implicitly by
 // the first RunAnalytics/Submit.
 func (db *DB) StartEngine() error {
+	if db.cluster != nil {
+		return db.cluster.StartEngines()
+	}
 	db.engineOnce.Do(func() {
 		cfg := htap.Config{
 			Replica:       db.opts.Replica,
@@ -495,6 +521,9 @@ func (db *DB) StartEngine() error {
 // freshness semantics (propagating pending deltas first if needed). src is
 // the source vertex for BFS and SSSP.
 func (db *DB) RunAnalytics(kind AnalyticsKind, src NodeID) (*Result, error) {
+	if db.cluster != nil {
+		return db.shardedRunAnalytics(kind, src)
+	}
 	if err := db.StartEngine(); err != nil {
 		return nil, err
 	}
@@ -505,6 +534,9 @@ func (db *DB) RunAnalytics(kind AnalyticsKind, src NodeID) (*Result, error) {
 // returns a ticket to wait on. Fresh requests run concurrently; stale ones
 // trigger pipelined update propagation.
 func (db *DB) Submit(kind AnalyticsKind, src NodeID) (*Ticket, error) {
+	if db.cluster != nil {
+		return nil, fmt.Errorf("%w: Submit (use RunAnalytics or RunAnalyticsStitched)", ErrSharded)
+	}
 	if err := db.StartEngine(); err != nil {
 		return nil, err
 	}
@@ -515,6 +547,9 @@ func (db *DB) Submit(kind AnalyticsKind, src NodeID) (*Ticket, error) {
 // store, a latched PMem failure surfaces here (and at commit) rather than
 // propagating deltas whose durable image has diverged.
 func (db *DB) Propagate() (*PropagationReport, error) {
+	if db.cluster != nil {
+		return db.shardedPropagate()
+	}
 	if err := db.ds.PersistErr(); err != nil {
 		return nil, fmt.Errorf("h2tap: persistent delta store failed: %w", err)
 	}
@@ -539,10 +574,22 @@ type Stats struct {
 	Retries             int64
 	FallbackRebuilds    int64
 	DegradedCycles      int64
+
+	// Sharded-mode fields (zero on single-domain databases). LiveNodes stays
+	// the logical node count; the ghost stand-in rows that shards hold for
+	// cross-shard edges are reported separately as GhostNodes.
+	Shards          int
+	ShardWatermarks []uint64
+	StitchEpoch     uint64
+	CrossTxLive     int
+	GhostNodes      int64
 }
 
 // Stats reports current counters.
 func (db *DB) Stats() Stats {
+	if db.cluster != nil {
+		return db.shardedStats()
+	}
 	st := Stats{
 		LiveNodes:    db.store.LiveNodes(),
 		LiveRels:     db.store.LiveRels(),
@@ -568,6 +615,9 @@ func (db *DB) Stats() Stats {
 // Degraded, the fault that caused it. Before the engine starts the
 // database is trivially Healthy.
 func (db *DB) Health() (Health, error) {
+	if db.cluster != nil {
+		return db.shardedHealth()
+	}
 	if db.engine == nil {
 		return Healthy, nil
 	}
@@ -577,7 +627,7 @@ func (db *DB) Health() (Health, error) {
 // ReplicaStaleness reports the current replica staleness bound (zero
 // before the engine starts).
 func (db *DB) ReplicaStaleness() Staleness {
-	if db.engine == nil {
+	if db.cluster != nil || db.engine == nil {
 		return Staleness{}
 	}
 	return db.engine.Staleness()
@@ -587,23 +637,39 @@ func (db *DB) ReplicaStaleness() Staleness {
 // replica's own freshness watermark and forces a full rebuild on
 // divergence. It starts the engine if needed.
 func (db *DB) Scrub() (*ScrubReport, error) {
+	if db.cluster != nil {
+		return nil, fmt.Errorf("%w: Scrub", ErrSharded)
+	}
 	if err := db.StartEngine(); err != nil {
 		return nil, err
 	}
 	return db.engine.Scrub()
 }
 
-// LastCommitted reports the newest committed transaction timestamp.
+// LastCommitted reports the newest committed transaction timestamp. Shard
+// timestamp domains are independent; on a sharded database this is the
+// maximum across shards (an upper bound, not a global ordering point).
 func (db *DB) LastCommitted() uint64 {
+	if db.cluster != nil {
+		var max uint64
+		for i := 0; i < db.cluster.Shards(); i++ {
+			if ts := uint64(db.cluster.Domain(i).Store.Oracle().LastCommitted()); ts > max {
+				max = ts
+			}
+		}
+		return max
+	}
 	return uint64(db.store.Oracle().LastCommitted())
 }
 
 // SnapshotTS returns a timestamp covering everything committed so far, for
-// use with snapshot read helpers.
+// use with snapshot read helpers (single-domain databases only; shard
+// timestamp domains are independent).
 func (db *DB) SnapshotTS() mvto.TS { return db.store.Oracle().LastCommitted() }
 
 // Store exposes the underlying graph store for advanced use (snapshot
-// reads, degree queries).
+// reads, degree queries). Nil on a sharded database — use
+// Cluster().Domain(i).Store for per-shard access.
 func (db *DB) Store() *graph.Store { return db.store }
 
 // Engine exposes the underlying H2TAP engine after StartEngine.
@@ -619,6 +685,9 @@ func (db *DB) DeltaStore() *deltastore.Store { return db.ds }
 // crash-atomic (temp file + fsync + rename), so a crash at any point leaves
 // either the old or the new log intact.
 func (db *DB) Checkpoint() error {
+	if db.cluster != nil {
+		return db.cluster.Checkpoint()
+	}
 	if db.wal == nil {
 		return nil
 	}
@@ -632,6 +701,9 @@ func (db *DB) Checkpoint() error {
 // pools. Close is idempotent: second and later calls return the first
 // call's result without touching the already-closed handles.
 func (db *DB) Close() error {
+	if db.cluster != nil {
+		return db.cluster.Close()
+	}
 	db.closeOnce.Do(func() {
 		if db.queue != nil {
 			db.queue.Close()

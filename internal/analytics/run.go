@@ -1,0 +1,40 @@
+package analytics
+
+import "fmt"
+
+// Output bundles the result arrays of one kernel execution. Exactly one
+// result slice is set, matching the requested kind.
+type Output struct {
+	Levels []int32   // bfs
+	Dists  []float64 // sssp
+	Ranks  []float64 // pagerank
+	Comp   []uint64  // wcc, cdlp
+	Coef   []float64 // lcc
+	Work   WorkStats
+}
+
+// Run dispatches one kernel by name — the htap.AnalyticsKind strings
+// ("bfs", "pagerank", "sssp", "wcc", "cdlp", "lcc") — over any Graph view.
+// It is the single execution path shared by the per-shard engine and the
+// cross-shard stitcher, so both compute identical results on identical
+// views. iters and damping parameterize PageRank (and iters bounds CDLP).
+func Run(g Graph, kind string, src uint64, iters int, damping float64) (Output, error) {
+	var out Output
+	switch kind {
+	case "bfs":
+		out.Levels, out.Work = BFS(g, src)
+	case "pagerank":
+		out.Ranks, out.Work = PageRank(g, iters, damping)
+	case "sssp":
+		out.Dists, out.Work = SSSP(g, src)
+	case "wcc":
+		out.Comp, out.Work = WCC(g)
+	case "cdlp":
+		out.Comp, out.Work = CDLP(g, iters)
+	case "lcc":
+		out.Coef, out.Work = LCC(g)
+	default:
+		return out, fmt.Errorf("analytics: unknown kernel %q", kind)
+	}
+	return out, nil
+}

@@ -252,3 +252,14 @@ func (c *Calibration) Fit() (*Model, error) {
 	}
 	return &m, nil
 }
+
+// Clone returns an independently owned copy of the model. A sharded cluster
+// calibrates once and hands each shard its own copy, so a future per-shard
+// refit (drift correction) cannot alias another shard's coefficients.
+func (m *Model) Clone() *Model {
+	if m == nil {
+		return nil
+	}
+	c := *m
+	return &c
+}

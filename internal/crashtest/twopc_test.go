@@ -1,0 +1,93 @@
+package crashtest
+
+import (
+	"testing"
+
+	"h2tap/internal/faultinject"
+	"h2tap/internal/vfs"
+)
+
+// TestTwopcGoldenDeterministic checks the sharded workload's determinism:
+// hashed node placement, ascending-order prepares and fixed transaction
+// shapes must land crash point N on the same persist operation — and produce
+// the same per-commit cluster fingerprints — in every run.
+func TestTwopcGoldenDeterministic(t *testing.T) {
+	p1, fps1, err := TwopcGoldenRun(t.TempDir() + "/a")
+	if err != nil {
+		t.Fatalf("2pc golden run: %v", err)
+	}
+	p2, fps2, err := TwopcGoldenRun(t.TempDir() + "/b")
+	if err != nil {
+		t.Fatalf("2pc golden run: %v", err)
+	}
+	if p1 != p2 {
+		t.Fatalf("persist points differ across runs: %d vs %d", p1, p2)
+	}
+	if len(fps1) != len(fps2) {
+		t.Fatalf("fingerprint counts differ: %d vs %d", len(fps1), len(fps2))
+	}
+	for i := range fps1 {
+		if fps1[i] != fps2[i] {
+			t.Fatalf("fingerprint %d differs across runs:\n%s\nvs\n%s", i, fps1[i], fps2[i])
+		}
+	}
+	// Floor: three shard WALs plus a coordinator log over six transactions
+	// must expose well over 30 persist points (prepares, decisions, local
+	// decisions, pool writes, rotation).
+	if p1 < 30 {
+		t.Fatalf("sharded workload has %d persist points, want >= 30", p1)
+	}
+	t.Logf("2pc workload: %d persist points, %d commits", p1, len(fps1)-1)
+}
+
+// TestTwopcCrashEnumeration sweeps crashes through every persist point of
+// the sharded workload (a sample in -short mode) in both tear modes. Every
+// point must recover to a whole-transaction prefix — the same transaction
+// count on every shard — resolve any in-doubt 2PC transaction to the
+// coordinator's decision, and resume cross-shard service.
+func TestTwopcCrashEnumeration(t *testing.T) {
+	maxPerMode := 0
+	if testing.Short() {
+		maxPerMode = 16
+	}
+	rep, err := TwopcEnumerate(t.TempDir(), maxPerMode, nil)
+	if err != nil {
+		t.Fatalf("2pc enumerate: %v", err)
+	}
+	if rep.Points < 30 {
+		t.Fatalf("sharded workload has %d persist points, want >= 30", rep.Points)
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			t.Errorf("crash at op %d/%d (%s), %d commits completed: %v",
+				r.Point, rep.Points, r.Tear, r.Completed, r.Err)
+		}
+	}
+	t.Logf("enumerated %d 2pc crashes over %d persist points, %d failures",
+		len(rep.Results), rep.Points, rep.Failures)
+}
+
+// TestTwopcInjectedFailureIsSurfacedNotFatal exercises the transient-error
+// path (FailAt: the persist op errors, no crash): the sharded workload must
+// surface the error — a failed prepare or coordinator append aborts the
+// transaction on every shard — and the directory must still recover.
+func TestTwopcInjectedFailureIsSurfacedNotFatal(t *testing.T) {
+	points, golden, err := TwopcGoldenRun(t.TempDir())
+	if err != nil {
+		t.Fatalf("2pc golden run: %v", err)
+	}
+	for _, p := range samplePoints(points, 10) {
+		dir := t.TempDir()
+		ffs := faultinject.New(vfs.OS())
+		ffs.FailAt(p)
+		var st runState
+		werr := twopcWorkload(dir, ffs, &st)
+		if werr == nil {
+			t.Errorf("fail at op %d: sharded workload succeeded, want surfaced error", p)
+			continue
+		}
+		if m, rerr := twopcRecoverAndCheck(dir, golden, st.completed); rerr != nil {
+			t.Errorf("fail at op %d: recovery after injected error (got %d commits): %v", p, m, rerr)
+		}
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	Workers int
 	Seed    int64
 
+	// Shards, when > 1, restricts the shards experiment to comparing the
+	// single-domain baseline against exactly this shard count instead of
+	// sweeping 1, 2, 4, 8 (cmd/h2tap-bench passes -shards here).
+	Shards int
+
 	// Obs, when set, wires every engine-based experiment's engine into the
 	// observability layer (cmd/h2tap-bench passes it when -obs is set).
 	Obs *obs.Observer

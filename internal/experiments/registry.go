@@ -34,6 +34,7 @@ func All() []Experiment {
 		{ID: "freshness", Desc: "Propagation amortization across analytics batches (extension)", Run: Config.FreshnessExp},
 		{ID: "faults", Desc: "Propagation under injected GPU faults: retry/fallback/degraded ladder (extension)", Run: Config.FaultsExp},
 		{ID: "obs", Desc: "Observability instrumentation overhead: observer on vs off (extension)", Run: Config.ObsExp},
+		{ID: "shards", Desc: "Sharded engine: 2PC commit cost and stitched analytics vs shard count (extension)", Run: Config.ShardsExp},
 	}
 }
 

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+
+	"h2tap/internal/mvto"
+)
+
+// Two-phase commit support: PrepareCommit/Finish split Tx.Commit's sequence
+// (commit gate → write-ahead log → delta capture → MVTO publish) at the
+// write-ahead point, so a cross-shard coordinator can make every
+// participant's operations durable (phase one) before any of them publishes
+// (phase two). The commit gate is held shared for the whole span, exactly as
+// Commit holds it, so a checkpoint barrier can never split a prepared
+// transaction from its decision record.
+//
+// Deadlock discipline: a coordinator preparing on multiple stores MUST
+// acquire them in a fixed global order (ascending shard index). Gate readers
+// then only ever wait on gates with a strictly higher index, so every wait
+// chain terminates even with concurrent checkpoint writers.
+
+// PreparedTx is a transaction that has passed phase one: its operations are
+// write-ahead logged as a prepare record and its commit gate is held. It
+// must be finished exactly once via Finish.
+type PreparedTx struct {
+	tx   *Tx
+	done bool
+}
+
+// PrepareCommit runs phase one of a two-phase commit: it acquires the
+// store's commit gate (held until Finish) and write-ahead logs the
+// transaction's operations via log — typically wal.Log.LogPrepare plus any
+// commit guards. A nil log skips logging (volatile shards). On logging
+// failure the gate is released and the transaction aborted.
+//
+// The transaction's MVTO write locks stay held through Finish, so between
+// the phases no concurrent transaction can observe or overwrite its
+// uncommitted state.
+func (tx *Tx) PrepareCommit(log func(ts mvto.TS, ops []LoggedOp) error) (*PreparedTx, error) {
+	if tx.poisoned != nil {
+		tx.m.Abort()
+		return nil, fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
+	}
+	if tx.m.Status() != mvto.Active {
+		return nil, mvto.ErrTxnDone
+	}
+	tx.s.commitGate.RLock()
+	if log != nil {
+		if err := log(tx.m.TS(), tx.ops); err != nil {
+			tx.s.commitGate.RUnlock()
+			tx.m.Abort()
+			return nil, fmt.Errorf("graph: prepare write-ahead log: %w", err)
+		}
+	}
+	return &PreparedTx{tx: tx}, nil
+}
+
+// TS reports the prepared transaction's local timestamp.
+func (p *PreparedTx) TS() mvto.TS { return p.tx.m.TS() }
+
+// Ops exposes the prepared operations (for coordinator bookkeeping). The
+// slice must not be modified.
+func (p *PreparedTx) Ops() []LoggedOp { return p.tx.ops }
+
+// Finish runs phase two: with commit=true the decision is logged (decide,
+// typically appending a local decision record; errors are surfaced but do
+// not block publication — the coordinator's decision record is already the
+// durable truth and recovery resolves the in-doubt prepare against it), the
+// delta is captured and the MVTO commit publishes, exactly in Tx.Commit's
+// order. With commit=false the transaction aborts; decide (if non-nil) logs
+// the abort decision best-effort. The commit gate is released either way.
+func (p *PreparedTx) Finish(commit bool, decide func() error) error {
+	if p.done {
+		return fmt.Errorf("graph: prepared transaction already finished")
+	}
+	p.done = true
+	tx := p.tx
+	defer tx.s.commitGate.RUnlock()
+	if !commit {
+		if decide != nil {
+			decide() // best-effort: an unreadable abort record still presumes abort
+		}
+		return tx.m.Abort()
+	}
+	var decideErr error
+	if decide != nil {
+		decideErr = decide()
+	}
+	// Same ordering invariant as Tx.Commit: capture the delta before the
+	// MVTO publish unlocks the touched objects, so concurrent captures land
+	// in timestamp order.
+	tx.s.capture(tx.b.Build(tx.m.TS()))
+	if err := tx.m.Commit(); err != nil {
+		return err
+	}
+	if decideErr != nil {
+		return fmt.Errorf("graph: decision log (transaction committed; recovery resolves via coordinator): %w", decideErr)
+	}
+	return nil
+}

@@ -249,6 +249,11 @@ type Engine struct {
 var (
 	// ErrUnknownAnalytics reports an unsupported analytics kind.
 	ErrUnknownAnalytics = errors.New("htap: unknown analytics kind")
+	// ErrBackpressure rejects a commit because the engine is Degraded and
+	// the delta store has grown past its high-water mark. The facade
+	// re-exports it (h2tap.ErrBackpressure); the message keeps the facade
+	// prefix because that is where callers meet it.
+	ErrBackpressure = errors.New("h2tap: engine degraded and delta store over high-water mark; commit rejected")
 )
 
 // NewEngine builds the engine over an existing main graph and initializes
@@ -737,27 +742,14 @@ func (e *Engine) runKernel(res *Result, kind AnalyticsKind, src uint64) error {
 	}
 
 	start := time.Now()
-	var class string
-	switch kind {
-	case BFS:
-		res.Levels, res.Work = analytics.BFS(view, src)
-		class = sim.KernelBFS
-	case PageRank:
-		res.Ranks, res.Work = analytics.PageRank(view, e.cfg.PageRankIters, e.cfg.Damping)
-		class = sim.KernelPageRank
-	case SSSP:
-		res.Dists, res.Work = analytics.SSSP(view, src)
-		class = sim.KernelSSSP
-	case WCC:
-		res.Comp, res.Work = analytics.WCC(view)
-		class = sim.KernelWCC
-	case CDLP:
-		res.Comp, res.Work = analytics.CDLP(view, e.cfg.PageRankIters)
-		class = sim.KernelCDLP
-	case LCC:
-		res.Coef, res.Work = analytics.LCC(view)
-		class = sim.KernelLCC
-	default:
+	out, err := analytics.Run(view, string(kind), src, e.cfg.PageRankIters, e.cfg.Damping)
+	if err != nil {
+		return fmt.Errorf("%w: %q", ErrUnknownAnalytics, kind)
+	}
+	res.Levels, res.Dists, res.Ranks, res.Comp, res.Coef = out.Levels, out.Dists, out.Ranks, out.Comp, out.Coef
+	res.Work = out.Work
+	class, ok := KernelClass(kind)
+	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAnalytics, kind)
 	}
 	res.HostWall = time.Since(start)
@@ -768,6 +760,46 @@ func (e *Engine) runKernel(res *Result, kind AnalyticsKind, src uint64) error {
 	}
 	res.KernelSim = kt
 	return nil
+}
+
+// KernelClass maps an analytics kind to its simulated-device kernel class.
+func KernelClass(kind AnalyticsKind) (string, bool) {
+	switch kind {
+	case BFS:
+		return sim.KernelBFS, true
+	case PageRank:
+		return sim.KernelPageRank, true
+	case SSSP:
+		return sim.KernelSSSP, true
+	case WCC:
+		return sim.KernelWCC, true
+	case CDLP:
+		return sim.KernelCDLP, true
+	case LCC:
+		return sim.KernelLCC, true
+	}
+	return "", false
+}
+
+// AcquireReplica pins the current replica version against swaps and returns
+// its analytics view together with the freshness watermark it covers. The
+// returned release function MUST be called when the caller is done with the
+// view; propagation cycles block on the swap until every acquirer releases.
+//
+// The cross-shard stitcher holds several shards' replicas at once through
+// this; like PrepareCommit, multi-shard acquisition must follow ascending
+// shard order so reader wait chains terminate against concurrent
+// propagation writers.
+func (e *Engine) AcquireReplica() (analytics.Graph, mvto.TS, func()) {
+	e.replicaMu.RLock()
+	var view analytics.Graph
+	switch e.cfg.Replica {
+	case StaticCSR:
+		view = analytics.CSRGraph{C: e.staticRep.CSR()}
+	case DynamicHash:
+		view = e.dynRep.Graph()
+	}
+	return view, e.replicaTS, e.replicaMu.RUnlock
 }
 
 // HostCSR exposes the CPU-side CSR copy (static replica only), for

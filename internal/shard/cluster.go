@@ -1,0 +1,350 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"h2tap/internal/costmodel"
+	"h2tap/internal/gpu"
+	"h2tap/internal/graph"
+	"h2tap/internal/htap"
+	"h2tap/internal/vfs"
+	"h2tap/internal/wal"
+)
+
+// Ghost nodes: a cross-shard edge src@A → dst@B is stored entirely in A
+// (the edge owner) against a local stand-in node for dst — a "ghost" whose
+// label and gid property mark it as an alias of the remote global ID. Ghosts
+// ride the normal WAL/recovery path like any node; the cluster rebuilds its
+// ghost registry from the stores at open. Ghost slots are excluded from the
+// stitched composite vertex set and their adjacency is translated back to
+// the real global ID, so the composite is exactly the logical graph.
+const (
+	// GhostLabel marks ghost nodes in the per-shard stores.
+	GhostLabel = "__h2tap_ghost__"
+	// GhostGIDKey is the property carrying the remote global node ID.
+	GhostGIDKey = "__h2tap_gid__"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Shards is the domain count (>= 1).
+	Shards int
+	// Replica selects the per-shard GPU-side structure.
+	Replica htap.ReplicaKind
+	// PersistDir, when non-empty, stores each shard under
+	// PersistDir/shard-NNN plus the coordinator decision log at
+	// PersistDir/coord.wal. Empty selects fully volatile domains.
+	PersistDir string
+	// PersistPoolSize bounds each per-shard persistent pool (default 1 GiB).
+	PersistPoolSize int64
+	// SyncWAL fsyncs shard prepare/commit records and coordinator decisions.
+	SyncWAL bool
+	// FS overrides the filesystem (crash harness injection).
+	FS vfs.FS
+	// EnableCostModel calibrates once and clones the model per shard.
+	EnableCostModel bool
+	// PageRankIters and Damping parameterize PageRank (defaults 10, 0.85).
+	PageRankIters int
+	Damping       float64
+	// Retry bounds per-shard replica-apply retries.
+	Retry htap.RetryPolicy
+	// DeltaHighWater is the per-shard delta-store backpressure mark.
+	DeltaHighWater uint64
+	// Workers is the per-shard propagation worker count.
+	Workers int
+}
+
+// Cluster is a sharded H2TAP engine: N independent domains, a two-phase
+// commit coordinator for cross-shard transactions, and a watermark stitcher
+// for cross-shard analytics.
+type Cluster struct {
+	opts Options
+	part Partitioner
+
+	domains []*Domain
+	coord   *wal.Log // coordinator decision log; nil for volatile clusters
+
+	gtx atomic.Uint64 // distributed transaction IDs (resumed past recovery)
+	seq atomic.Uint64 // node placement sequence
+
+	// Ghost registry. Forward maps gid -> the latest usable local ghost per
+	// shard; reverse maps every ghost slot ever allocated back to its gid
+	// (entries are never removed — a slot once used as a ghost is excluded
+	// from the composite vertex set forever, even after abort or delete).
+	ghostMu  sync.RWMutex
+	ghostFwd []map[uint64]graph.NodeID
+	ghostRev []map[graph.NodeID]uint64
+
+	reg txRegistry
+
+	engineOnce sync.Once
+	engineErr  error
+
+	epoch atomic.Uint64 // successful stitches (the composite-view epoch)
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Open builds or recovers a cluster. Recovery order matters: the coordinator
+// decision log is read first so each shard's WAL replay can resolve in-doubt
+// prepare records to the coordinator's durable decision (presumed abort
+// without one); then the ghost registry and the gtx counter are rebuilt from
+// the recovered stores and logs.
+func Open(o Options) (*Cluster, error) {
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.PersistPoolSize == 0 {
+		o.PersistPoolSize = 1 << 30
+	}
+	// The stitcher runs kernels directly (outside any one engine), so the
+	// engine's PageRank defaults are normalized here once for both paths.
+	if o.PageRankIters == 0 {
+		o.PageRankIters = 10
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.85
+	}
+	c := &Cluster{
+		opts:     o,
+		part:     NewPartitioner(o.Shards),
+		ghostFwd: make([]map[uint64]graph.NodeID, o.Shards),
+		ghostRev: make([]map[graph.NodeID]uint64, o.Shards),
+	}
+	for i := range c.ghostFwd {
+		c.ghostFwd[i] = make(map[uint64]graph.NodeID)
+		c.ghostRev[i] = make(map[graph.NodeID]uint64)
+	}
+	c.reg.init()
+
+	if o.PersistDir == "" {
+		for i := 0; i < o.Shards; i++ {
+			c.domains = append(c.domains, openVolatile(i))
+		}
+		return c, nil
+	}
+
+	fsys := o.FS
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	if err := fsys.MkdirAll(o.PersistDir, 0o755); err != nil {
+		return nil, fmt.Errorf("shard: persist dir: %w", err)
+	}
+	coordPath := filepath.Join(o.PersistDir, "coord.wal")
+	decisions, err := wal.ReadDecisions(fsys, coordPath)
+	if err != nil {
+		return nil, fmt.Errorf("shard: coordinator log: %w", err)
+	}
+	if decisions.TornTail {
+		// A decision append interrupted mid-write: trim it. The transaction
+		// it would have decided is presumed aborted everywhere.
+		if err := wal.Trim(fsys, coordPath, decisions.ValidLen); err != nil {
+			return nil, fmt.Errorf("shard: coordinator log trim: %w", err)
+		}
+	}
+	decide := func(gtx uint64) bool {
+		commit, ok := decisions.Decided(gtx)
+		return ok && commit
+	}
+
+	maxGtx := decisions.MaxGtx
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+	for i := 0; i < o.Shards; i++ {
+		dir := filepath.Join(o.PersistDir, fmt.Sprintf("shard-%03d", i))
+		d, st, err := openPersistent(fsys, i, dir, o.PersistPoolSize, o.SyncWAL, decide)
+		if err != nil {
+			return nil, err
+		}
+		c.domains = append(c.domains, d)
+		if st.MaxGtx > maxGtx {
+			maxGtx = st.MaxGtx
+		}
+	}
+	c.gtx.Store(maxGtx)
+	if c.coord, err = wal.Open(coordPath, wal.Options{SyncEveryCommit: o.SyncWAL, FS: fsys}); err != nil {
+		return nil, fmt.Errorf("shard: coordinator log open: %w", err)
+	}
+	c.rebuildGhosts()
+	ok = true
+	return c, nil
+}
+
+// rebuildGhosts rescans every shard's recovered store for ghost nodes and
+// repopulates the registry. Deleted ghosts do not export and stay out — any
+// replica built after recovery no longer contains their edges either.
+func (c *Cluster) rebuildGhosts() {
+	for i, d := range c.domains {
+		ts := d.Store.Oracle().LastCommitted()
+		nodes, _ := d.Store.ExportAt(ts)
+		for _, n := range nodes {
+			if n.Label != GhostLabel {
+				continue
+			}
+			v, ok := n.Props[GhostGIDKey]
+			if !ok {
+				continue
+			}
+			gid := uint64(v.AsInt())
+			c.ghostFwd[i][gid] = n.ID
+			c.ghostRev[i][n.ID] = gid
+		}
+	}
+}
+
+// Partitioner exposes the cluster's ID mapping.
+func (c *Cluster) Partitioner() Partitioner { return c.part }
+
+// Shards reports the domain count.
+func (c *Cluster) Shards() int { return len(c.domains) }
+
+// Domain exposes shard i (tests, stats).
+func (c *Cluster) Domain(i int) *Domain { return c.domains[i] }
+
+// StartEngines builds every shard's analytics engine from its current
+// committed snapshot: per-shard simulated GPU device, per-shard cost model
+// (calibrated once, cloned per shard), per-shard persistent CSR pool.
+func (c *Cluster) StartEngines() error {
+	c.engineOnce.Do(func() {
+		var model *costmodel.Model
+		if c.opts.EnableCostModel {
+			m, err := htap.Calibrate(c.domains[0].Store)
+			if err != nil {
+				c.engineErr = fmt.Errorf("shard: cost model calibration: %w", err)
+				return
+			}
+			model = m
+		}
+		for _, d := range c.domains {
+			cfg := htap.Config{
+				Replica:       c.opts.Replica,
+				Device:        gpu.DefaultA100(),
+				DeltaStore:    d.DS,
+				CostModel:     model.Clone(),
+				Workers:       c.opts.Workers,
+				PersistPool:   d.csrPool,
+				PageRankIters: c.opts.PageRankIters,
+				Damping:       c.opts.Damping,
+				Retry:         c.opts.Retry,
+				HighWater:     c.opts.DeltaHighWater,
+			}
+			e, err := htap.NewEngineWithExistingCapturer(d.Store, cfg)
+			if err != nil {
+				c.engineErr = fmt.Errorf("shard %d: engine: %w", d.Index, err)
+				return
+			}
+			d.engine.Store(e)
+		}
+	})
+	return c.engineErr
+}
+
+// PropagateAll runs one propagation cycle on every shard (starting engines
+// if needed), continuing past per-shard failures. It returns every shard's
+// report and the first error.
+func (c *Cluster) PropagateAll() ([]*htap.PropagationReport, error) {
+	if err := c.StartEngines(); err != nil {
+		return nil, err
+	}
+	reports := make([]*htap.PropagationReport, len(c.domains))
+	var firstErr error
+	for i, d := range c.domains {
+		rep, err := d.Engine().Propagate()
+		reports[i] = rep
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return reports, firstErr
+}
+
+// Checkpoint rotates every shard's write-ahead log to a snapshot of its
+// committed state. Each rotation runs under that shard's commit barrier; the
+// coordinator log is never rotated (a rotated shard log holds no prepare
+// records, so old decisions are never consulted again — they are only dead
+// weight, bounded by cross-shard commit volume).
+func (c *Cluster) Checkpoint() error {
+	for _, d := range c.domains {
+		if d.wal == nil {
+			continue
+		}
+		if err := d.wal.Rotate(d.Store); err != nil {
+			return fmt.Errorf("shard %d: checkpoint: %w", d.Index, err)
+		}
+	}
+	return nil
+}
+
+// Epoch reports the number of consistent composite views stitched so far.
+func (c *Cluster) Epoch() uint64 { return c.epoch.Load() }
+
+// CrossTxLive reports the cross-shard transactions the stitcher is currently
+// tracking (in-flight plus committed-but-not-yet-pruned).
+func (c *Cluster) CrossTxLive() int { return c.reg.size() }
+
+// GhostNodes counts the live ghost stand-in rows across all shards: registry
+// entries whose local node is visible at that shard's last committed
+// timestamp (the registry itself also holds dead slots, which are only
+// excluded from composites, never reused).
+func (c *Cluster) GhostNodes() int64 {
+	c.ghostMu.RLock()
+	defer c.ghostMu.RUnlock()
+	var n int64
+	for i, d := range c.domains {
+		ts := d.Store.Oracle().LastCommitted()
+		for id := range c.ghostRev[i] {
+			if d.Store.NodeExistsAt(id, ts) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Watermarks reports each shard's replica freshness watermark (zero before
+// engines start).
+func (c *Cluster) Watermarks() []uint64 {
+	w := make([]uint64, len(c.domains))
+	for i, d := range c.domains {
+		if e := d.Engine(); e != nil {
+			w[i] = uint64(e.ReplicaTS())
+		}
+	}
+	return w
+}
+
+// Close closes the coordinator log and every shard's durable handles. A
+// latched per-shard delta-persistence failure surfaces even on clean close.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		var firstErr error
+		if c.coord != nil {
+			if err := c.coord.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		for _, d := range c.domains {
+			if err := d.closeHandles(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if firstErr == nil && d.DS != nil {
+				firstErr = d.DS.PersistErr()
+			}
+		}
+		c.closeErr = firstErr
+	})
+	return c.closeErr
+}
+
+// ErrClusterClosed reports use after Close.
+var ErrClusterClosed = errors.New("shard: cluster closed")

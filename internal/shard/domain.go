@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"h2tap/internal/deltastore"
+	"h2tap/internal/graph"
+	"h2tap/internal/htap"
+	"h2tap/internal/mvto"
+	"h2tap/internal/pmem"
+	"h2tap/internal/sim"
+	"h2tap/internal/vfs"
+	"h2tap/internal/wal"
+)
+
+// Domain is one shard: an independent MVTO timestamp domain with its own
+// main-graph store, delta store, write-ahead log, persistent pools and —
+// once the cluster starts its engines — its own cost model and simulated
+// GPU replica. It mirrors the single-shard facade's wiring (h2tap.Open /
+// StartEngine) at per-shard scope.
+type Domain struct {
+	Index int
+	Store *graph.Store
+	DS    *deltastore.Store
+
+	deltaPool *pmem.Pool
+	csrPool   *pmem.Pool
+	wal       *wal.Log
+
+	engine atomic.Pointer[htap.Engine]
+}
+
+// poolsSentinel marks a fully initialized pool pair (same protocol as the
+// single-shard facade: created and dir-fsynced only after both pools exist,
+// so a mid-init crash wipes and recreates rather than half-recovers).
+const poolsSentinel = "pools.ok"
+
+// Engine returns the shard's analytics engine (nil before StartEngines).
+func (d *Domain) Engine() *htap.Engine { return d.engine.Load() }
+
+// WAL exposes the shard's write-ahead log (nil for volatile domains).
+func (d *Domain) WAL() *wal.Log { return d.wal }
+
+// domainGuard aborts commits once the shard's persistent delta store has
+// latched a write failure, and applies the engine's backpressure signal —
+// the per-shard equivalent of the facade's deltaGuard + backpressureGuard.
+type domainGuard struct{ d *Domain }
+
+func (g domainGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
+	return g.d.guardErr()
+}
+
+func (d *Domain) guardErr() error {
+	if err := d.DS.PersistErr(); err != nil {
+		return fmt.Errorf("shard %d: persistent delta store failed: %w", d.Index, err)
+	}
+	if e := d.engine.Load(); e != nil && e.Backpressure() {
+		return htap.ErrBackpressure
+	}
+	return nil
+}
+
+// openVolatile builds an in-memory domain.
+func openVolatile(idx int) *Domain {
+	d := &Domain{Index: idx, Store: graph.NewStore(), DS: deltastore.NewVolatile()}
+	d.Store.AddCapturer(d.DS)
+	return d
+}
+
+// openPersistent builds (or recovers) a durable domain under dir, replaying
+// its write-ahead log with decide resolving any in-doubt 2PC prepares to the
+// coordinator's durable decision. It returns the replay stats so the cluster
+// can resume its gtx counter past every ID this shard ever saw.
+func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, decide func(uint64) bool) (_ *Domain, _ wal.ReplayStats, err error) {
+	d := &Domain{Index: idx, Store: graph.NewStore()}
+	var st wal.ReplayStats
+	defer func() {
+		if err != nil {
+			d.closeHandles()
+		}
+	}()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, st, fmt.Errorf("shard %d: dir: %w", idx, err)
+	}
+	deltaPath := filepath.Join(dir, "delta.pool")
+	csrPath := filepath.Join(dir, "csr.pool")
+	walPath := filepath.Join(dir, "graph.wal")
+	sentinelPath := filepath.Join(dir, poolsSentinel)
+
+	if _, serr := fsys.Stat(sentinelPath); serr == nil {
+		if d.deltaPool, err = pmem.OpenOn(fsys, deltaPath, sim.DefaultPMem()); err != nil {
+			return nil, st, err
+		}
+		if d.csrPool, err = pmem.OpenOn(fsys, csrPath, sim.DefaultPMem()); err != nil {
+			return nil, st, err
+		}
+		if d.DS, err = deltastore.OpenPersistent(d.deltaPool); err != nil {
+			return nil, st, err
+		}
+	} else {
+		for _, stale := range []string{deltaPath, csrPath} {
+			if _, err := fsys.Stat(stale); err == nil {
+				if err := fsys.Remove(stale); err != nil {
+					return nil, st, fmt.Errorf("shard %d: remove partial pool: %w", idx, err)
+				}
+			}
+		}
+		if d.deltaPool, err = pmem.CreateOn(fsys, deltaPath, poolSize, sim.DefaultPMem()); err != nil {
+			return nil, st, err
+		}
+		if d.csrPool, err = pmem.CreateOn(fsys, csrPath, poolSize, sim.DefaultPMem()); err != nil {
+			return nil, st, err
+		}
+		if d.DS, err = deltastore.NewPersistent(d.deltaPool); err != nil {
+			return nil, st, err
+		}
+		if err = writeSentinel(fsys, sentinelPath, dir); err != nil {
+			return nil, st, err
+		}
+	}
+
+	// A checkpoint that crashed before its rename leaves graph.wal.tmp
+	// behind; the live log is intact (rename is the commit point).
+	walTmp := walPath + ".tmp"
+	if _, serr := fsys.Stat(walTmp); serr == nil {
+		if err := fsys.Remove(walTmp); err != nil {
+			return nil, st, fmt.Errorf("shard %d: remove stale checkpoint temp: %w", idx, err)
+		}
+	}
+	if _, serr := fsys.Stat(walPath); serr == nil {
+		if st, err = wal.ReplayResolved(fsys, walPath, d.Store, decide); err != nil {
+			return nil, st, fmt.Errorf("shard %d: recovery: %w", idx, err)
+		}
+		if st.TornTail {
+			if err = wal.Trim(fsys, walPath, st.ValidLen); err != nil {
+				return nil, st, fmt.Errorf("shard %d: recovery trim: %w", idx, err)
+			}
+		}
+	}
+	if d.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: syncWAL, FS: fsys}); err != nil {
+		return nil, st, err
+	}
+	d.Store.AddOpLogger(domainGuard{d})
+	d.Store.AddOpLogger(d.wal)
+	d.Store.AddCapturer(d.DS)
+	return d, st, nil
+}
+
+// writeSentinel durably creates the pools-initialized marker.
+func writeSentinel(fsys vfs.FS, path, dir string) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("shard: pool sentinel: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("shard: pool sentinel sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("shard: pool sentinel close: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("shard: pool sentinel dir sync: %w", err)
+	}
+	return nil
+}
+
+// closeHandles closes whatever durable handles the domain holds.
+func (d *Domain) closeHandles() error {
+	var firstErr error
+	if d.wal != nil {
+		if err := d.wal.Close(); err != nil {
+			firstErr = err
+		}
+		d.wal = nil
+	}
+	for _, p := range []*pmem.Pool{d.deltaPool, d.csrPool} {
+		if p != nil {
+			if err := p.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	d.deltaPool, d.csrPool = nil, nil
+	return firstErr
+}

@@ -1,0 +1,76 @@
+package shard
+
+import "testing"
+
+// FuzzPartitioner checks the ID-encoding partitioner's core invariants over
+// arbitrary inputs: totality (every global ID decodes to exactly one in-range
+// (shard, local) pair), involutivity (encode∘decode is the identity both
+// ways), placement determinism and stability (the mapping is a pure function
+// of (n, input) with no hidden state, so it survives process restarts), and
+// edge ownership following the source. IDs in the LDBC range (large 64-bit
+// values with structured high bits) are part of the seed corpus.
+func FuzzPartitioner(f *testing.F) {
+	f.Add(uint64(0), uint64(0), 1)
+	f.Add(uint64(1), uint64(2), 4)
+	f.Add(uint64(1)<<40|17, uint64(1)<<40|18, 8) // LDBC-style structured IDs
+	f.Add(^uint64(0)>>1, uint64(12345678901234), 16)
+	f.Add(uint64(999983), uint64(2), 7) // prime inputs, non-power-of-two n
+
+	f.Fuzz(func(t *testing.T, g uint64, h uint64, n int) {
+		if n < 1 {
+			n = 1
+		}
+		if n > 64 {
+			n = n%64 + 1
+		}
+		p := NewPartitioner(n)
+		if p.Shards() != n {
+			t.Fatalf("Shards() = %d, want %d", p.Shards(), n)
+		}
+
+		// Totality + involutivity on arbitrary global IDs. Guard against the
+		// local*n+shard encode overflowing uint64 — such IDs are never handed
+		// out (locals grow sequentially from zero), so only decoded-then-
+		// re-encoded values below the overflow bound must round-trip.
+		for _, id := range []uint64{g, h, g ^ h} {
+			s, l := p.ShardOf(id), p.Local(id)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%d) = %d out of [0,%d)", id, s, n)
+			}
+			if back := p.Global(s, l); back != id {
+				t.Fatalf("Global(ShardOf, Local) of %d = %d", id, back)
+			}
+		}
+
+		// Encode direction: every (shard, local) pair below the overflow
+		// bound maps to a distinct global ID owned by that shard.
+		l := g / uint64(n) // keep local*n+shard in range
+		for s := 0; s < n; s++ {
+			id := p.Global(s, l)
+			if p.ShardOf(id) != s || p.Local(id) != l {
+				t.Fatalf("n=%d Global(%d,%d)=%d decodes to (%d,%d)",
+					n, s, l, id, p.ShardOf(id), p.Local(id))
+			}
+		}
+
+		// Placement: deterministic (reopen-stable) and in range.
+		if a, b := p.Place(g), p.Place(g); a != b {
+			t.Fatalf("Place(%d) nondeterministic: %d then %d", g, a, b)
+		}
+		if s := p.Place(g); s < 0 || s >= n {
+			t.Fatalf("Place(%d) = %d out of [0,%d)", g, s, n)
+		}
+		// A second partitioner over the same n is the same mapping — there
+		// is no per-instance state.
+		q := NewPartitioner(n)
+		if p.Place(g) != q.Place(g) || p.ShardOf(g) != q.ShardOf(g) {
+			t.Fatalf("partitioner mapping differs between instances")
+		}
+
+		// Edge ownership is deterministic and follows the source vertex.
+		if p.EdgeOwner(g, h) != p.ShardOf(g) {
+			t.Fatalf("EdgeOwner(%d,%d) = %d, want source shard %d",
+				g, h, p.EdgeOwner(g, h), p.ShardOf(g))
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"sync"
+
+	"h2tap/internal/mvto"
+)
+
+// txRegistry tracks in-flight and recently committed cross-shard
+// transactions so the stitcher can verify a candidate watermark vector cuts
+// none of them in half.
+//
+// Why the replica watermarks alone are not enough: each shard's watermark is
+// bounded by its oracle's *stable* timestamp, and an unrelated older
+// in-flight transaction can hold one shard's stable point below a committed
+// cross-shard transaction's local timestamp while the other shard's
+// watermark has already passed its half. A cut at such a vector would show
+// one half of an atomically committed transaction. The registry records
+// every participant's local timestamp at prepare time; a vector w is
+// consistent iff for every entry the halves are uniformly below or uniformly
+// at/above w (ts < w[s] implies that half is published and contained in the
+// shard-s replica at w[s], because watermarks only cover finished prefixes).
+type txRegistry struct {
+	mu      sync.Mutex
+	entries map[uint64]*crossEntry
+}
+
+type crossEntry struct {
+	parts map[int]mvto.TS
+	done  bool // all halves published (still needed for pruning)
+}
+
+func (r *txRegistry) init() {
+	r.entries = make(map[uint64]*crossEntry)
+}
+
+// add registers a cross-shard transaction after every participant prepared,
+// before any half may publish.
+func (r *txRegistry) add(gtx uint64, parts map[int]mvto.TS) {
+	r.mu.Lock()
+	r.entries[gtx] = &crossEntry{parts: parts}
+	r.mu.Unlock()
+}
+
+// remove drops an aborted transaction: no half will ever publish, so it can
+// never tear a cut.
+func (r *txRegistry) remove(gtx uint64) {
+	r.mu.Lock()
+	delete(r.entries, gtx)
+	r.mu.Unlock()
+}
+
+// markDone records that every half has published.
+func (r *txRegistry) markDone(gtx uint64) {
+	r.mu.Lock()
+	if e := r.entries[gtx]; e != nil {
+		e.done = true
+	}
+	r.mu.Unlock()
+}
+
+// splits checks watermark vector w and returns the shards whose replicas
+// still lag a transaction that is already visible in another shard's
+// replica (nil means w is a consistent cut). An unpublished half always has
+// ts >= w[s] — a timestamp enters a watermark only after its transaction
+// finished — so in-flight entries are handled by the same rule.
+func (r *txRegistry) splits(w []mvto.TS) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lagging map[int]bool
+	for _, e := range r.entries {
+		in, out := false, false
+		for s, ts := range e.parts {
+			if ts < w[s] {
+				in = true
+			} else {
+				out = true
+			}
+		}
+		if in && out {
+			for s, ts := range e.parts {
+				if ts >= w[s] {
+					if lagging == nil {
+						lagging = make(map[int]bool)
+					}
+					lagging[s] = true
+				}
+			}
+		}
+	}
+	if lagging == nil {
+		return nil
+	}
+	out := make([]int, 0, len(lagging))
+	for s := range lagging {
+		out = append(out, s)
+	}
+	return out
+}
+
+// prune drops completed entries entirely below w: every later stitch has a
+// watermark vector at or above the last consistent one per shard (replica
+// watermarks are monotonic), so such entries can never split again.
+func (r *txRegistry) prune(w []mvto.TS) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for gtx, e := range r.entries {
+		if !e.done {
+			continue
+		}
+		below := true
+		for s, ts := range e.parts {
+			if ts >= w[s] {
+				below = false
+				break
+			}
+		}
+		if below {
+			delete(r.entries, gtx)
+		}
+	}
+}
+
+// size reports the live entry count (tests).
+func (r *txRegistry) size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

@@ -1,0 +1,320 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+)
+
+// Tx is a cluster-wide read-write transaction. It lazily opens one
+// sub-transaction per touched shard and routes every operation to the owner
+// domain via the partitioner's global↔local ID mapping. Commit uses the
+// single-shard fast path (today's exact commit sequence, one shard touched)
+// or two-phase commit (several shards). A Tx is used by one goroutine.
+type Tx struct {
+	c    *Cluster
+	subs map[int]*graph.Tx
+	done bool
+}
+
+// Errors.
+var (
+	// ErrTxDone reports an operation on a finished cluster transaction.
+	ErrTxDone = errors.New("shard: transaction already finished")
+)
+
+// Begin starts a cluster transaction.
+func (c *Cluster) Begin() *Tx {
+	return &Tx{c: c, subs: make(map[int]*graph.Tx)}
+}
+
+// sub returns (opening if needed) the sub-transaction on shard i.
+func (t *Tx) sub(i int) *graph.Tx {
+	s, ok := t.subs[i]
+	if !ok {
+		s = t.c.domains[i].Store.Begin()
+		t.subs[i] = s
+	}
+	return s
+}
+
+// AddNode creates a node, placed by hashing the cluster's allocation
+// sequence, and returns its global ID.
+func (t *Tx) AddNode(label string, props map[string]graph.Value) (uint64, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	shard := t.c.part.Place(t.c.seq.Add(1))
+	local, err := t.sub(shard).AddNode(label, props)
+	if err != nil {
+		return 0, err
+	}
+	return t.c.part.Global(shard, local), nil
+}
+
+// AddRel creates a relationship src→dst and returns its global ID. The edge
+// lives in the source's shard; a cross-shard destination is checked for
+// existence in its home shard (a recorded read, so a concurrent delete of
+// the destination conflicts) and represented locally by a ghost node.
+func (t *Tx) AddRel(src, dst uint64, label string, weight float64) (uint64, error) {
+	if t.done {
+		return 0, ErrTxDone
+	}
+	p := t.c.part
+	ss, ds := p.ShardOf(src), p.ShardOf(dst)
+	if ss == ds {
+		rid, err := t.sub(ss).AddRel(p.Local(src), p.Local(dst), label, weight)
+		if err != nil {
+			return 0, err
+		}
+		return p.Global(ss, rid), nil
+	}
+	// Cross-shard: validate the destination where it lives (records the
+	// read, making this transaction a participant in the destination shard),
+	// then insert against the local ghost in the owner shard.
+	if !t.sub(ds).NodeExists(p.Local(dst)) {
+		return 0, fmt.Errorf("%w: destination node %d", graph.ErrNotFound, dst)
+	}
+	ghost, err := t.ghostFor(ss, dst)
+	if err != nil {
+		return 0, err
+	}
+	rid, err := t.sub(ss).AddRel(p.Local(src), ghost, label, weight)
+	if err != nil {
+		return 0, err
+	}
+	return p.Global(ss, rid), nil
+}
+
+// ghostFor returns a local ghost node in owner standing in for global node
+// gid, creating one inside this transaction if none is usable. The registry
+// keeps the latest usable ghost per (shard, gid); reverse entries accumulate
+// forever so any slot ever used as a ghost stays out of the composite view.
+func (t *Tx) ghostFor(owner int, gid uint64) (graph.NodeID, error) {
+	c := t.c
+	c.ghostMu.Lock()
+	defer c.ghostMu.Unlock()
+	if local, ok := c.ghostFwd[owner][gid]; ok {
+		if t.sub(owner).NodeExists(local) {
+			return local, nil
+		}
+	}
+	local, err := t.sub(owner).AddNode(GhostLabel,
+		map[string]graph.Value{GhostGIDKey: graph.Int(int64(gid))})
+	if err != nil {
+		return 0, err
+	}
+	c.ghostFwd[owner][gid] = local
+	c.ghostRev[owner][local] = gid
+	return local, nil
+}
+
+// DeleteRel deletes a relationship by global ID (routed to the edge-owner
+// shard).
+func (t *Tx) DeleteRel(rel uint64) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return t.sub(t.c.part.ShardOf(rel)).DeleteRel(t.c.part.Local(rel))
+}
+
+// DeleteNode deletes a node and, cascading, every relationship attached to
+// it cluster-wide: the home-shard delete cascades local edges (including
+// outgoing cross-shard edges, which live at home against ghosts), and every
+// remote ghost of the node is deleted too, cascading the incoming
+// cross-shard edges stored in other shards.
+func (t *Tx) DeleteNode(node uint64) error {
+	if t.done {
+		return ErrTxDone
+	}
+	p := t.c.part
+	home := p.ShardOf(node)
+	if err := t.sub(home).DeleteNode(p.Local(node)); err != nil {
+		return err
+	}
+	t.c.ghostMu.RLock()
+	ghosts := make(map[int]graph.NodeID)
+	for s := range t.c.domains {
+		if s == home {
+			continue
+		}
+		if local, ok := t.c.ghostFwd[s][node]; ok {
+			ghosts[s] = local
+		}
+	}
+	t.c.ghostMu.RUnlock()
+	for s, local := range ghosts {
+		if !t.sub(s).NodeExists(local) {
+			continue // ghost never committed or already gone
+		}
+		if err := t.sub(s).DeleteNode(local); err != nil {
+			return fmt.Errorf("shard %d: cascade ghost of node %d: %w", s, node, err)
+		}
+	}
+	return nil
+}
+
+// SetNodeProp updates one property of a node in its home shard.
+func (t *Tx) SetNodeProp(node uint64, key string, val graph.Value) error {
+	if t.done {
+		return ErrTxDone
+	}
+	return t.sub(t.c.part.ShardOf(node)).SetNodeProp(t.c.part.Local(node), key, val)
+}
+
+// GetNodeProp reads one property of a node from its home shard.
+func (t *Tx) GetNodeProp(node uint64, key string) (graph.Value, error) {
+	if t.done {
+		return graph.Value{}, ErrTxDone
+	}
+	return t.sub(t.c.part.ShardOf(node)).GetNodeProp(t.c.part.Local(node), key)
+}
+
+// NodeExists reports whether a node is visible, recording the read.
+func (t *Tx) NodeExists(node uint64) bool {
+	if t.done {
+		return false
+	}
+	return t.sub(t.c.part.ShardOf(node)).NodeExists(t.c.part.Local(node))
+}
+
+// Participants reports the shards this transaction has touched so far, in
+// ascending order.
+func (t *Tx) Participants() []int {
+	parts := make([]int, 0, len(t.subs))
+	for s := range t.subs {
+		parts = append(parts, s)
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// Abort rolls every sub-transaction back.
+func (t *Tx) Abort() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	var firstErr error
+	for _, s := range t.subs {
+		if err := s.Abort(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Commit commits the transaction.
+//
+// One participant: the sub-transaction commits exactly as a single-shard
+// transaction does today (commit gate → WAL commit record → delta capture →
+// MVTO publish); no coordinator state is touched.
+//
+// Several participants: two-phase commit. Phase one prepares every
+// participant in ascending shard order — commit gate acquired and a prepare
+// record (local timestamp + operations) appended to the shard WAL, synced
+// per the cluster's sync policy. The transaction is then registered with the
+// stitcher's cross-transaction registry. The commit point is the decision
+// record appended to the coordinator log; after it, phase two appends a
+// local decision record to each participant WAL and publishes (delta capture
+// + MVTO commit), releasing the gates. Any phase-one failure — or a
+// coordinator append failure — aborts every participant (presumed abort: a
+// crash before the coordinator decision leaves recovery resolving the
+// prepares to abort).
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+
+	parts := t.Participants()
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return t.subs[parts[0]].Commit()
+	}
+
+	c := t.c
+	gtx := c.gtx.Add(1)
+	prepared := make(map[int]*graph.PreparedTx, len(parts))
+
+	abortAll := func() {
+		for _, s := range parts {
+			d := c.domains[s]
+			if p, ok := prepared[s]; ok {
+				p.Finish(false, func() error {
+					if d.wal == nil {
+						return nil
+					}
+					return d.wal.LogDecision(gtx, false)
+				})
+			} else {
+				t.subs[s].Abort()
+			}
+		}
+		if c.coord != nil {
+			// Best-effort: shrinks the in-doubt window; absence still means
+			// abort.
+			c.coord.LogDecision(gtx, false)
+		}
+	}
+
+	// Phase one, ascending shard order (the gate-ordering discipline that
+	// keeps reader wait chains acyclic against checkpoint writers).
+	partTS := make(map[int]mvto.TS, len(parts))
+	for _, s := range parts {
+		d := c.domains[s]
+		p, err := t.subs[s].PrepareCommit(func(ts mvto.TS, ops []graph.LoggedOp) error {
+			if gerr := d.guardErr(); gerr != nil {
+				return gerr
+			}
+			if d.wal == nil {
+				return nil
+			}
+			return d.wal.LogPrepare(gtx, ts, ops)
+		})
+		if err != nil {
+			abortAll()
+			return fmt.Errorf("shard %d: prepare: %w", s, err)
+		}
+		prepared[s] = p
+		partTS[s] = p.TS()
+	}
+
+	// Register before any half can publish, so no stitch can cut between
+	// the halves from here on.
+	c.reg.add(gtx, partTS)
+
+	// Commit point: the coordinator's durable decision.
+	if c.coord != nil {
+		if err := c.coord.LogDecision(gtx, true); err != nil {
+			c.reg.remove(gtx)
+			abortAll()
+			return fmt.Errorf("shard: coordinator decision: %w", err)
+		}
+	}
+
+	// Phase two: local decision records + publication. A local decision or
+	// publish hiccup no longer reverses the outcome — the coordinator
+	// decided commit and recovery enforces it — so errors are surfaced but
+	// every participant still publishes.
+	var firstErr error
+	for _, s := range parts {
+		d := c.domains[s]
+		err := prepared[s].Finish(true, func() error {
+			if d.wal == nil {
+				return nil
+			}
+			return d.wal.LogDecision(gtx, true)
+		})
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: commit: %w", s, err)
+		}
+	}
+	c.reg.markDone(gtx)
+	return firstErr
+}

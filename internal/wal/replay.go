@@ -42,6 +42,17 @@ type ReplayStats struct {
 	// TornTail reports that bytes beyond ValidLen were discarded as a torn
 	// tail (an in-flight commit interrupted by the crash).
 	TornTail bool
+	// InDoubt lists the distributed transactions whose prepare record had no
+	// local decision record — the crash hit between the 2PC phases. The
+	// decide callback's answer (the coordinator's durable decision) was
+	// applied; presumed-abort without one.
+	InDoubt []uint64
+	// InDoubtCommitted counts the InDoubt transactions the decide callback
+	// resolved to commit.
+	InDoubtCommitted int
+	// MaxGtx is the highest distributed transaction ID seen in any prepare
+	// or decision record (for resuming the coordinator's gtx counter).
+	MaxGtx uint64
 }
 
 // Replay reads the log at path, folds every valid commit record into final
@@ -72,6 +83,17 @@ func Replay(path string, s *graph.Store) (mvto.TS, error) {
 // O(largest record) plus the folded graph state, not O(log size); only the
 // corruption check reads the remainder of the log at once.
 func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
+	return ReplayResolved(fsys, path, s, nil)
+}
+
+// ReplayResolved is ReplayFS for a participant shard of a 2PC cluster:
+// prepare records are held aside until a decision record resolves them, and
+// transactions still in doubt at the end of the log are resolved by decide —
+// the coordinator's durable decision — or presumed aborted when decide is
+// nil or reports no decision. A prepared transaction held its MVTO write
+// locks until the crash, so no later record touches its objects and folding
+// its operations at end-of-log is order-safe.
+func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx uint64) bool) (ReplayStats, error) {
 	if fsys == nil {
 		fsys = vfs.OS()
 	}
@@ -87,6 +109,24 @@ func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 	rels := make(map[uint64]*relState)
 	var maxTS mvto.TS
 	records := 0
+
+	// Pending 2PC transactions: prepared but not yet decided at the current
+	// scan position, in prepare order for deterministic end-of-log folding.
+	type prepared struct {
+		gtx uint64
+		ts  mvto.TS
+		ops []graph.LoggedOp
+	}
+	var pending []prepared
+	applyOps := func(ts mvto.TS, ops []graph.LoggedOp) {
+		if ts > maxTS {
+			maxTS = ts
+		}
+		records++
+		for i := range ops {
+			foldOp(nodes, rels, &ops[i])
+		}
+	}
 
 	// tailOrCorrupt decides the fate of a damaged record at off: torn tail
 	// if nothing decodable follows the record's header, interior corruption
@@ -150,20 +190,46 @@ func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 			}
 			break
 		}
-		ts, ops, err := decodeCommit(payload)
+		rec, err := decodeRecord(payload)
 		if err != nil {
 			return st, err
 		}
-		if ts > maxTS {
-			maxTS = ts
-		}
-		records++
-		for i := range ops {
-			foldOp(nodes, rels, &ops[i])
+		switch rec.kind {
+		case recPrepare:
+			if rec.gtx > st.MaxGtx {
+				st.MaxGtx = rec.gtx
+			}
+			pending = append(pending, prepared{gtx: rec.gtx, ts: rec.ts, ops: rec.ops})
+		case recDecision:
+			if rec.gtx > st.MaxGtx {
+				st.MaxGtx = rec.gtx
+			}
+			for i := range pending {
+				if pending[i].gtx == rec.gtx {
+					if rec.commit {
+						applyOps(pending[i].ts, pending[i].ops)
+					}
+					pending = append(pending[:i], pending[i+1:]...)
+					break
+				}
+			}
+		default:
+			applyOps(rec.ts, rec.ops)
 		}
 		off += int64(recordHeaderSize + size)
 	}
 	st.ValidLen = off
+
+	// Resolve transactions left in doubt by a crash between prepare and the
+	// local decision: the coordinator's decision is authoritative, absence of
+	// one means it never committed anywhere (presumed abort).
+	for _, p := range pending {
+		st.InDoubt = append(st.InDoubt, p.gtx)
+		if decide != nil && decide(p.gtx) {
+			applyOps(p.ts, p.ops)
+			st.InDoubtCommitted++
+		}
+	}
 
 	// Materialize the fold.
 	var rn []graph.RestoredNode
@@ -220,7 +286,7 @@ func scanForRecord(b []byte) bool {
 		if crc32.ChecksumIEEE(payload) != sum {
 			continue
 		}
-		if _, _, err := decodeCommit(payload); err == nil {
+		if _, err := decodeRecord(payload); err == nil {
 			return true
 		}
 	}

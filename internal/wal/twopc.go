@@ -1,0 +1,327 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/mvto"
+	"h2tap/internal/vfs"
+)
+
+// Two-phase-commit record extension (sharded mode). A plain commit record's
+// payload starts with the transaction timestamp; mvto.Infinity is never a
+// real timestamp, so it doubles as an escape marker introducing a typed
+// record:
+//
+//	prepare:  [marker u64][kind=1 u8][gtx u64][ts u64][opCount u32][ops…]
+//	decision: [marker u64][kind=2 u8][gtx u64][outcome u8]
+//
+// A participant shard appends a prepare record (synced per the log's sync
+// policy) during phase one, the coordinator appends a commit decision to its
+// own log (the atomic commit point of the distributed transaction), and each
+// participant then appends a local decision record before publishing. Replay
+// applies a prepared transaction's operations only when a decision says
+// commit — a local decision record, or the coordinator's via the decide
+// callback for transactions left in doubt by a crash between the phases.
+// Logs that never see a 2PC transaction are byte-identical to the pre-shard
+// format.
+
+const twopcMarker = uint64(math.MaxUint64) // == uint64(mvto.Infinity)
+
+// Typed record kinds behind the marker.
+const (
+	recPrepare  byte = 1
+	recDecision byte = 2
+)
+
+// Decision outcomes.
+const (
+	outcomeAbort  byte = 0
+	outcomeCommit byte = 1
+)
+
+// LogPrepare appends a phase-one prepare record for distributed transaction
+// gtx: the participant's local timestamp and operations, durable before the
+// coordinator may decide commit. It shares LogCommit's failure semantics.
+func (l *Log) LogPrepare(gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.payload = l.payload[:0]
+	l.payload = binary.LittleEndian.AppendUint64(l.payload, twopcMarker)
+	l.payload = append(l.payload, recPrepare)
+	l.payload = binary.LittleEndian.AppendUint64(l.payload, gtx)
+	l.payload = binary.LittleEndian.AppendUint64(l.payload, uint64(ts))
+	l.payload = binary.LittleEndian.AppendUint32(l.payload, uint32(len(ops)))
+	for i := range ops {
+		l.payload = encodeOp(l.payload, &ops[i])
+	}
+	return l.appendPayloadLocked()
+}
+
+// LogDecision appends a phase-two decision record for gtx. On a coordinator
+// log it is the commit point of the distributed transaction; on a
+// participant log it resolves that shard's prepare record so replay needs no
+// coordinator consultation.
+func (l *Log) LogDecision(gtx uint64, commit bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.payload = l.payload[:0]
+	l.payload = binary.LittleEndian.AppendUint64(l.payload, twopcMarker)
+	l.payload = append(l.payload, recDecision)
+	l.payload = binary.LittleEndian.AppendUint64(l.payload, gtx)
+	if commit {
+		l.payload = append(l.payload, outcomeCommit)
+	} else {
+		l.payload = append(l.payload, outcomeAbort)
+	}
+	return l.appendPayloadLocked()
+}
+
+// appendPayloadLocked frames and appends l.payload as one record, sharing
+// LogCommit's single-write, rewind-on-failure, sticky-error discipline.
+// Caller holds l.mu.
+func (l *Log) appendPayloadLocked() error {
+	if l.failed != nil {
+		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+	}
+	l.buf = append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(l.payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(l.payload))
+	l.buf = append(l.buf, l.payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		l.fail(err)
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			l.fail(err)
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		l.syncs++
+	}
+	l.off += int64(len(l.buf))
+	l.appends++
+	l.appendBytes += uint64(len(l.buf))
+	return nil
+}
+
+// record is one decoded log record of any kind.
+type record struct {
+	kind   byte // 0 = plain commit
+	ts     mvto.TS
+	ops    []graph.LoggedOp
+	gtx    uint64
+	commit bool
+}
+
+// decodeRecord decodes a payload of any record type. Plain commit payloads
+// (first u64 != marker) decode exactly as before the 2PC extension.
+func decodeRecord(b []byte) (record, error) {
+	if len(b) >= 8 && binary.LittleEndian.Uint64(b) == twopcMarker {
+		d := &decoder{b: b, off: 8}
+		switch d.u8() {
+		case recPrepare:
+			gtx := d.u64()
+			ts := mvto.TS(d.u64())
+			if ts == mvto.Infinity {
+				return record{}, ErrCorrupt
+			}
+			n := int(d.u32())
+			if d.err != nil || n < 0 || n > 1<<26 {
+				return record{}, ErrCorrupt
+			}
+			ops, err := decodeOps(d, n)
+			if err != nil {
+				return record{}, err
+			}
+			if d.off != len(b) {
+				return record{}, ErrCorrupt
+			}
+			return record{kind: recPrepare, gtx: gtx, ts: ts, ops: ops}, nil
+		case recDecision:
+			gtx := d.u64()
+			outcome := d.u8()
+			if d.err != nil || d.off != len(b) || outcome > outcomeCommit {
+				return record{}, ErrCorrupt
+			}
+			return record{kind: recDecision, gtx: gtx, commit: outcome == outcomeCommit}, nil
+		default:
+			return record{}, ErrCorrupt
+		}
+	}
+	ts, ops, err := decodeCommit(b)
+	if err != nil {
+		return record{}, err
+	}
+	return record{ts: ts, ops: ops}, nil
+}
+
+// DecisionSet is the folded content of a coordinator log: the final outcome
+// of every decided distributed transaction and the highest gtx seen.
+type DecisionSet struct {
+	Outcomes map[uint64]bool // gtx -> committed
+	MaxGtx   uint64
+	// ValidLen/TornTail mirror ReplayStats for torn-tail trimming.
+	ValidLen int64
+	TornTail bool
+}
+
+// Decided reports the outcome recorded for gtx; ok is false when the
+// coordinator never decided it (presumed abort).
+func (d *DecisionSet) Decided(gtx uint64) (commit, ok bool) {
+	if d == nil {
+		return false, false
+	}
+	commit, ok = d.Outcomes[gtx]
+	return commit, ok
+}
+
+// ReadDecisions streams a coordinator log and folds its decision records.
+// A missing file yields an empty set. Torn tails are tolerated exactly like
+// ReplayFS; interior corruption returns ErrCorrupt.
+func ReadDecisions(fsys vfs.FS, path string) (*DecisionSet, error) {
+	if fsys == nil {
+		fsys = vfs.OS()
+	}
+	ds := &DecisionSet{Outcomes: make(map[uint64]bool)}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ds, nil
+		}
+		return nil, fmt.Errorf("wal: decisions open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	err = streamRecords(r, ds, func(rec record) error {
+		if rec.kind != recDecision {
+			return fmt.Errorf("%w: non-decision record in coordinator log", ErrCorrupt)
+		}
+		// Later records win, though a coordinator never re-decides.
+		ds.Outcomes[rec.gtx] = rec.commit
+		if rec.gtx > ds.MaxGtx {
+			ds.MaxGtx = rec.gtx
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// streamRecords drives the shared framed-record scan loop over r, calling fn
+// for each valid record and recording ValidLen/TornTail in ds. It applies
+// the same torn-tail-vs-interior-corruption policy as ReplayFS.
+func streamRecords(r *bufio.Reader, ds *DecisionSet, fn func(record) error) error {
+	tailOrCorrupt := func(off int64, after []byte, what string) error {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return fmt.Errorf("wal: decisions read: %w", err)
+		}
+		scan := make([]byte, 0, len(after)+len(rest))
+		scan = append(append(scan, after...), rest...)
+		if scanForRecord(scan) {
+			return fmt.Errorf("%w: %s at offset %d before further valid records", ErrCorrupt, what, off)
+		}
+		ds.TornTail = true
+		return nil
+	}
+	var off int64
+	hdr := make([]byte, recordHeaderSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if err == io.ErrUnexpectedEOF {
+				ds.TornTail = true
+				break
+			}
+			return fmt.Errorf("wal: decisions read: %w", err)
+		}
+		size := int(binary.LittleEndian.Uint32(hdr))
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if size > 1<<30 {
+			if err := tailOrCorrupt(off, nil, "implausible record size"); err != nil {
+				return err
+			}
+			break
+		}
+		if cap(payload) < size {
+			payload = make([]byte, size)
+		}
+		payload = payload[:size]
+		n, err := io.ReadFull(r, payload)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			if err := tailOrCorrupt(off, payload[:n], "over-long record"); err != nil {
+				return err
+			}
+			break
+		} else if err != nil {
+			return fmt.Errorf("wal: decisions read: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			if err := tailOrCorrupt(off, payload, "checksum mismatch"); err != nil {
+				return err
+			}
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		off += int64(recordHeaderSize + size)
+	}
+	ds.ValidLen = off
+	return nil
+}
+
+// decodeOps decodes n operations from d (the shared op wire format).
+func decodeOps(d *decoder, n int) ([]graph.LoggedOp, error) {
+	ops := make([]graph.LoggedOp, 0, n)
+	for i := 0; i < n; i++ {
+		var op graph.LoggedOp
+		op.Kind = graph.OpKind(d.u8())
+		op.ID = d.u64()
+		switch op.Kind {
+		case graph.OpAddNode:
+			op.Label = d.str()
+			if cnt := int(d.u16()); cnt > 0 {
+				op.Props = make(map[string]graph.Value, cnt)
+				for j := 0; j < cnt; j++ {
+					k := d.str()
+					op.Props[k] = d.value()
+				}
+			}
+		case graph.OpAddRel:
+			op.Src = d.u64()
+			op.Dst = d.u64()
+			op.Label = d.str()
+			op.Weight = math.Float64frombits(d.u64())
+		case graph.OpDeleteNode, graph.OpDeleteRel:
+		case graph.OpSetNodeProp, graph.OpSetRelProp:
+			op.Key = d.str()
+			op.Val = d.value()
+		case graph.OpSetRelWeight:
+			op.Weight = math.Float64frombits(d.u64())
+		default:
+			return nil, ErrCorrupt
+		}
+		if d.err != nil {
+			return nil, d.err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}

@@ -16,7 +16,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -178,25 +177,7 @@ func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
 		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
 	}
 	l.payload = encodeCommit(l.payload[:0], ts, ops)
-	l.buf = append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
-	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(l.payload)))
-	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(l.payload))
-	l.buf = append(l.buf, l.payload...)
-	if _, err := l.f.Write(l.buf); err != nil {
-		l.fail(err)
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			l.fail(err)
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-		l.syncs++
-	}
-	l.off += int64(len(l.buf))
-	l.appends++
-	l.appendBytes += uint64(len(l.buf))
-	return nil
+	return l.appendPayloadLocked()
 }
 
 // fail marks the log failed and rewinds to the last record boundary,
@@ -362,39 +343,9 @@ func decodeCommit(b []byte) (mvto.TS, []graph.LoggedOp, error) {
 	if d.err != nil || n < 0 || n > 1<<26 {
 		return 0, nil, ErrCorrupt
 	}
-	ops := make([]graph.LoggedOp, 0, n)
-	for i := 0; i < n; i++ {
-		var op graph.LoggedOp
-		op.Kind = graph.OpKind(d.u8())
-		op.ID = d.u64()
-		switch op.Kind {
-		case graph.OpAddNode:
-			op.Label = d.str()
-			if cnt := int(d.u16()); cnt > 0 {
-				op.Props = make(map[string]graph.Value, cnt)
-				for j := 0; j < cnt; j++ {
-					k := d.str()
-					op.Props[k] = d.value()
-				}
-			}
-		case graph.OpAddRel:
-			op.Src = d.u64()
-			op.Dst = d.u64()
-			op.Label = d.str()
-			op.Weight = math.Float64frombits(d.u64())
-		case graph.OpDeleteNode, graph.OpDeleteRel:
-		case graph.OpSetNodeProp, graph.OpSetRelProp:
-			op.Key = d.str()
-			op.Val = d.value()
-		case graph.OpSetRelWeight:
-			op.Weight = math.Float64frombits(d.u64())
-		default:
-			return 0, nil, ErrCorrupt
-		}
-		if d.err != nil {
-			return 0, nil, d.err
-		}
-		ops = append(ops, op)
+	ops, err := decodeOps(d, n)
+	if err != nil {
+		return 0, nil, err
 	}
 	if d.off != len(b) {
 		return 0, nil, ErrCorrupt

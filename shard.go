@@ -1,0 +1,230 @@
+package h2tap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"h2tap/internal/analytics"
+	"h2tap/internal/htap"
+	"h2tap/internal/shard"
+)
+
+// Sharded mode. Options.Shards > 1 partitions the engine into N independent
+// domains — each with its own MVTO timestamp oracle, delta store, cost model
+// and simulated GPU replica — coordinated by a two-phase commit protocol for
+// cross-shard transactions and a watermark stitcher for cluster-wide
+// analytics (DESIGN.md §5h). Shards == 0 or 1 is exactly the single-domain
+// engine: none of the sharded machinery is constructed and every code path
+// is byte-identical to previous releases.
+
+// ClusterTx is a read-write transaction on a sharded database. It speaks
+// global IDs; operations route to each node's home shard and commit is
+// atomic across every touched shard.
+type ClusterTx = shard.Tx
+
+// StitchResult is the detailed outcome of a cross-shard analytics request.
+type StitchResult = shard.StitchResult
+
+// Sharded-mode usage errors.
+var (
+	// ErrNotSharded reports a sharded-only call on a single-domain database.
+	ErrNotSharded = errors.New("h2tap: database opened without Shards > 1")
+	// ErrSharded reports a single-domain-only call on a sharded database.
+	ErrSharded = errors.New("h2tap: not supported with Shards > 1")
+)
+
+// openSharded is the Open path for Shards > 1.
+func openSharded(opts Options) (*DB, error) {
+	if opts.Undirected {
+		return nil, fmt.Errorf("%w: Undirected", ErrSharded)
+	}
+	if opts.Observer != nil {
+		return nil, fmt.Errorf("%w: Observer (per-shard observability is not wired yet)", ErrSharded)
+	}
+	c, err := shard.Open(shard.Options{
+		Shards:          opts.Shards,
+		Replica:         opts.Replica,
+		PersistDir:      opts.PersistDir,
+		PersistPoolSize: opts.PersistPoolSize,
+		SyncWAL:         opts.SyncWAL,
+		FS:              opts.FS,
+		EnableCostModel: opts.EnableCostModel,
+		PageRankIters:   opts.PageRankIters,
+		Damping:         opts.Damping,
+		Retry:           opts.Retry,
+		DeltaHighWater:  opts.DeltaHighWater,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{opts: opts, cluster: c}, nil
+}
+
+// Cluster exposes the shard cluster (nil on a single-domain database).
+func (db *DB) Cluster() *shard.Cluster { return db.cluster }
+
+// BeginSharded starts a cluster transaction on a sharded database.
+func (db *DB) BeginSharded() (*ClusterTx, error) {
+	if db.cluster == nil {
+		return nil, ErrNotSharded
+	}
+	return db.cluster.Begin(), nil
+}
+
+// RunAnalyticsStitched executes one cross-shard analytics request and
+// returns the stitched result keyed by global ID (sharded databases only).
+func (db *DB) RunAnalyticsStitched(kind AnalyticsKind, src uint64) (*StitchResult, error) {
+	if db.cluster == nil {
+		return nil, ErrNotSharded
+	}
+	return db.cluster.RunAnalytics(kind, src)
+}
+
+// shardedRunAnalytics adapts a stitched result to the single-domain Result
+// shape: slices indexed by global node ID, with neutral values (unreachable
+// / +Inf / zero) in the slots the composite does not contain.
+func (db *DB) shardedRunAnalytics(kind AnalyticsKind, src NodeID) (*Result, error) {
+	st, err := db.cluster.RunAnalytics(kind, uint64(src))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Kind:      st.Kind,
+		KernelSim: st.KernelSim,
+		HostWall:  st.HostWall,
+		Work:      st.Work,
+	}
+	n := uint64(0)
+	if len(st.GlobalIDs) > 0 {
+		n = st.GlobalIDs[len(st.GlobalIDs)-1] + 1
+	}
+	switch {
+	case st.Levels != nil:
+		res.Levels = make([]int32, n)
+		for i := range res.Levels {
+			res.Levels[i] = analytics.Unreachable
+		}
+		for i, g := range st.GlobalIDs {
+			res.Levels[g] = st.Levels[i]
+		}
+	case st.Dists != nil:
+		res.Dists = make([]float64, n)
+		for i := range res.Dists {
+			res.Dists[i] = math.Inf(1)
+		}
+		for i, g := range st.GlobalIDs {
+			res.Dists[g] = st.Dists[i]
+		}
+	case st.Ranks != nil:
+		res.Ranks = make([]float64, n)
+		for i, g := range st.GlobalIDs {
+			res.Ranks[g] = st.Ranks[i]
+		}
+	case st.Comp != nil:
+		res.Comp = make([]uint64, n)
+		for i := range res.Comp {
+			res.Comp[i] = uint64(i)
+		}
+		for i, g := range st.GlobalIDs {
+			// Component labels are composite indices; translate back to the
+			// global ID of the labeling vertex.
+			res.Comp[g] = st.GlobalIDs[st.Comp[i]]
+		}
+	case st.Coef != nil:
+		res.Coef = make([]float64, n)
+		for i, g := range st.GlobalIDs {
+			res.Coef[g] = st.Coef[i]
+		}
+	}
+	return res, nil
+}
+
+// shardedPropagate runs one propagation cycle on every shard and folds the
+// per-shard reports into one aggregate (records and walls sum; the simulated
+// device times take the slowest shard, matching concurrent execution).
+func (db *DB) shardedPropagate() (*PropagationReport, error) {
+	reports, err := db.cluster.PropagateAll()
+	agg := &PropagationReport{}
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		agg.Triggered = agg.Triggered || rep.Triggered
+		agg.Rebuild = agg.Rebuild || rep.Rebuild
+		if rep.TS > agg.TS {
+			agg.TS = rep.TS
+		}
+		agg.Records += rep.Records
+		agg.Deltas += rep.Deltas
+		agg.ScanWall += rep.ScanWall
+		agg.MergeWall += rep.MergeWall
+		agg.PersistWall += rep.PersistWall
+		if rep.TransferSim > agg.TransferSim {
+			agg.TransferSim = rep.TransferSim
+		}
+		if rep.TransferBusSim > agg.TransferBusSim {
+			agg.TransferBusSim = rep.TransferBusSim
+		}
+		if rep.IngestSim > agg.IngestSim {
+			agg.IngestSim = rep.IngestSim
+		}
+		agg.Attempts += rep.Attempts
+		agg.RetryWall += rep.RetryWall
+	}
+	return agg, err
+}
+
+// shardedStats aggregates per-shard counters and fills the sharded-only
+// fields. The per-shard stores count ghost stand-ins as live rows; here
+// LiveNodes is kept logical (stand-ins subtracted and reported as
+// GhostNodes), so the number means the same thing sharded and not.
+func (db *DB) shardedStats() Stats {
+	c := db.cluster
+	st := Stats{
+		Shards:          c.Shards(),
+		ShardWatermarks: c.Watermarks(),
+		StitchEpoch:     c.Epoch(),
+		CrossTxLive:     c.CrossTxLive(),
+		GhostNodes:      c.GhostNodes(),
+	}
+	for i := 0; i < c.Shards(); i++ {
+		d := c.Domain(i)
+		st.LiveNodes += d.Store.LiveNodes()
+		st.LiveRels += d.Store.LiveRels()
+		st.DeltaRecords += d.DS.Records()
+		st.DeltaBytes += d.DS.ArrayBytes()
+		st.DeltaMode = st.DeltaMode || d.DS.DeltaMode()
+		if e := d.Engine(); e != nil {
+			if ts := uint64(e.ReplicaTS()); ts > st.ReplicaTS {
+				st.ReplicaTS = ts
+			}
+			st.Propagations += e.Propagations()
+			st.Rebuilds += e.Rebuilds()
+			st.DeviceMemUsed += e.Device().MemUsed()
+			if t := e.Device().SimTime(); t > st.DeviceSimTime {
+				st.DeviceSimTime = t
+			}
+			if h, _ := e.Health(); h == htap.Degraded {
+				st.Health = htap.Degraded
+			}
+			st.Retries += e.Retries()
+			st.FallbackRebuilds += e.FallbackRebuilds()
+			st.DegradedCycles += e.DegradedCycles()
+		}
+	}
+	st.LiveNodes -= st.GhostNodes
+	return st
+}
+
+// shardedHealth reports Degraded if any shard's engine is.
+func (db *DB) shardedHealth() (Health, error) {
+	for i := 0; i < db.cluster.Shards(); i++ {
+		if e := db.cluster.Domain(i).Engine(); e != nil {
+			if h, err := e.Health(); h == htap.Degraded {
+				return h, fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return Healthy, nil
+}

@@ -1,0 +1,365 @@
+package h2tap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The differential suite drives identical randomized logical workloads into
+// a single-domain database and sharded ones (N ∈ {2, 4, 8}) and requires the
+// stitched cross-shard analytics to equal the single-domain results at the
+// same logical content: same vertex-slot count, exact BFS levels, SSSP and
+// PageRank within float tolerance, identical WCC partition structure. Node
+// and relationship IDs differ between configurations (sharded IDs encode
+// their placement), so everything is compared through logical handles.
+
+// rwTx is the operation surface shared by *Tx and *ClusterTx.
+type rwTx interface {
+	AddNode(label string, props map[string]Value) (uint64, error)
+	AddRel(src, dst uint64, label string, weight float64) (uint64, error)
+	DeleteRel(rel uint64) error
+	DeleteNode(node uint64) error
+	SetNodeProp(node uint64, key string, val Value) error
+	Commit() error
+	Abort() error
+}
+
+// diffTarget is one database under differential test plus its logical→actual
+// ID maps.
+type diffTarget struct {
+	db    *DB
+	nodes map[int]uint64
+	rels  map[int]uint64
+}
+
+func (d *diffTarget) begin(t *testing.T) rwTx {
+	t.Helper()
+	if d.db.Cluster() != nil {
+		tx, err := d.db.BeginSharded()
+		if err != nil {
+			t.Fatalf("BeginSharded: %v", err)
+		}
+		return tx
+	}
+	return d.db.Begin()
+}
+
+// logicalOp is one generated operation in logical-handle space.
+type logicalOp struct {
+	kind     string // "addnode", "addrel", "delrel", "delnode", "setprop"
+	node     int    // addnode (new handle), delnode, setprop
+	rel      int    // addrel (new handle), delrel
+	src, dst int    // addrel
+}
+
+// diffModel is the logical graph the generator draws valid operations from.
+type diffModel struct {
+	nextNode, nextRel int
+	liveNodes         map[int]bool
+	liveRels          map[int][2]int // rel handle -> (src, dst) handles
+}
+
+func (m *diffModel) randLiveNode(rng *rand.Rand) int {
+	keys := make([]int, 0, len(m.liveNodes))
+	for k := range m.liveNodes {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return -1
+	}
+	// Deterministic order before sampling: map iteration must not leak into
+	// the generated workload.
+	sortInts(keys)
+	return keys[rng.Intn(len(keys))]
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func (m *diffModel) randLiveRel(rng *rand.Rand) int {
+	keys := make([]int, 0, len(m.liveRels))
+	for k := range m.liveRels {
+		keys = append(keys, k)
+	}
+	if len(keys) == 0 {
+		return -1
+	}
+	sortInts(keys)
+	return keys[rng.Intn(len(keys))]
+}
+
+// genTx generates one transaction's operations, mutating the model as it
+// goes (later ops in the tx see earlier ones). It returns the ops and an
+// undo snapshot taken before generation, for aborted transactions.
+func (m *diffModel) snapshot() diffModel {
+	s := diffModel{nextNode: m.nextNode, nextRel: m.nextRel,
+		liveNodes: make(map[int]bool, len(m.liveNodes)),
+		liveRels:  make(map[int][2]int, len(m.liveRels))}
+	for k := range m.liveNodes {
+		s.liveNodes[k] = true
+	}
+	for k, v := range m.liveRels {
+		s.liveRels[k] = v
+	}
+	return s
+}
+
+func (m *diffModel) genTx(rng *rand.Rand) []logicalOp {
+	n := 1 + rng.Intn(5)
+	ops := make([]logicalOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch p := rng.Float64(); {
+		case p < 0.40 || len(m.liveNodes) < 2:
+			h := m.nextNode
+			m.nextNode++
+			m.liveNodes[h] = true
+			ops = append(ops, logicalOp{kind: "addnode", node: h})
+		case p < 0.75:
+			// The store enforces (src,dst) uniqueness; draw a pair not
+			// currently live (bounded retries, else skip the op).
+			for tries := 0; tries < 8; tries++ {
+				src, dst := m.randLiveNode(rng), m.randLiveNode(rng)
+				dup := false
+				for _, ends := range m.liveRels {
+					if ends[0] == src && ends[1] == dst {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				h := m.nextRel
+				m.nextRel++
+				m.liveRels[h] = [2]int{src, dst}
+				ops = append(ops, logicalOp{kind: "addrel", rel: h, src: src, dst: dst})
+				break
+			}
+		case p < 0.85:
+			if h := m.randLiveRel(rng); h >= 0 {
+				delete(m.liveRels, h)
+				ops = append(ops, logicalOp{kind: "delrel", rel: h})
+			}
+		case p < 0.93:
+			if h := m.randLiveNode(rng); h >= 0 {
+				delete(m.liveNodes, h)
+				for rh, ends := range m.liveRels {
+					if ends[0] == h || ends[1] == h {
+						delete(m.liveRels, rh)
+					}
+				}
+				ops = append(ops, logicalOp{kind: "delnode", node: h})
+			}
+		default:
+			if h := m.randLiveNode(rng); h >= 0 {
+				ops = append(ops, logicalOp{kind: "setprop", node: h})
+			}
+		}
+	}
+	return ops
+}
+
+// apply replays one logical op into a target's open transaction.
+func (d *diffTarget) apply(t *testing.T, tx rwTx, op logicalOp) {
+	t.Helper()
+	var err error
+	switch op.kind {
+	case "addnode":
+		d.nodes[op.node], err = tx.AddNode("V", nil)
+	case "addrel":
+		d.rels[op.rel], err = tx.AddRel(d.nodes[op.src], d.nodes[op.dst], "e", 1+float64(op.rel%7))
+	case "delrel":
+		err = tx.DeleteRel(d.rels[op.rel])
+	case "delnode":
+		err = tx.DeleteNode(d.nodes[op.node])
+	case "setprop":
+		err = tx.SetNodeProp(d.nodes[op.node], "k", Int(int64(op.node)))
+	}
+	if err != nil {
+		t.Fatalf("%s (logical node %d rel %d): %v", op.kind, op.node, op.rel, err)
+	}
+}
+
+// stitchedByGID maps a stitched result's slice into global-ID keyed lookups.
+func stitchedByGID[T any](gids []uint64, vals []T) map[uint64]T {
+	m := make(map[uint64]T, len(gids))
+	for i, g := range gids {
+		m[g] = vals[i]
+	}
+	return m
+}
+
+func TestShardedAnalyticsMatchSingleDomain(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(map[int]string{2: "N2", 4: "N4", 8: "N8"}[shards], func(t *testing.T) {
+			single, err := Open(Options{})
+			if err != nil {
+				t.Fatalf("Open single: %v", err)
+			}
+			defer single.Close()
+			sharded, err := Open(Options{Shards: shards})
+			if err != nil {
+				t.Fatalf("Open sharded: %v", err)
+			}
+			defer sharded.Close()
+
+			targets := []*diffTarget{
+				{db: single, nodes: map[int]uint64{}, rels: map[int]uint64{}},
+				{db: sharded, nodes: map[int]uint64{}, rels: map[int]uint64{}},
+			}
+
+			rng := rand.New(rand.NewSource(int64(1000 + shards)))
+			model := &diffModel{liveNodes: map[int]bool{}, liveRels: map[int][2]int{}}
+			txCount := 150
+			if testing.Short() {
+				txCount = 40
+			}
+			for i := 0; i < txCount; i++ {
+				before := model.snapshot()
+				ops := model.genTx(rng)
+				abort := rng.Float64() < 0.12
+				for _, d := range targets {
+					tx := d.begin(t)
+					for _, op := range ops {
+						d.apply(t, tx, op)
+					}
+					if abort {
+						if err := tx.Abort(); err != nil {
+							t.Fatalf("Abort: %v", err)
+						}
+					} else if err := tx.Commit(); err != nil {
+						t.Fatalf("Commit: %v", err)
+					}
+				}
+				if abort {
+					*model = before
+				}
+			}
+			if len(model.liveNodes) == 0 {
+				t.Fatalf("degenerate workload: no live nodes")
+			}
+			src := model.randLiveNode(rng)
+
+			// Stats must be logical: LiveNodes/LiveRels identical to the
+			// single domain's, ghost stand-ins reported separately.
+			sst, shst := single.Stats(), sharded.Stats()
+			if shst.LiveNodes != sst.LiveNodes || shst.LiveRels != sst.LiveRels {
+				t.Fatalf("sharded stats %d nodes/%d rels (+%d ghosts), single domain %d/%d",
+					shst.LiveNodes, shst.LiveRels, shst.GhostNodes, sst.LiveNodes, sst.LiveRels)
+			}
+
+			for _, kind := range []AnalyticsKind{BFS, SSSP, PageRank, WCC} {
+				sres, err := single.RunAnalytics(kind, targets[0].nodes[src])
+				if err != nil {
+					t.Fatalf("single %v: %v", kind, err)
+				}
+				st, err := sharded.RunAnalyticsStitched(kind, targets[1].nodes[src])
+				if err != nil {
+					t.Fatalf("stitched %v: %v", kind, err)
+				}
+
+				// The composite must cover exactly the single-domain vertex
+				// slots: same allocation count, ghosts excluded.
+				var n int
+				switch kind {
+				case BFS:
+					n = len(sres.Levels)
+				case SSSP:
+					n = len(sres.Dists)
+				case PageRank:
+					n = len(sres.Ranks)
+				case WCC:
+					n = len(sres.Comp)
+				}
+				if len(st.GlobalIDs) != n {
+					t.Fatalf("%v: composite has %d vertices, single domain has %d",
+						kind, len(st.GlobalIDs), n)
+				}
+
+				switch kind {
+				case BFS:
+					lvl := stitchedByGID(st.GlobalIDs, st.Levels)
+					for ln := range model.liveNodes {
+						got, want := lvl[targets[1].nodes[ln]], sres.Levels[targets[0].nodes[ln]]
+						if got != want {
+							t.Fatalf("BFS: logical node %d level %d (sharded) != %d (single)", ln, got, want)
+						}
+					}
+				case SSSP:
+					dist := stitchedByGID(st.GlobalIDs, st.Dists)
+					for ln := range model.liveNodes {
+						got, want := dist[targets[1].nodes[ln]], sres.Dists[targets[0].nodes[ln]]
+						if math.IsInf(got, 1) != math.IsInf(want, 1) ||
+							(!math.IsInf(got, 1) && math.Abs(got-want) > 1e-9) {
+							t.Fatalf("SSSP: logical node %d dist %g (sharded) != %g (single)", ln, got, want)
+						}
+					}
+				case PageRank:
+					rank := stitchedByGID(st.GlobalIDs, st.Ranks)
+					for ln := range model.liveNodes {
+						got, want := rank[targets[1].nodes[ln]], sres.Ranks[targets[0].nodes[ln]]
+						if math.Abs(got-want) > 1e-9 {
+							t.Fatalf("PageRank: logical node %d rank %.15f (sharded) != %.15f (single)", ln, got, want)
+						}
+					}
+				case WCC:
+					// Component labels live in different ID spaces; compare
+					// the partition structure instead.
+					comp := stitchedByGID(st.GlobalIDs, st.Comp)
+					singleGroups := map[uint64][]int{}
+					shardGroups := map[uint64][]int{}
+					for ln := range model.liveNodes {
+						singleGroups[sres.Comp[targets[0].nodes[ln]]] = append(singleGroups[sres.Comp[targets[0].nodes[ln]]], ln)
+						shardGroups[comp[targets[1].nodes[ln]]] = append(shardGroups[comp[targets[1].nodes[ln]]], ln)
+					}
+					if len(singleGroups) != len(shardGroups) {
+						t.Fatalf("WCC: %d components (single) != %d (sharded)", len(singleGroups), len(shardGroups))
+					}
+					canon := func(groups map[uint64][]int) map[int][]int {
+						out := map[int][]int{}
+						for _, g := range groups {
+							sortInts(g)
+							out[g[0]] = g
+						}
+						return out
+					}
+					sg, hg := canon(singleGroups), canon(shardGroups)
+					for rep, g := range sg {
+						h, ok := hg[rep]
+						if !ok || len(h) != len(g) {
+							t.Fatalf("WCC: component of logical node %d differs", rep)
+						}
+						for i := range g {
+							if g[i] != h[i] {
+								t.Fatalf("WCC: component of logical node %d differs at member %d", rep, i)
+							}
+						}
+					}
+				}
+			}
+
+			// The adapted facade Result must agree with the single-domain
+			// arrays on live nodes too (global-ID indexed scatter).
+			fres, err := sharded.RunAnalytics(BFS, targets[1].nodes[src])
+			if err != nil {
+				t.Fatalf("sharded facade BFS: %v", err)
+			}
+			sres, err := single.RunAnalytics(BFS, targets[0].nodes[src])
+			if err != nil {
+				t.Fatalf("single BFS: %v", err)
+			}
+			for ln := range model.liveNodes {
+				if fres.Levels[targets[1].nodes[ln]] != sres.Levels[targets[0].nodes[ln]] {
+					t.Fatalf("facade scatter: logical node %d level mismatch", ln)
+				}
+			}
+		})
+	}
+}
