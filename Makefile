@@ -19,23 +19,31 @@ test:
 	$(GO) test ./...
 
 # race runs the suite under the race detector, including the propagation
-# stress tests (committers racing Propagate cycles) and the sharded
-# stitch-tearing test. Crash enumeration runs with the -short budget here:
-# its full sweeps (single-domain + 2PC) are minutes-long even without the
-# race detector and have their own targets (crash-full).
+# stress tests (committers racing Propagate cycles), the sharded
+# stitch-tearing test, and a dedicated pass over the WAL group-commit
+# leader/follower protocol (concurrent committers sharing batches, racing
+# rotation and injected failures). Crash enumeration runs with the -short
+# budget here: its full sweeps (single-domain + 2PC) are minutes-long even
+# without the race detector and have their own targets (crash-full).
 race:
 	$(GO) test -race -short ./internal/crashtest
+	$(GO) test -race -run 'TestGroupCommit' -count 4 ./internal/wal
 	$(GO) test -race $$($(GO) list ./... | grep -v internal/crashtest)
 
 # bench-record stores the propagation benchmark series (Fig 10 kernels plus
-# the parallel-merge ablation and the shard-scaling series) for comparison
-# across changes.
+# the parallel-merge ablation and the shard-scaling series), the durable
+# group-commit scaling series, and the commit allocs/op reading for
+# comparison across changes.
 bench-record:
 	$(GO) test . -run '^$$' -bench 'BenchmarkFig10|BenchmarkAblationParallelMerge|BenchmarkShardScaling' -benchtime 3x | tee bench_record.txt
+	$(GO) test . -run '^$$' -bench 'BenchmarkDurableCommitScaling|BenchmarkCommitAllocs' -benchtime 100x | tee -a bench_record.txt
 
 # verify-bench fails if the 8-worker scan+merge pipeline is slower than the
-# serial path beyond noise, or if the sharded single-participant commit fast
-# path regresses toward 2PC cost (see benchguard_test.go for thresholds).
+# serial path beyond noise, if the sharded single-participant commit fast
+# path regresses toward 2PC cost, if WAL group commit stops scaling durable
+# commits (≥3× over the serialized baseline at 8 committers), or if the
+# commit hot path allocates past its budget (see benchguard_test.go and
+# walbench_test.go for thresholds).
 verify-bench:
 	H2TAP_VERIFY_BENCH=1 $(GO) test . -run 'TestVerifyBench' -v
 

@@ -37,7 +37,9 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 for ephemeral)")
 		persist      = flag.String("persist", "", "persistence directory (empty = volatile)")
 		poolSize     = flag.Int64("pool-size", 0, "persistent pool size in bytes (0 = 1 GiB default)")
-		syncWAL      = flag.Bool("sync-wal", false, "fsync the WAL on every commit")
+		syncWAL      = flag.Bool("sync-wal", false, "fsync the WAL on every commit batch")
+		gcMaxBatch   = flag.Int("gc-max-batch", 0, "max commits per WAL group-commit batch (0 = default 64, 1 = serialized)")
+		gcMaxDelay   = flag.Duration("gc-max-delay", 0, "how long a group-commit leader lingers for joiners (0 = flush immediately)")
 		replica      = flag.String("replica", "static", "replica kind: static | dynamic")
 		undirected   = flag.Bool("undirected", false, "undirected main graph")
 		highWater    = flag.Uint64("high-water", 1_000_000, "delta-store high-water mark (0 = no backpressure)")
@@ -60,6 +62,7 @@ func main() {
 		PersistDir:      *persist,
 		PersistPoolSize: *poolSize,
 		SyncWAL:         *syncWAL,
+		GroupCommit:     h2tap.GroupCommit{MaxBatch: *gcMaxBatch, MaxDelay: *gcMaxDelay},
 		Undirected:      *undirected,
 		DeltaHighWater:  *highWater,
 	}

@@ -89,6 +89,9 @@ type (
 	Observer = obs.Observer
 	// ObsServer is a running observability HTTP listener.
 	ObsServer = obs.Server
+	// GroupCommit tunes WAL group commit: how many commits may share one
+	// write+fsync and how long a batch leader may linger for joiners.
+	GroupCommit = wal.GroupCommit
 )
 
 // NewObserver returns an Observer with every metric family pre-registered.
@@ -164,6 +167,11 @@ type Options struct {
 	// over throughput); without it the OS decides when bytes hit stable
 	// storage.
 	SyncWAL bool
+	// GroupCommit tunes the WAL's group commit (zero values select the
+	// defaults: batches up to 64 commits, no artificial delay). It applies
+	// to every log the database writes — the main-graph WAL, per-shard
+	// WALs, and the cross-shard coordinator decision log.
+	GroupCommit GroupCommit
 	// FS overrides the filesystem the WAL and persistent pools use (nil
 	// selects the real one). The crash-fault harness injects one here.
 	FS FS
@@ -385,7 +393,11 @@ func Open(opts Options) (_ *DB, err error) {
 			}
 		}
 	}
-	if db.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: opts.SyncWAL, FS: fsys}); err != nil {
+	if db.wal, err = wal.Open(walPath, wal.Options{
+		SyncEveryCommit: opts.SyncWAL,
+		GroupCommit:     opts.GroupCommit,
+		FS:              fsys,
+	}); err != nil {
 		return nil, err
 	}
 	db.store.AddOpLogger(deltaGuard{db.ds})
@@ -416,6 +428,15 @@ func (db *DB) wireWALObs() {
 	o.Reg.CounterFunc("h2tap_wal_fsyncs_total",
 		"Fsyncs issued on the WAL append path (SyncWAL mode).",
 		func() float64 { return float64(w.Stats().Syncs) })
+	o.Reg.CounterFunc("h2tap_wal_batches_total",
+		"Group-commit batches flushed (one write, at most one fsync each).",
+		func() float64 { return float64(w.Stats().Batches) })
+	o.Reg.GaugeFunc("h2tap_wal_batch_max_records",
+		"Largest number of commit records that shared one flush.",
+		func() float64 { return float64(w.Stats().MaxBatch) })
+	o.Reg.CounterFunc("h2tap_wal_flush_seconds_total",
+		"Wall time spent inside WAL batch flushes (write + fsync).",
+		func() float64 { return float64(w.Stats().FlushNanos) / 1e9 })
 }
 
 // ServeObs starts the observability HTTP listener (e.g. "127.0.0.1:0" for

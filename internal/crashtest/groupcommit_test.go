@@ -1,0 +1,62 @@
+package crashtest
+
+import (
+	"testing"
+
+	"h2tap/internal/faultinject"
+	"h2tap/internal/vfs"
+)
+
+// TestGroupCommitCleanRun checks the workload itself before any crashes are
+// injected: all commits ack, recovery on the untouched directory sees every
+// one of them, and the fsync slowdown actually produces multi-record batches
+// (otherwise the enumeration never exercises a torn batch).
+func TestGroupCommitCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultinject.New(vfs.SlowSync(vfs.OS(), gcFsyncDelay))
+	p := &gcProgress{started: make(map[gcMark]bool), acked: make(map[gcMark]bool)}
+	if err := groupCommitWorkload(dir, fsys, p); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if len(p.acked) != gcWorkers*gcPerWorker {
+		t.Fatalf("clean run acked %d commits, want %d", len(p.acked), gcWorkers*gcPerWorker)
+	}
+	n, err := recoverAndCheckGC(dir, p)
+	if err != nil {
+		t.Fatalf("clean-run recovery: %v", err)
+	}
+	if n != gcWorkers*gcPerWorker {
+		t.Fatalf("recovered %d commits, want %d", n, gcWorkers*gcPerWorker)
+	}
+	t.Logf("clean run: %d persist points for %d commits", fsys.Ops(), n)
+}
+
+// TestGroupCommitCrashEnumeration crashes the concurrent
+// committers-vs-Checkpoint workload at every persist point (an evenly
+// spaced sample in -short mode), in both tear modes, and requires the
+// group-commit recovery invariants — acked commits durable, no invented
+// commits, per-worker contiguous prefixes, service resumption — at every
+// point.
+func TestGroupCommitCrashEnumeration(t *testing.T) {
+	maxPerMode := 0
+	if testing.Short() {
+		maxPerMode = 20
+	}
+	rep, err := EnumerateGroupCommit(t.TempDir(), maxPerMode, nil)
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	// 20 commits + 3 checkpoints must expose a healthy spread of persist
+	// points even when batching collapses many commits into one flush.
+	if rep.Points < 20 {
+		t.Fatalf("workload has %d persist points, want >= 20", rep.Points)
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			t.Errorf("crash at op %d/%d (%s), %d commits acked: %v",
+				r.Point, rep.Points, r.Tear, r.Completed, r.Err)
+		}
+	}
+	t.Logf("enumerated %d crashes over %d persist points, %d failures",
+		len(rep.Results), rep.Points, rep.Failures)
+}

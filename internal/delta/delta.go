@@ -68,8 +68,29 @@ func (b *Builder) at(node uint64) *NodeDelta {
 		return &b.nodes[i]
 	}
 	b.byNode[node] = len(b.nodes)
+	if len(b.nodes) < cap(b.nodes) {
+		// Reclaim a slot (and its Ins/Del backing arrays) left behind by an
+		// earlier transaction through this pooled builder.
+		b.nodes = b.nodes[:len(b.nodes)+1]
+		d := &b.nodes[len(b.nodes)-1]
+		d.Node = node
+		d.Inserted, d.Deleted = false, false
+		d.Ins = d.Ins[:0]
+		d.Del = d.Del[:0]
+		return d
+	}
 	b.nodes = append(b.nodes, NodeDelta{Node: node})
 	return &b.nodes[len(b.nodes)-1]
+}
+
+// Reset clears the builder for reuse by a new transaction, retaining the
+// node-slot and edge-list backing arrays. Deltas built from the previous
+// use alias that storage, so Reset may only run once every capturer is done
+// with them (the Capturer no-retain contract).
+func (b *Builder) Reset() {
+	clear(b.byNode)
+	b.nodes = b.nodes[:0]
+	clear(b.reIns)
 }
 
 // InsertNode records that the transaction created node.
@@ -85,8 +106,8 @@ func (b *Builder) DeleteNode(node uint64) {
 	d := b.at(node)
 	d.Deleted = true
 	d.Inserted = false
-	d.Ins = nil
-	d.Del = nil
+	d.Ins = d.Ins[:0]
+	d.Del = d.Del[:0]
 	for k := range b.reIns {
 		if k[0] == node {
 			delete(b.reIns, k)
@@ -156,14 +177,25 @@ func (b *Builder) DeleteEdge(src, dst uint64) {
 // Build finalizes the transaction's delta with the commit timestamp.
 // Untouched (all-zero) node entries are dropped.
 func (b *Builder) Build(ts mvto.TS) *TxDelta {
-	out := make([]NodeDelta, 0, len(b.nodes))
-	for _, d := range b.nodes {
+	return b.BuildInto(ts, &TxDelta{})
+}
+
+// BuildInto is Build into caller-owned storage: out's node slice is reused
+// (truncated and refilled), so a pooled transaction commits without
+// allocating its delta. The returned delta's edge lists alias the builder's
+// storage — valid only until the builder's next Reset, which is what the
+// Capturer no-retain contract guarantees capturers respect.
+func (b *Builder) BuildInto(ts mvto.TS, out *TxDelta) *TxDelta {
+	out.TS = ts
+	out.Nodes = out.Nodes[:0]
+	for i := range b.nodes {
+		d := &b.nodes[i]
 		if !d.Inserted && !d.Deleted && len(d.Ins) == 0 && len(d.Del) == 0 {
 			continue
 		}
-		out = append(out, d)
+		out.Nodes = append(out.Nodes, *d)
 	}
-	return &TxDelta{TS: ts, Nodes: out}
+	return out
 }
 
 // Len reports the number of node deltas accumulated so far.
@@ -173,6 +205,12 @@ func (b *Builder) Len() int { return len(b.nodes) }
 // R) and by the no-op baseline. The main graph invokes Capture from each
 // transaction's commit hook, so stores only ever see committed updates
 // (§5.1: append at commit avoids undo).
+//
+// No-retain contract: d, d.Nodes and the edge lists inside it are only
+// valid for the duration of the Capture call — the committing transaction's
+// pooled builder storage backs them and is reused by a later transaction.
+// A capturer that needs the data past return must copy it (every production
+// capturer already encodes or materializes into its own storage).
 type Capturer interface {
 	Capture(d *TxDelta)
 }

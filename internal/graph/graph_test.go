@@ -11,16 +11,25 @@ import (
 	"h2tap/internal/mvto"
 )
 
-// recordingCapturer remembers every captured delta.
+// recordingCapturer remembers every captured delta. Per the Capturer
+// no-retain contract the delta aliases pooled builder storage, so it deep-
+// copies what it keeps.
 type recordingCapturer struct {
 	mu     sync.Mutex
 	deltas []*delta.TxDelta
 }
 
 func (c *recordingCapturer) Capture(d *delta.TxDelta) {
+	cp := &delta.TxDelta{TS: d.TS, Nodes: make([]delta.NodeDelta, len(d.Nodes))}
+	for i := range d.Nodes {
+		n := d.Nodes[i]
+		n.Ins = append([]delta.Edge(nil), n.Ins...)
+		n.Del = append([]uint64(nil), n.Del...)
+		cp.Nodes[i] = n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.deltas = append(c.deltas, d)
+	c.deltas = append(c.deltas, cp)
 }
 
 func (c *recordingCapturer) all() []*delta.TxDelta {

@@ -99,7 +99,7 @@ func (s *Store) logCommit(ts mvto.TS, ops []LoggedOp) error {
 // logOp appends to the transaction's op list when logging is enabled.
 func (tx *Tx) logOp(op LoggedOp) {
 	if tx.s.logging.Load() {
-		tx.ops = append(tx.ops, op)
+		tx.st.ops = append(tx.st.ops, op)
 	}
 }
 

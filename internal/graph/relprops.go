@@ -53,7 +53,7 @@ func (tx *Tx) SetRelProp(id RelID, key string, val Value) error {
 	if err != nil {
 		return err
 	}
-	next := &objVersion{}
+	next := tx.st.newVersion()
 	next.meta.InitInsert(ts)
 	keyCode := tx.s.dict.Code(key)
 	old, err := beginWrite(&r.chain, &r.versions, ts, next, func(newest *objVersion) {
@@ -68,8 +68,7 @@ func (tx *Tx) SetRelProp(id RelID, key string, val Value) error {
 	if err != nil {
 		return fmt.Errorf("update relationship %d: %w", id, err)
 	}
-	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, next, ts) })
-	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
+	tx.addHook(txHook{chain: &r.chain, versions: &r.versions, v: next, old: old})
 	tx.logOp(LoggedOp{Kind: OpSetRelProp, ID: id, Key: key, Val: val})
 	return nil
 }
@@ -87,7 +86,8 @@ func (tx *Tx) SetRelWeight(id RelID, weight float64) error {
 	if err != nil {
 		return err
 	}
-	next := &objVersion{weight: weight}
+	next := tx.st.newVersion()
+	next.weight = weight
 	next.meta.InitInsert(ts)
 	old, err := beginWrite(&r.chain, &r.versions, ts, next, func(newest *objVersion) {
 		next.props = newest.props // property state carries over unchanged
@@ -95,11 +95,10 @@ func (tx *Tx) SetRelWeight(id RelID, weight float64) error {
 	if err != nil {
 		return fmt.Errorf("update relationship %d weight: %w", id, err)
 	}
-	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, next, ts) })
-	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
-	tx.b.InsertEdge(r.src, r.dst, weight)
+	tx.addHook(txHook{chain: &r.chain, versions: &r.versions, v: next, old: old})
+	tx.st.b.InsertEdge(r.src, r.dst, weight)
 	if tx.s.undirected && r.src != r.dst {
-		tx.b.InsertEdge(r.dst, r.src, weight)
+		tx.st.b.InsertEdge(r.dst, r.src, weight)
 	}
 	tx.logOp(LoggedOp{Kind: OpSetRelWeight, ID: id, Weight: weight})
 	return nil

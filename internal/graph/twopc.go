@@ -37,8 +37,13 @@ type PreparedTx struct {
 // the phases no concurrent transaction can observe or overwrite its
 // uncommitted state.
 func (tx *Tx) PrepareCommit(log func(ts mvto.TS, ops []LoggedOp) error) (*PreparedTx, error) {
+	st := tx.st
+	if st == nil {
+		return nil, mvto.ErrTxnDone
+	}
 	if tx.poisoned != nil {
-		tx.m.Abort()
+		tx.m.AbortWith(st.rollback)
+		tx.release()
 		return nil, fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
 	}
 	if tx.m.Status() != mvto.Active {
@@ -46,9 +51,10 @@ func (tx *Tx) PrepareCommit(log func(ts mvto.TS, ops []LoggedOp) error) (*Prepar
 	}
 	tx.s.commitGate.RLock()
 	if log != nil {
-		if err := log(tx.m.TS(), tx.ops); err != nil {
+		if err := log(tx.m.TS(), st.ops); err != nil {
 			tx.s.commitGate.RUnlock()
-			tx.m.Abort()
+			tx.m.AbortWith(st.rollback)
+			tx.release()
 			return nil, fmt.Errorf("graph: prepare write-ahead log: %w", err)
 		}
 	}
@@ -59,8 +65,9 @@ func (tx *Tx) PrepareCommit(log func(ts mvto.TS, ops []LoggedOp) error) (*Prepar
 func (p *PreparedTx) TS() mvto.TS { return p.tx.m.TS() }
 
 // Ops exposes the prepared operations (for coordinator bookkeeping). The
-// slice must not be modified.
-func (p *PreparedTx) Ops() []LoggedOp { return p.tx.ops }
+// slice must not be modified or retained past Finish — it is pooled
+// transaction state.
+func (p *PreparedTx) Ops() []LoggedOp { return p.tx.st.ops }
 
 // Finish runs phase two: with commit=true the decision is logged (decide,
 // typically appending a local decision record; errors are surfaced but do
@@ -75,12 +82,15 @@ func (p *PreparedTx) Finish(commit bool, decide func() error) error {
 	}
 	p.done = true
 	tx := p.tx
-	defer tx.s.commitGate.RUnlock()
+	st := tx.st
 	if !commit {
 		if decide != nil {
 			decide() // best-effort: an unreadable abort record still presumes abort
 		}
-		return tx.m.Abort()
+		err := tx.m.AbortWith(st.rollback)
+		tx.release()
+		tx.s.commitGate.RUnlock()
+		return err
 	}
 	var decideErr error
 	if decide != nil {
@@ -89,8 +99,11 @@ func (p *PreparedTx) Finish(commit bool, decide func() error) error {
 	// Same ordering invariant as Tx.Commit: capture the delta before the
 	// MVTO publish unlocks the touched objects, so concurrent captures land
 	// in timestamp order.
-	tx.s.capture(tx.b.Build(tx.m.TS()))
-	if err := tx.m.Commit(); err != nil {
+	tx.s.capture(st.b.BuildInto(tx.m.TS(), &st.d))
+	err := tx.m.CommitWith(st.publish)
+	tx.release()
+	tx.s.commitGate.RUnlock()
+	if err != nil {
 		return err
 	}
 	if decideErr != nil {

@@ -3,6 +3,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"h2tap/internal/delta"
 	"h2tap/internal/mvto"
@@ -66,14 +68,6 @@ func beginWrite(chain *mvto.VersionChain, versions *[]*objVersion, ts mvto.TS, n
 	return newest, nil
 }
 
-// undoWrite reverses beginWrite on abort: the new version leaves the chain
-// and the old version's validity window reopens.
-func undoWrite(chain *mvto.VersionChain, versions *[]*objVersion, old, next *objVersion, ts mvto.TS) {
-	removeVersion(chain, versions, next)
-	old.meta.SetETS(mvto.Infinity)
-	next.meta.Unlock(ts)
-}
-
 func removeVersion(chain *mvto.VersionChain, versions *[]*objVersion, v *objVersion) {
 	chain.Lock()
 	defer chain.Unlock()
@@ -98,17 +92,115 @@ type RelInfo struct {
 // Tx is a read-write transaction on the Store. It follows the MVTO access
 // conditions of §2.3 and, at commit, hands its topology footprint to the
 // store's delta capturers (§4.2). A Tx is used by one goroutine.
+//
+// The Tx itself is allocated fresh per Begin (so a stale handle kept past
+// Commit/Abort sees a terminal status, never a recycled transaction), but
+// everything it accumulates — delta builder, op log, version-publication
+// hooks, built delta — lives in a pooled txState recycled across
+// transactions, keeping the commit hot path allocation-free.
 type Tx struct {
 	s        *Store
-	m        *mvto.Txn
-	b        *delta.Builder
-	ops      []LoggedOp // logical op log, populated when a logger is registered
+	m        mvto.Txn // by value: status stays terminal after finish
+	st       *txState // pooled accumulation state; nil once finished
 	poisoned error
+}
+
+// txHook is the version-publication work of one write operation, held in a
+// reusable array instead of per-op closures. Commit unlocks the appended
+// version and settles the live counter; abort removes the appended version
+// from its chain, reopens the superseded version's validity window, and
+// unlocks — exactly the pairs the closure-based hooks used to register.
+type txHook struct {
+	chain    *mvto.VersionChain
+	versions *[]*objVersion
+	v        *objVersion   // version this transaction appended
+	old      *objVersion   // superseded version (nil for inserts)
+	live     *atomic.Int64 // live-object counter (nil for property updates)
+	delta    int64         // counter bump on commit
+}
+
+func (h *txHook) commit(ts mvto.TS) {
+	h.v.meta.Unlock(ts)
+	if h.live != nil {
+		h.live.Add(h.delta)
+	}
+}
+
+func (h *txHook) abort(ts mvto.TS) {
+	removeVersion(h.chain, h.versions, h.v)
+	if h.old != nil {
+		h.old.meta.SetETS(mvto.Infinity)
+	}
+	h.v.meta.Unlock(ts)
+}
+
+// verChunkSize is the version-arena granularity: one allocation hands out
+// this many objVersions. Versions outlive the transaction (they join the
+// store's chains), so the arena amortizes allocation, it does not recycle.
+const verChunkSize = 32
+
+// txState is the pooled per-transaction accumulation state.
+type txState struct {
+	ts       mvto.TS
+	b        *delta.Builder
+	d        delta.TxDelta // reusable Build target
+	ops      []LoggedOp    // logical op log, populated when a logger is registered
+	hooks    []txHook
+	verChunk []objVersion // bump arena for version objects
+	publish  func(mvto.TS) // prebound: runs hooks forward
+	rollback func()        // prebound: runs hooks in reverse with st.ts
+}
+
+var txStatePool = sync.Pool{New: func() any {
+	st := &txState{b: delta.NewBuilder()}
+	st.publish = func(ts mvto.TS) {
+		for i := range st.hooks {
+			st.hooks[i].commit(ts)
+		}
+	}
+	st.rollback = func() {
+		for i := len(st.hooks) - 1; i >= 0; i-- {
+			st.hooks[i].abort(st.ts)
+		}
+	}
+	return st
+}}
+
+// addHook records one write's publication/rollback work.
+func (tx *Tx) addHook(h txHook) { tx.st.hooks = append(tx.st.hooks, h) }
+
+// newVersion hands out one version object from the state's bump arena.
+func (st *txState) newVersion() *objVersion {
+	if len(st.verChunk) == 0 {
+		st.verChunk = make([]objVersion, verChunkSize)
+	}
+	v := &st.verChunk[0]
+	st.verChunk = st.verChunk[1:]
+	return v
+}
+
+// release returns the transaction's state to the pool, dropping every
+// pointer into the store so pooled state pins nothing.
+func (tx *Tx) release() {
+	st := tx.st
+	tx.st = nil
+	clear(st.hooks)
+	st.hooks = st.hooks[:0]
+	clear(st.ops)
+	st.ops = st.ops[:0]
+	st.b.Reset()
+	clear(st.d.Nodes)
+	st.d.Nodes = st.d.Nodes[:0]
+	txStatePool.Put(st)
 }
 
 // Begin starts a transaction.
 func (s *Store) Begin() *Tx {
-	return &Tx{s: s, m: s.oracle.Begin(), b: delta.NewBuilder()}
+	tx := &Tx{s: s}
+	s.oracle.BeginTxn(&tx.m)
+	tx.st = txStatePool.Get().(*txState)
+	tx.st.ts = tx.m.TS()
+	return tx
 }
 
 // TS reports the transaction timestamp.
@@ -119,38 +211,61 @@ func (tx *Tx) TS() mvto.TS { return tx.m.TS() }
 // capturer — "the updates are also captured in the delta store during
 // commit at the same time as they are persisted to the main graph" (§4.2).
 func (tx *Tx) Commit() error {
+	st := tx.st
+	if st == nil {
+		return mvto.ErrTxnDone
+	}
 	if tx.poisoned != nil {
-		tx.m.Abort()
+		tx.m.AbortWith(st.rollback)
+		tx.release()
 		return fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
 	}
+	ts := tx.m.TS()
+	// Build the delta outside the gate — only logging, capture and publish
+	// need its cover; everything in the gated span below is allocation-free
+	// and the WAL append is batched, keeping the span a checkpoint barrier
+	// must drain as short as the durability rules allow.
+	d := st.b.BuildInto(ts, &st.d)
 	// The commit gate is held shared from write-ahead logging through
 	// publication so a checkpoint barrier never splits the two (a txn in
 	// the old log but not in the snapshot would vanish from durable state).
 	tx.s.commitGate.RLock()
-	defer tx.s.commitGate.RUnlock()
 	// Write-ahead: the op log persists before the commit becomes visible.
 	// A logging failure aborts the transaction.
-	if len(tx.ops) > 0 {
-		if err := tx.s.logCommit(tx.m.TS(), tx.ops); err != nil {
-			tx.m.Abort()
+	if len(st.ops) > 0 {
+		if err := tx.s.logCommit(ts, st.ops); err != nil {
+			tx.s.commitGate.RUnlock()
+			tx.m.AbortWith(st.rollback)
+			tx.release()
 			return fmt.Errorf("graph: write-ahead log: %w", err)
 		}
 	}
 	// Capture the delta BEFORE version publication unlocks the touched
-	// objects (tx.m.Commit runs the per-op unlock hooks). Capture-then-
+	// objects (CommitWith runs the per-op unlock hooks). Capture-then-
 	// unlock means two transactions touching the same node append their
 	// records in lock order = timestamp order; with capture as a commit
 	// hook after the unlocks, the later transaction could append first and
 	// a scan landing between the two captures would hand the replica the
 	// deltas across two cycles in reverse timestamp order. The transaction
 	// is already write-ahead logged, so it can no longer abort.
-	tx.s.capture(tx.b.Build(tx.m.TS()))
-	return tx.m.Commit()
+	tx.s.capture(d)
+	err := tx.m.CommitWith(st.publish)
+	tx.s.commitGate.RUnlock()
+	tx.release()
+	return err
 }
 
 // Abort rolls the transaction back. No deltas are appended for aborted
 // transactions (§5.1).
-func (tx *Tx) Abort() error { return tx.m.Abort() }
+func (tx *Tx) Abort() error {
+	st := tx.st
+	if st == nil {
+		return mvto.ErrTxnDone
+	}
+	err := tx.m.AbortWith(st.rollback)
+	tx.release()
+	return err
+}
 
 // AddNode creates a node with the given label and properties, returning its
 // ID. The node is visible to this transaction immediately and to others
@@ -160,7 +275,8 @@ func (tx *Tx) AddNode(label string, props map[string]Value) (NodeID, error) {
 		return 0, mvto.ErrTxnDone
 	}
 	ts := tx.m.TS()
-	v := &objVersion{props: tx.s.internProps(props)}
+	v := tx.st.newVersion()
+	v.props = tx.s.internProps(props)
 	v.meta.InitInsert(ts)
 
 	id := tx.s.nodes.Reserve(1)
@@ -169,15 +285,11 @@ func (tx *Tx) AddNode(label string, props map[string]Value) (NodeID, error) {
 	n.appendVersion(v)
 	tx.s.labels.add(n.label, id)
 
-	tx.m.OnAbort(func() {
-		removeVersion(&n.chain, &n.versions, v)
-		v.meta.Unlock(ts)
+	tx.addHook(txHook{
+		chain: &n.chain, versions: &n.versions, v: v,
+		live: &tx.s.liveNodes, delta: 1,
 	})
-	tx.m.OnCommit(func(mvto.TS) {
-		v.meta.Unlock(ts)
-		tx.s.liveNodes.Add(1)
-	})
-	tx.b.InsertNode(id)
+	tx.st.b.InsertNode(id)
 	tx.logOp(LoggedOp{Kind: OpAddNode, ID: id, Label: label, Props: props})
 	return id, nil
 }
@@ -223,7 +335,8 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 		}
 	}
 
-	v := &objVersion{weight: weight}
+	v := tx.st.newVersion()
+	v.weight = weight
 	v.meta.InitInsert(ts)
 	id := tx.s.rels.Reserve(1)
 	r := tx.s.rels.At(id)
@@ -271,19 +384,15 @@ func (tx *Tx) AddRel(src, dst NodeID, label string, weight float64) (RelID, erro
 		return 0, err
 	}
 
-	tx.m.OnAbort(func() {
-		removeVersion(&r.chain, &r.versions, v)
-		v.meta.Unlock(ts)
-	})
-	tx.m.OnCommit(func(mvto.TS) {
-		v.meta.Unlock(ts)
-		tx.s.liveRels.Add(1)
+	tx.addHook(txHook{
+		chain: &r.chain, versions: &r.versions, v: v,
+		live: &tx.s.liveRels, delta: 1,
 	})
 	// §5.1: a directed insert appends a single delta mapped to the source;
 	// an undirected insert appends two, one mapped to each endpoint.
-	tx.b.InsertEdge(src, dst, weight)
+	tx.st.b.InsertEdge(src, dst, weight)
 	if tx.s.undirected && dst != src {
-		tx.b.InsertEdge(dst, src, weight)
+		tx.st.b.InsertEdge(dst, src, weight)
 	}
 	tx.logOp(LoggedOp{Kind: OpAddRel, ID: id, Src: src, Dst: dst, Label: label, Weight: weight})
 	return id, nil
@@ -342,16 +451,15 @@ func (tx *Tx) dupAfterAppend(outBefore, dnBefore []RelID, src, dst NodeID, self 
 // deleteRel performs the §2.3 Delete protocol on a relationship record.
 func (tx *Tx) deleteRel(id RelID, r *rel) error {
 	ts := tx.m.TS()
-	tomb := &objVersion{}
+	tomb := tx.st.newVersion()
 	tomb.meta.InitTombstone(ts)
 	old, err := beginWrite(&r.chain, &r.versions, ts, tomb, nil)
 	if err != nil {
 		return err
 	}
-	tx.m.OnAbort(func() { undoWrite(&r.chain, &r.versions, old, tomb, ts) })
-	tx.m.OnCommit(func(mvto.TS) {
-		tomb.meta.Unlock(ts)
-		tx.s.liveRels.Add(-1)
+	tx.addHook(txHook{
+		chain: &r.chain, versions: &r.versions, v: tomb, old: old,
+		live: &tx.s.liveRels, delta: -1,
 	})
 	tx.logOp(LoggedOp{Kind: OpDeleteRel, ID: id})
 	return nil
@@ -369,9 +477,9 @@ func (tx *Tx) DeleteRel(id RelID) error {
 	if err := tx.deleteRel(id, r); err != nil {
 		return fmt.Errorf("delete relationship %d: %w", id, err)
 	}
-	tx.b.DeleteEdge(r.src, r.dst)
+	tx.st.b.DeleteEdge(r.src, r.dst)
 	if tx.s.undirected && r.src != r.dst {
-		tx.b.DeleteEdge(r.dst, r.src)
+		tx.st.b.DeleteEdge(r.dst, r.src)
 	}
 	return nil
 }
@@ -394,16 +502,15 @@ func (tx *Tx) DeleteNode(id NodeID) error {
 	if err != nil {
 		return err
 	}
-	tomb := &objVersion{}
+	tomb := tx.st.newVersion()
 	tomb.meta.InitTombstone(ts)
 	old, err := beginWrite(&n.chain, &n.versions, ts, tomb, nil)
 	if err != nil {
 		return fmt.Errorf("delete node %d: %w", id, err)
 	}
-	tx.m.OnAbort(func() { undoWrite(&n.chain, &n.versions, old, tomb, ts) })
-	tx.m.OnCommit(func(mvto.TS) {
-		tomb.meta.Unlock(ts)
-		tx.s.liveNodes.Add(-1)
+	tx.addHook(txHook{
+		chain: &n.chain, versions: &n.versions, v: tomb, old: old,
+		live: &tx.s.liveNodes, delta: -1,
 	})
 
 	// Cascade over attached relationships. Failures leave the transaction
@@ -426,7 +533,7 @@ func (tx *Tx) DeleteNode(id NodeID) error {
 		}
 		if tx.s.undirected {
 			if other := r.other(id); other != id {
-				tx.b.DeleteEdge(other, id)
+				tx.st.b.DeleteEdge(other, id)
 			}
 		}
 	}
@@ -443,11 +550,11 @@ func (tx *Tx) DeleteNode(id NodeID) error {
 				tx.poisoned = err
 				return fmt.Errorf("delete node %d: cascade in-edge %d: %w", id, rid, err)
 			}
-			tx.b.DeleteEdge(r.src, id)
+			tx.st.b.DeleteEdge(r.src, id)
 		}
 	}
 
-	tx.b.DeleteNode(id)
+	tx.st.b.DeleteNode(id)
 	tx.logOp(LoggedOp{Kind: OpDeleteNode, ID: id})
 	return nil
 }
@@ -511,7 +618,7 @@ func (tx *Tx) SetNodeProp(id NodeID, key string, val Value) error {
 	if err != nil {
 		return err
 	}
-	next := &objVersion{}
+	next := tx.st.newVersion()
 	next.meta.InitInsert(ts)
 	keyCode := tx.s.dict.Code(key)
 	old, err := beginWrite(&n.chain, &n.versions, ts, next, func(newest *objVersion) {
@@ -525,8 +632,7 @@ func (tx *Tx) SetNodeProp(id NodeID, key string, val Value) error {
 	if err != nil {
 		return fmt.Errorf("update node %d: %w", id, err)
 	}
-	tx.m.OnAbort(func() { undoWrite(&n.chain, &n.versions, old, next, ts) })
-	tx.m.OnCommit(func(mvto.TS) { next.meta.Unlock(ts) })
+	tx.addHook(txHook{chain: &n.chain, versions: &n.versions, v: next, old: old})
 	tx.logOp(LoggedOp{Kind: OpSetNodeProp, ID: id, Key: key, Val: val})
 	return nil
 }

@@ -207,6 +207,21 @@ func (o *Oracle) Begin() *Txn {
 	return &Txn{ts: TS(o.next.Add(1)), oracle: o}
 }
 
+// BeginTxn initializes t in place as a fresh transaction — Begin for
+// callers that own the Txn's storage (embedded in a larger pooled
+// transaction object). Reusing a Txn whose previous incarnation might
+// still be referenced is the caller's hazard to exclude: the graph layer
+// embeds the Txn by value in its Tx and never recycles the Tx itself, so a
+// stale handle sees a terminally Committed/Aborted status, not a stranger's
+// active transaction.
+func (o *Oracle) BeginTxn(t *Txn) {
+	t.ts = TS(o.next.Add(1))
+	t.oracle = o
+	t.status.Store(int32(Active))
+	t.undo = t.undo[:0]
+	t.onCommit = t.onCommit[:0]
+}
+
 // Next peeks at the timestamp the next Begin would receive, without
 // consuming it.
 func (o *Oracle) Next() TS { return TS(o.next.Load() + 1) }
@@ -305,7 +320,14 @@ func (t *Txn) OnCommit(fn func(TS)) { t.onCommit = append(t.onCommit, fn) }
 
 // Commit finishes the transaction: commit hooks run (version finalization,
 // delta capture), then the oracle's committed high-water mark advances.
-func (t *Txn) Commit() error {
+func (t *Txn) Commit() error { return t.CommitWith(nil) }
+
+// CommitWith is Commit for callers that manage their own hook storage:
+// publish (if non-nil) runs where the OnCommit hooks run — after the status
+// flips, before the oracle advances — in addition to any registered hooks.
+// A single prebound publish closure iterating a reusable hook array lets
+// the hot commit path run without per-hook closure allocations.
+func (t *Txn) CommitWith(publish func(TS)) error {
 	obs := t.oracle.commitObs.Load()
 	var start time.Time
 	if obs != nil {
@@ -316,6 +338,9 @@ func (t *Txn) Commit() error {
 	}
 	for _, fn := range t.onCommit {
 		fn(t.ts)
+	}
+	if publish != nil {
+		publish(t.ts)
 	}
 	t.oracle.noteCommit(t.ts)
 	t.oracle.finish(t.ts)
@@ -329,9 +354,17 @@ func (t *Txn) Commit() error {
 
 // Abort rolls the transaction back by applying the undo log in reverse.
 // Aborting a finished transaction is an error.
-func (t *Txn) Abort() error {
+func (t *Txn) Abort() error { return t.AbortWith(nil) }
+
+// AbortWith is Abort for callers that manage their own undo storage:
+// rollback (if non-nil) runs before the registered undo hooks, taking the
+// place of undo actions that would otherwise have been registered last.
+func (t *Txn) AbortWith(rollback func()) error {
 	if !t.status.CompareAndSwap(int32(Active), int32(Aborted)) {
 		return ErrTxnDone
+	}
+	if rollback != nil {
+		rollback()
 	}
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		t.undo[i]()

@@ -43,6 +43,9 @@ type Options struct {
 	PersistPoolSize int64
 	// SyncWAL fsyncs shard prepare/commit records and coordinator decisions.
 	SyncWAL bool
+	// GroupCommit tunes group commit on every shard WAL and the coordinator
+	// decision log (zero values select the wal package defaults).
+	GroupCommit wal.GroupCommit
 	// FS overrides the filesystem (crash harness injection).
 	FS vfs.FS
 	// EnableCostModel calibrates once and clones the model per shard.
@@ -162,7 +165,7 @@ func Open(o Options) (*Cluster, error) {
 	}()
 	for i := 0; i < o.Shards; i++ {
 		dir := filepath.Join(o.PersistDir, fmt.Sprintf("shard-%03d", i))
-		d, st, err := openPersistent(fsys, i, dir, o.PersistPoolSize, o.SyncWAL, decide)
+		d, st, err := openPersistent(fsys, i, dir, o.PersistPoolSize, o.SyncWAL, o.GroupCommit, decide)
 		if err != nil {
 			return nil, err
 		}
@@ -172,7 +175,11 @@ func Open(o Options) (*Cluster, error) {
 		}
 	}
 	c.gtx.Store(maxGtx)
-	if c.coord, err = wal.Open(coordPath, wal.Options{SyncEveryCommit: o.SyncWAL, FS: fsys}); err != nil {
+	if c.coord, err = wal.Open(coordPath, wal.Options{
+		SyncEveryCommit: o.SyncWAL,
+		GroupCommit:     o.GroupCommit,
+		FS:              fsys,
+	}); err != nil {
 		return nil, fmt.Errorf("shard: coordinator log open: %w", err)
 	}
 	c.rebuildGhosts()

@@ -74,7 +74,7 @@ func openVolatile(idx int) *Domain {
 // its write-ahead log with decide resolving any in-doubt 2PC prepares to the
 // coordinator's durable decision. It returns the replay stats so the cluster
 // can resume its gtx counter past every ID this shard ever saw.
-func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, decide func(uint64) bool) (_ *Domain, _ wal.ReplayStats, err error) {
+func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, gc wal.GroupCommit, decide func(uint64) bool) (_ *Domain, _ wal.ReplayStats, err error) {
 	d := &Domain{Index: idx, Store: graph.NewStore()}
 	var st wal.ReplayStats
 	defer func() {
@@ -140,7 +140,7 @@ func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bo
 			}
 		}
 	}
-	if d.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: syncWAL, FS: fsys}); err != nil {
+	if d.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: syncWAL, GroupCommit: gc, FS: fsys}); err != nil {
 		return nil, st, err
 	}
 	d.Store.AddOpLogger(domainGuard{d})

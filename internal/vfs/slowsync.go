@@ -1,0 +1,49 @@
+package vfs
+
+import (
+	"os"
+	"time"
+)
+
+// SlowSync wraps fs so every File.Sync sleeps for d before delegating —
+// a deterministic stand-in for a storage device with a fixed flush
+// latency. The WAL group-commit tests and benchmarks use it to make fsync
+// the bottleneck regardless of how fast the host's page cache is, so batch
+// formation (and the serialized baseline's flat-line) is observable on any
+// machine.
+func SlowSync(fs FS, d time.Duration) FS {
+	return slowSyncFS{fs: fs, d: d}
+}
+
+type slowSyncFS struct {
+	fs FS
+	d  time.Duration
+}
+
+func (s slowSyncFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := s.fs.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, d: s.d}, nil
+}
+
+func (s slowSyncFS) Rename(oldname, newname string) error { return s.fs.Rename(oldname, newname) }
+func (s slowSyncFS) Remove(name string) error             { return s.fs.Remove(name) }
+func (s slowSyncFS) Stat(name string) (os.FileInfo, error) {
+	return s.fs.Stat(name)
+}
+func (s slowSyncFS) MkdirAll(name string, perm os.FileMode) error {
+	return s.fs.MkdirAll(name, perm)
+}
+func (s slowSyncFS) SyncDir(name string) error { return s.fs.SyncDir(name) }
+
+type slowSyncFile struct {
+	File
+	d time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.d)
+	return f.File.Sync()
+}

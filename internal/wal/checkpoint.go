@@ -115,9 +115,16 @@ func (l *Log) Rotate(s *graph.Store) error {
 }
 
 // rotateLocked is Rotate's body; the caller holds the store commit barrier.
+// It takes ioMu before mu (the package lock order) so a batch flush in
+// progress completes against the old file before the handles swap; a batch
+// that staged before the swap and flushes after it simply lands in the new
+// log, *after* the snapshot that cannot yet cover it — exactly where replay
+// needs it.
 func (l *Log) rotateLocked(s *graph.Store) error {
 	ts := s.Oracle().LastCommitted()
 	ops := snapshotOps(s, ts)
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	tmp := l.path + ".tmp"

@@ -48,67 +48,45 @@ const (
 
 // LogPrepare appends a phase-one prepare record for distributed transaction
 // gtx: the participant's local timestamp and operations, durable before the
-// coordinator may decide commit. It shares LogCommit's failure semantics.
+// coordinator may decide commit. It rides the same group-commit batches as
+// LogCommit and shares its failure semantics.
 func (l *Log) LogPrepare(gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.payload = l.payload[:0]
-	l.payload = binary.LittleEndian.AppendUint64(l.payload, twopcMarker)
-	l.payload = append(l.payload, recPrepare)
-	l.payload = binary.LittleEndian.AppendUint64(l.payload, gtx)
-	l.payload = binary.LittleEndian.AppendUint64(l.payload, uint64(ts))
-	l.payload = binary.LittleEndian.AppendUint32(l.payload, uint32(len(ops)))
+	e := encPool.Get().(*encBuf)
+	b := e.b[:0]
+	b = binary.LittleEndian.AppendUint64(b, twopcMarker)
+	b = append(b, recPrepare)
+	b = binary.LittleEndian.AppendUint64(b, gtx)
+	b = binary.LittleEndian.AppendUint64(b, uint64(ts))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(ops)))
 	for i := range ops {
-		l.payload = encodeOp(l.payload, &ops[i])
+		b = encodeOp(b, &ops[i])
 	}
-	return l.appendPayloadLocked()
+	e.b = b
+	err := l.append(e.b)
+	encPool.Put(e)
+	return err
 }
 
 // LogDecision appends a phase-two decision record for gtx. On a coordinator
-// log it is the commit point of the distributed transaction; on a
-// participant log it resolves that shard's prepare record so replay needs no
-// coordinator consultation.
+// log it is the commit point of the distributed transaction (the group
+// commit batches concurrent cross-shard decisions into one coordinator
+// fsync); on a participant log it resolves that shard's prepare record so
+// replay needs no coordinator consultation.
 func (l *Log) LogDecision(gtx uint64, commit bool) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.payload = l.payload[:0]
-	l.payload = binary.LittleEndian.AppendUint64(l.payload, twopcMarker)
-	l.payload = append(l.payload, recDecision)
-	l.payload = binary.LittleEndian.AppendUint64(l.payload, gtx)
+	e := encPool.Get().(*encBuf)
+	b := e.b[:0]
+	b = binary.LittleEndian.AppendUint64(b, twopcMarker)
+	b = append(b, recDecision)
+	b = binary.LittleEndian.AppendUint64(b, gtx)
 	if commit {
-		l.payload = append(l.payload, outcomeCommit)
+		b = append(b, outcomeCommit)
 	} else {
-		l.payload = append(l.payload, outcomeAbort)
+		b = append(b, outcomeAbort)
 	}
-	return l.appendPayloadLocked()
-}
-
-// appendPayloadLocked frames and appends l.payload as one record, sharing
-// LogCommit's single-write, rewind-on-failure, sticky-error discipline.
-// Caller holds l.mu.
-func (l *Log) appendPayloadLocked() error {
-	if l.failed != nil {
-		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
-	}
-	l.buf = append(l.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
-	binary.LittleEndian.PutUint32(l.buf[0:], uint32(len(l.payload)))
-	binary.LittleEndian.PutUint32(l.buf[4:], crc32.ChecksumIEEE(l.payload))
-	l.buf = append(l.buf, l.payload...)
-	if _, err := l.f.Write(l.buf); err != nil {
-		l.fail(err)
-		return fmt.Errorf("wal: append: %w", err)
-	}
-	if l.sync {
-		if err := l.f.Sync(); err != nil {
-			l.fail(err)
-			return fmt.Errorf("wal: sync: %w", err)
-		}
-		l.syncs++
-	}
-	l.off += int64(len(l.buf))
-	l.appends++
-	l.appendBytes += uint64(len(l.buf))
-	return nil
+	e.b = b
+	err := l.append(e.b)
+	encPool.Put(e)
+	return err
 }
 
 // record is one decoded log record of any kind.

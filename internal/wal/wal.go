@@ -16,10 +16,13 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
@@ -45,21 +48,73 @@ var ErrCorrupt = errors.New("wal: corrupt record")
 // silently diverging from what recovery would rebuild.
 var ErrLogFailed = errors.New("wal: log failed")
 
-// Log is an append-only write-ahead log.
+// Log is an append-only write-ahead log with leader/follower group commit.
+//
+// Committers frame their record into the current staging batch under mu;
+// the first committer into an empty slot becomes the batch's leader. The
+// leader detaches the batch and issues ONE Write carrying every staged
+// record back to back — and, when SyncEveryCommit is set, ONE Sync for the
+// whole batch — under ioMu, then wakes the followers with the shared
+// outcome. Committers arriving while a flush is in progress stage into the
+// next batch, so batch size adapts to device latency with no artificial
+// delay. Per-record framing is unchanged (each record carries its own
+// size+checksum header), so the on-disk format is byte-identical to the
+// serialized log and replay, torn-tail tolerance and corruption detection
+// are untouched.
+//
+// Failure semantics match the serialized path: a failed write or sync
+// rewinds the file to the last durable batch boundary (truncate + seek) so
+// no partial batch sits in the interior, every committer in the failed
+// batch gets the error, and the log latches failed: later appends return
+// ErrLogFailed rather than committing transactions whose durability is
+// unknown.
+//
+// Ordering: records from different batches can land out of timestamp
+// order, but never out of *causal* order. A transaction can only read or
+// write state published by another after that writer's LogCommit returned
+// durable (MVTO write locks are held across LogCommit and unlock IS
+// publication), so any two records whose relative order matters are
+// separated by a completed flush and appear in file order; replay folds
+// the rest commutatively.
 type Log struct {
-	mu      sync.Mutex
-	fs      vfs.FS
-	path    string
-	f       vfs.File
-	off     int64 // end of the last fully appended record
-	sync    bool
-	failed  error
-	buf     []byte // record assembly buffer (header + payload)
-	payload []byte // payload encoding buffer
+	// ioMu serializes file I/O — batch flush, rotate, close — and defines
+	// the order batches land in the file. Lock order: ioMu before mu.
+	ioMu sync.Mutex
+	// mu guards staging state: the current batch, the sticky failure, the
+	// durable offset and the counters.
+	mu     sync.Mutex
+	fs     vfs.FS
+	path   string
+	f      vfs.File
+	off    int64 // end of the last fully flushed batch
+	sync   bool
+	failed error
+
+	gc   GroupCommit // normalized (MaxBatch >= 1)
+	cur  *batch      // staging batch accepting joiners; nil when none
+	pool sync.Pool   // *batch recycling (buffer + channels)
 
 	appends     uint64 // records successfully appended
 	appendBytes uint64 // bytes of those records (header + payload)
-	syncs       uint64 // fsyncs issued by successful appends
+	syncs       uint64 // fsyncs issued by successful flushes
+	batches     uint64 // successful batch flushes
+	maxBatch    uint64 // largest records-per-flush observed
+	flushNanos  uint64 // wall nanoseconds spent inside write+sync
+}
+
+// batch is one group-commit unit: framed records from one or more
+// committers, flushed by a single leader.
+type batch struct {
+	buf  []byte       // framed records, in join order
+	n    int          // records staged
+	err  error        // flush outcome; written before done tokens are sent
+	refs atomic.Int32 // members still to read err; the last one recycles
+	// done carries n-1 tokens from the leader, one per follower, sent
+	// after err is set. Buffered to MaxBatch so the leader never blocks.
+	done chan struct{}
+	// full (capacity 1) wakes a leader lingering on MaxDelay when the
+	// batch fills early.
+	full chan struct{}
 }
 
 // Stats is a snapshot of the log's append counters.
@@ -67,21 +122,54 @@ type Stats struct {
 	Appends     uint64 // commit records successfully appended
 	AppendBytes uint64 // bytes written by those appends (header + payload)
 	Syncs       uint64 // fsyncs issued on the append path
+	Batches     uint64 // group-commit flushes issued (Appends/Batches = mean batch)
+	MaxBatch    uint64 // largest records-per-flush observed
+	FlushNanos  uint64 // wall nanoseconds spent inside batch write+sync
 }
 
 // Stats snapshots the append counters for metrics exposition.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{Appends: l.appends, AppendBytes: l.appendBytes, Syncs: l.syncs}
+	return Stats{
+		Appends: l.appends, AppendBytes: l.appendBytes, Syncs: l.syncs,
+		Batches: l.batches, MaxBatch: l.maxBatch, FlushNanos: l.flushNanos,
+	}
+}
+
+// GroupCommit tunes the leader/follower batched flush.
+type GroupCommit struct {
+	// MaxBatch caps the records one flush covers (default 64). 1 gives
+	// every record its own write+fsync — the serialized pre-group-commit
+	// behavior, kept as the benchmark baseline.
+	MaxBatch int
+	// MaxDelay, when positive, lets a leader wait up to this long for
+	// followers to fill the batch before flushing. Zero (the default)
+	// flushes immediately; batching still happens because committers
+	// arriving during a flush stage into the next batch. The delay is
+	// spent holding the caller's commit-gate share, so keep it small
+	// relative to any checkpoint cadence.
+	MaxDelay time.Duration
+}
+
+func (g GroupCommit) normalized() GroupCommit {
+	if g.MaxBatch <= 0 {
+		g.MaxBatch = 64
+	}
+	if g.MaxDelay < 0 {
+		g.MaxDelay = 0
+	}
+	return g
 }
 
 // Options configures Open.
 type Options struct {
-	// SyncEveryCommit fsyncs after each commit record (durability over
+	// SyncEveryCommit fsyncs after each commit batch (durability over
 	// throughput). Without it the OS decides when bytes hit the platter,
 	// as in most group-commit systems.
 	SyncEveryCommit bool
+	// GroupCommit tunes the batched flush (zero value = defaults).
+	GroupCommit GroupCommit
 	// FS overrides the filesystem (nil selects the real one). The
 	// fault-injection harness uses it to crash individual appends and
 	// syncs on the production code path.
@@ -116,7 +204,17 @@ func Open(path string, opts Options) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{fs: fsys, path: path, f: f, off: off, sync: opts.SyncEveryCommit}, nil
+	l := &Log{
+		fs: fsys, path: path, f: f, off: off,
+		sync: opts.SyncEveryCommit, gc: opts.GroupCommit.normalized(),
+	}
+	l.pool.New = func() any {
+		return &batch{
+			done: make(chan struct{}, l.gc.MaxBatch),
+			full: make(chan struct{}, 1),
+		}
+	}
+	return l, nil
 }
 
 // Trim truncates the log at path to n bytes. Recovery calls it to discard a
@@ -142,15 +240,18 @@ func Trim(fsys vfs.FS, path string, n int64) error {
 	return f.Close()
 }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log. Both steps always run and both failures
+// surface: a sync error (including one on an already-failed log) no longer
+// swallows the close error, which on many filesystems is the last chance to
+// learn that buffered bytes never reached the device.
 func (l *Log) Close() error {
+	l.ioMu.Lock()
+	defer l.ioMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.f.Sync(); err != nil {
-		l.f.Close()
-		return err
-	}
-	return l.f.Close()
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	return errors.Join(syncErr, closeErr)
 }
 
 var _ graph.OpLogger = (*Log)(nil)
@@ -162,25 +263,167 @@ func (l *Log) Err() error {
 	return l.failed
 }
 
+// encBuf is a pooled payload-encoding buffer, interned per committer so the
+// hot commit path performs no per-record allocation.
+type encBuf struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return new(encBuf) }}
+
 // LogCommit appends one commit record with the transaction's operations.
-// It implements graph.OpLogger and runs before the commit publishes.
-//
-// The header and payload go out in a single write so no crash can separate
-// them. If the write or sync fails, the log rewinds to the record start
-// (truncate + seek) so a partial record cannot sit in the interior of the
-// file, and the log is marked failed: later appends return ErrLogFailed
-// instead of committing transactions whose durability is unknown.
+// It implements graph.OpLogger and runs before the commit publishes; it
+// returns only once the record's batch is durably flushed (per the sync
+// policy) or failed.
 func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.failed != nil {
-		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
-	}
-	l.payload = encodeCommit(l.payload[:0], ts, ops)
-	return l.appendPayloadLocked()
+	e := encPool.Get().(*encBuf)
+	e.b = encodeCommit(e.b[:0], ts, ops)
+	err := l.append(e.b)
+	encPool.Put(e)
+	return err
 }
 
-// fail marks the log failed and rewinds to the last record boundary,
+// append frames payload as one record into the current staging batch and
+// blocks until the batch containing it is flushed or failed. The caller
+// owns payload only until append returns.
+func (l *Log) append(payload []byte) error {
+	l.mu.Lock()
+	if l.failed != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+	}
+	b := l.cur
+	leader := b == nil
+	if leader {
+		b = l.pool.Get().(*batch)
+		l.cur = b
+	}
+	b.refs.Add(1)
+	hdr := len(b.buf)
+	b.buf = append(b.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(b.buf[hdr:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b.buf[hdr+4:], crc32.ChecksumIEEE(payload))
+	b.buf = append(b.buf, payload...)
+	b.n++
+	full := b.n >= l.gc.MaxBatch
+	if full {
+		// Close the batch: later committers start — and lead — the next
+		// one while this one flushes.
+		l.cur = nil
+	}
+	l.mu.Unlock()
+
+	if leader {
+		if l.gc.MaxDelay > 0 && !full {
+			t := time.NewTimer(l.gc.MaxDelay)
+			select {
+			case <-b.full:
+			case <-t.C:
+			}
+			t.Stop()
+		}
+		return l.flush(b)
+	}
+	if full && l.gc.MaxDelay > 0 {
+		// Wake a leader lingering on MaxDelay; buffered, never blocks.
+		select {
+		case b.full <- struct{}{}:
+		default:
+		}
+	}
+	<-b.done
+	err := b.err
+	l.release(b)
+	return err
+}
+
+// flush writes (and per the sync policy syncs) one batch as a single I/O
+// unit under ioMu, settles the counters, and wakes the batch's followers
+// with the shared outcome. Only the batch's leader calls it.
+func (l *Log) flush(b *batch) error {
+	l.ioMu.Lock()
+	l.mu.Lock()
+	if l.cur == b {
+		// Nobody filled the batch while the leader got here: detach it so
+		// staging for the next batch proceeds during the I/O below.
+		l.cur = nil
+	}
+	n := b.n
+	if l.failed != nil {
+		// An earlier batch failed after this one staged; nothing in this
+		// one may land after bytes of unknown durability.
+		err := fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
+		l.mu.Unlock()
+		l.ioMu.Unlock()
+		b.err = err
+		l.wake(b, n)
+		return err
+	}
+	f := l.f
+	l.mu.Unlock()
+
+	start := time.Now()
+	var ioErr error
+	stage := ""
+	if _, werr := f.Write(b.buf); werr != nil {
+		ioErr, stage = werr, "append"
+	} else if l.sync {
+		if serr := f.Sync(); serr != nil {
+			ioErr, stage = serr, "sync"
+		}
+	}
+	dur := time.Since(start)
+
+	l.mu.Lock()
+	var err error
+	if ioErr != nil {
+		l.fail(ioErr)
+		err = fmt.Errorf("wal: %s: %w", stage, ioErr)
+	} else {
+		l.off += int64(len(b.buf))
+		l.appends += uint64(n)
+		l.appendBytes += uint64(len(b.buf))
+		if l.sync {
+			l.syncs++
+		}
+		l.batches++
+		if uint64(n) > l.maxBatch {
+			l.maxBatch = uint64(n)
+		}
+		l.flushNanos += uint64(dur.Nanoseconds())
+	}
+	l.mu.Unlock()
+	l.ioMu.Unlock()
+	b.err = err
+	l.wake(b, n)
+	return err
+}
+
+// wake hands the settled batch to its n-1 followers (b.err must be set
+// first; the channel send orders the read) and drops the leader's own
+// reference.
+func (l *Log) wake(b *batch, n int) {
+	for i := 1; i < n; i++ {
+		b.done <- struct{}{}
+	}
+	l.release(b)
+}
+
+// release drops one member's reference to the batch; the last member
+// recycles it — buffer, channels and all — into the pool.
+func (l *Log) release(b *batch) {
+	if b.refs.Add(-1) != 0 {
+		return
+	}
+	b.buf = b.buf[:0]
+	b.n = 0
+	b.err = nil
+	select { // drop a full-signal no leader consumed
+	case <-b.full:
+	default:
+	}
+	l.pool.Put(b)
+}
+
+// fail marks the log failed and rewinds to the last durable batch boundary,
 // best-effort: if the medium refuses the truncate too, the partial bytes
 // stay, but the failed flag guarantees nothing is appended after them and
 // replay treats them as a torn tail.

@@ -48,6 +48,7 @@ func openSharded(opts Options) (*DB, error) {
 		PersistDir:      opts.PersistDir,
 		PersistPoolSize: opts.PersistPoolSize,
 		SyncWAL:         opts.SyncWAL,
+		GroupCommit:     opts.GroupCommit,
 		FS:              opts.FS,
 		EnableCostModel: opts.EnableCostModel,
 		PageRankIters:   opts.PageRankIters,

@@ -1,0 +1,190 @@
+package h2tap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"h2tap/internal/graph"
+	"h2tap/internal/vfs"
+	"h2tap/internal/wal"
+)
+
+// benchFsyncLatency pins the simulated flush latency for the durable-commit
+// benchmarks, so batch formation is observable regardless of how fast the
+// host's page cache (or tmpfs) acknowledges a real fsync.
+const benchFsyncLatency = 400 * time.Microsecond
+
+// durableCommitRate measures durable single-node commits per second with
+// `committers` concurrent goroutines against a WAL opened with the given
+// options, committing `total` transactions.
+func durableCommitRate(tb testing.TB, committers, total int, opts wal.Options) (float64, wal.Stats) {
+	tb.Helper()
+	dir, err := os.MkdirTemp("", "h2tap-walbench")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(filepath.Join(dir, "graph.wal"), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer l.Close()
+	s := graph.NewStore()
+	s.AddOpLogger(l)
+
+	per := total / committers
+	if per == 0 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < committers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tx := s.Begin()
+				if _, err := tx.AddNode("B", nil); err != nil {
+					tb.Error(err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return float64(per*committers) / time.Since(start).Seconds(), l.Stats()
+}
+
+// BenchmarkDurableCommitScaling is the group-commit scaling series: durable
+// (SyncEveryCommit) commit throughput vs committer count, grouped vs the
+// serialized MaxBatch=1 baseline, plus the no-sync path. Flush latency is
+// pinned (see benchFsyncLatency), so ops/sec compares across machines: the
+// serialized series flat-lines near 1/latency while the grouped series
+// scales with committers.
+func BenchmarkDurableCommitScaling(b *testing.B) {
+	for _, committers := range []int{1, 2, 4, 8, 16} {
+		for _, mode := range []struct {
+			name string
+			opts wal.Options
+		}{
+			{"serialized-sync", wal.Options{
+				SyncEveryCommit: true,
+				GroupCommit:     wal.GroupCommit{MaxBatch: 1},
+				FS:              vfs.SlowSync(vfs.OS(), benchFsyncLatency),
+			}},
+			{"grouped-sync", wal.Options{
+				SyncEveryCommit: true,
+				FS:              vfs.SlowSync(vfs.OS(), benchFsyncLatency),
+			}},
+			{"grouped-nosync", wal.Options{
+				FS: vfs.SlowSync(vfs.OS(), benchFsyncLatency),
+			}},
+		} {
+			b.Run(fmt.Sprintf("%s/committers=%d", mode.name, committers), func(b *testing.B) {
+				rate, st := durableCommitRate(b, committers, b.N, mode.opts)
+				b.ReportMetric(rate, "commits/s")
+				b.ReportMetric(float64(st.MaxBatch), "max-batch")
+			})
+		}
+	}
+}
+
+// BenchmarkCommitAllocs is the zero-allocation guard's measurement: a
+// single-node transaction against a volatile store. The commit hot path
+// (delta builder, op log, publication hooks, version storage) is pooled;
+// the remaining allocations per op are the Tx handle itself (deliberate —
+// stale handles must see a terminal transaction, never a recycled one)
+// plus amortized arena/pool refills. TestVerifyBenchCommitAllocs enforces
+// the budget in `make verify-bench`.
+func BenchmarkCommitAllocs(b *testing.B) {
+	s := graph.NewStore()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Begin()
+		if _, err := tx.AddNode("A", nil); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// commitAllocBudget is the allocs/op ceiling for BenchmarkCommitAllocs'
+// workload: 1 deliberate allocation (the Tx handle) plus headroom for
+// sync.Pool misses after a GC and the 1/32-amortized version-arena refill.
+// Growth past this means something on the commit path started allocating
+// again — builder, ops slice, hooks, delta, or encode buffers.
+const commitAllocBudget = 4.0
+
+// TestVerifyBenchCommitAllocs is the allocs/op regression guard behind
+// `make verify-bench`.
+func TestVerifyBenchCommitAllocs(t *testing.T) {
+	if os.Getenv("H2TAP_VERIFY_BENCH") == "" {
+		t.Skip("set H2TAP_VERIFY_BENCH=1 to run the bench regression guard")
+	}
+	s := graph.NewStore()
+	commitOne := func() {
+		tx := s.Begin()
+		if _, err := tx.AddNode("A", nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commitOne() // warm pools and label/dict state
+	allocs := testing.AllocsPerRun(500, commitOne)
+	t.Logf("commit path: %.2f allocs/op (budget %.1f)", allocs, commitAllocBudget)
+	if allocs > commitAllocBudget {
+		t.Fatalf("commit path allocates %.2f/op, budget is %.1f — pooled state regressed",
+			allocs, commitAllocBudget)
+	}
+}
+
+// TestVerifyBenchGroupCommit is the group-commit scaling guard behind
+// `make verify-bench`: with 8 committers and a pinned 1ms flush latency,
+// grouped durable commits must beat the serialized (MaxBatch=1) baseline
+// by at least 3×. The latency pin makes the ratio hardware-independent —
+// the serialized path is bounded by one flush per commit no matter the
+// host, while group commit shares each flush across whoever arrived during
+// the previous one.
+func TestVerifyBenchGroupCommit(t *testing.T) {
+	if os.Getenv("H2TAP_VERIFY_BENCH") == "" {
+		t.Skip("set H2TAP_VERIFY_BENCH=1 to run the bench regression guard")
+	}
+	const committers, total = 8, 400
+	fs := vfs.SlowSync(vfs.OS(), time.Millisecond)
+	best := func(opts wal.Options) float64 {
+		b := 0.0
+		for rep := 0; rep < 3; rep++ {
+			rate, _ := durableCommitRate(t, committers, total, opts)
+			if rate > b {
+				b = rate
+			}
+		}
+		return b
+	}
+	serialized := best(wal.Options{
+		SyncEveryCommit: true,
+		GroupCommit:     wal.GroupCommit{MaxBatch: 1},
+		FS:              fs,
+	})
+	grouped := best(wal.Options{SyncEveryCommit: true, FS: fs})
+	speedup := grouped / serialized
+	t.Logf("durable commits, %d committers: serialized=%.0f/s grouped=%.0f/s speedup=%.2f×",
+		committers, serialized, grouped, speedup)
+	if speedup < 3.0 {
+		t.Fatalf("group commit speedup %.2f× < 3× at %d committers (serialized %.0f/s, grouped %.0f/s)",
+			speedup, committers, serialized, grouped)
+	}
+}
