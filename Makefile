@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak obs-smoke server-smoke bench-record verify-bench clean
+.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak shard-soak obs-smoke server-smoke bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
 # detection on the concurrency-heavy packages, a short-budget crash-point
@@ -81,6 +81,14 @@ server-smoke:
 SOAK_ROUNDS ?= 500
 fault-soak:
 	$(GO) run ./cmd/h2tap-bench -faults $(SOAK_ROUNDS)
+
+# shard-soak runs the randomized shard-fault storm long-form: SHARD_SOAK_SECS
+# seconds per seed of concurrent traffic with online shard/coordinator
+# failure and recovery, asserting the ledger, 2PC atomicity and durable
+# restart convergence (see internal/crashtest soak.go for the invariants).
+SHARD_SOAK_SECS ?= 60
+shard-soak:
+	H2TAP_SOAK_SECS=$(SHARD_SOAK_SECS) $(GO) run ./cmd/h2tap-bench -exp shardfaults
 
 clean:
 	$(GO) clean ./...

@@ -41,6 +41,7 @@ func main() {
 		gcMaxBatch   = flag.Int("gc-max-batch", 0, "max commits per WAL group-commit batch (0 = default 64, 1 = serialized)")
 		gcMaxDelay   = flag.Duration("gc-max-delay", 0, "how long a group-commit leader lingers for joiners (0 = flush immediately)")
 		replica      = flag.String("replica", "static", "replica kind: static | dynamic")
+		shards       = flag.Int("shards", 0, "shard the engine into N fault domains (0/1 = single-domain)")
 		undirected   = flag.Bool("undirected", false, "undirected main graph")
 		highWater    = flag.Uint64("high-water", 1_000_000, "delta-store high-water mark (0 = no backpressure)")
 		obsFlag      = flag.Bool("obs", true, "serve /metrics, /debug/trace, /debug/pprof on the same port")
@@ -63,6 +64,7 @@ func main() {
 		PersistPoolSize: *poolSize,
 		SyncWAL:         *syncWAL,
 		GroupCommit:     h2tap.GroupCommit{MaxBatch: *gcMaxBatch, MaxDelay: *gcMaxDelay},
+		Shards:          *shards,
 		Undirected:      *undirected,
 		DeltaHighWater:  *highWater,
 	}

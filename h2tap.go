@@ -633,11 +633,17 @@ func (db *DB) Stats() Stats {
 }
 
 // Health reports the analytics engine's availability state and, when
-// Degraded, the fault that caused it. Before the engine starts the
-// database is trivially Healthy.
+// Degraded, the fault that caused it. A latched WAL failure (sticky: every
+// commit is refused until recovery) also reports Degraded. Before the
+// engine starts the database is trivially Healthy bar the WAL latch.
 func (db *DB) Health() (Health, error) {
 	if db.cluster != nil {
 		return db.shardedHealth()
+	}
+	if db.wal != nil {
+		if err := db.wal.Stats().Failed; err != nil {
+			return Degraded, fmt.Errorf("h2tap: wal failed: %w", err)
+		}
 	}
 	if db.engine == nil {
 		return Healthy, nil
@@ -674,7 +680,7 @@ func (db *DB) LastCommitted() uint64 {
 	if db.cluster != nil {
 		var max uint64
 		for i := 0; i < db.cluster.Shards(); i++ {
-			if ts := uint64(db.cluster.Domain(i).Store.Oracle().LastCommitted()); ts > max {
+			if ts := uint64(db.cluster.Domain(i).Store().Oracle().LastCommitted()); ts > max {
 				max = ts
 			}
 		}

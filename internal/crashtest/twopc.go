@@ -37,7 +37,7 @@ const twopcShards = 3
 func ClusterFingerprint(c *shard.Cluster) string {
 	var sb strings.Builder
 	for i := 0; i < c.Shards(); i++ {
-		fmt.Fprintf(&sb, "shard%d\n%s", i, Fingerprint(c.Domain(i).Store))
+		fmt.Fprintf(&sb, "shard%d\n%s", i, Fingerprint(c.Domain(i).Store()))
 	}
 	return sb.String()
 }
@@ -215,7 +215,7 @@ func twopcRecoverAndCheck(dir string, golden []string, completed int) (int, erro
 
 	// Every shard's durable delta image must sit at a transaction boundary.
 	for i := 0; i < db.Cluster().Shards(); i++ {
-		if err := db.Cluster().Domain(i).DS.Validate(); err != nil {
+		if err := db.Cluster().Domain(i).DS().Validate(); err != nil {
 			return m, fmt.Errorf("shard %d durable delta image inconsistent: %w", i, err)
 		}
 	}
@@ -254,7 +254,7 @@ func twopcRecoverAndCheck(dir string, golden []string, completed int) (int, erro
 	}
 	var wantEdges int64
 	for i := 0; i < db.Cluster().Shards(); i++ {
-		wantEdges += db.Cluster().Domain(i).Store.LiveRels()
+		wantEdges += db.Cluster().Domain(i).Store().LiveRels()
 	}
 	if st.Edges != wantEdges {
 		return m, fmt.Errorf("stitched composite has %d edges, recovered stores hold %d", st.Edges, wantEdges)

@@ -35,6 +35,7 @@ func All() []Experiment {
 		{ID: "faults", Desc: "Propagation under injected GPU faults: retry/fallback/degraded ladder (extension)", Run: Config.FaultsExp},
 		{ID: "obs", Desc: "Observability instrumentation overhead: observer on vs off (extension)", Run: Config.ObsExp},
 		{ID: "shards", Desc: "Sharded engine: 2PC commit cost and stitched analytics vs shard count (extension)", Run: Config.ShardsExp},
+		{ID: "shardfaults", Desc: "Shard fault-domain storm: online isolation, shedding and recovery (extension)", Run: Config.ShardFaultsExp},
 		{ID: "groupcommit", Desc: "Durable commit throughput vs committers with WAL group commit (extension)", Run: Config.GroupCommitExp},
 	}
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"h2tap/internal/crashtest"
+)
+
+// ShardFaultsExp is the robustness extension for per-shard fault domains: it
+// runs the randomized shard-fault storm (concurrent single- and cross-shard
+// committers plus stitched analytics against a 3-shard cluster, with a chaos
+// controller repeatedly failing/crashing one fault domain and recovering it
+// online) and reports availability and recovery cost per seed. Every run
+// also enforces the storm's ledger invariants (acked never lost, nothing
+// fabricated, 2PC halves agree, durable convergence across a restart); a row
+// only appears if they held. H2TAP_SOAK_SECS stretches the per-seed storm
+// length (make shard-soak sets it to 60).
+func (c Config) ShardFaultsExp() *Table {
+	c = c.norm()
+	t := &Table{
+		ID:    "shardfaults",
+		Title: "Shard fault-domain storm: online isolation, shedding and recovery (3 shards)",
+		Columns: []string{"seed", "secs", "acked", "cross-acked", "sheds", "stitches",
+			"degraded-stitches", "shard-faults", "coord-faults", "recoveries", "rec-max", "rec-avg"},
+	}
+	dur := 2 * time.Second
+	if s := os.Getenv("H2TAP_SOAK_SECS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			dur = time.Duration(n) * time.Second
+		}
+	}
+	for seed := c.Seed; seed < c.Seed+3; seed++ {
+		dir, err := os.MkdirTemp("", "h2tap-shardfaults-*")
+		if err != nil {
+			panic(err)
+		}
+		rep, err := crashtest.ShardStorm(crashtest.StormConfig{Dir: dir, Duration: dur, Seed: seed})
+		os.RemoveAll(dir)
+		if err != nil {
+			panic(fmt.Sprintf("shardfaults: storm invariant violated (seed %d): %v", seed, err))
+		}
+		recAvg := time.Duration(0)
+		if rep.Recoveries > 0 {
+			recAvg = rep.RecoverySum / time.Duration(rep.Recoveries)
+		}
+		t.AddRow(seed, dur.Seconds(), rep.Acked, rep.CrossAcked, rep.Sheds, rep.Stitches,
+			rep.Degraded, rep.ShardFaults, rep.CoordFaults, rep.Recoveries,
+			rep.RecoveryMax.Round(time.Millisecond), recAvg.Round(time.Millisecond))
+	}
+	t.Note("extension experiment (not in the paper): expected shape — acked and stitches stay nonzero through every storm (healthy shards keep serving while the victim sheds with structured errors), recoveries match injected faults, and rec-max stays in the hundreds of milliseconds at this scale; the ledger and restart-convergence invariants are asserted, not reported")
+	return t
+}

@@ -20,6 +20,7 @@ package faultinject
 import (
 	"errors"
 	"os"
+	"strings"
 	"sync"
 
 	"h2tap/internal/vfs"
@@ -72,6 +73,7 @@ type FS struct {
 	crashAt int64
 	tear    TearMode
 	crashed bool
+	scope   string
 }
 
 // New wraps inner with fault injection. With no plan installed it only
@@ -95,6 +97,53 @@ func (f *FS) CrashAt(n int64, tear TearMode) {
 	f.crashAt = n
 	f.tear = tear
 	f.mu.Unlock()
+}
+
+// FailIn arms FailAt k mutating operations from now, atomically with the
+// current operation count (a racing committer cannot slip between the read
+// of Ops and the arming).
+func (f *FS) FailIn(k int64) {
+	f.mu.Lock()
+	f.failAt = f.ops + k
+	f.mu.Unlock()
+}
+
+// CrashIn arms CrashAt k mutating operations from now; see FailIn.
+func (f *FS) CrashIn(k int64, tear TearMode) {
+	f.mu.Lock()
+	f.crashAt = f.ops + k
+	f.tear = tear
+	f.mu.Unlock()
+}
+
+// SetScope restricts fault injection to paths with the given prefix. Only
+// in-scope operations are counted toward the sequence and are subject to
+// the armed plan; out-of-scope operations always pass through untouched,
+// even after a crash — the crash models one failure domain (a shard
+// directory) losing its device while the rest of the machine keeps working.
+// The empty prefix (the default) scopes every path.
+func (f *FS) SetScope(prefix string) {
+	f.mu.Lock()
+	f.scope = prefix
+	f.mu.Unlock()
+}
+
+// Heal clears the crashed state and any armed plan, restoring pass-through
+// behavior. The operation counter is preserved so sequence numbers stay
+// meaningful across heal cycles. Files opened before the crash resume
+// working; the caller is responsible for reopening state whose durability
+// the crash made unknown (that is the point of recovery).
+func (f *FS) Heal() {
+	f.mu.Lock()
+	f.crashed = false
+	f.failAt = 0
+	f.crashAt = 0
+	f.mu.Unlock()
+}
+
+// inScope reports whether name is subject to the plan. Callers must hold mu.
+func (f *FS) inScope(name string) bool {
+	return f.scope == "" || strings.HasPrefix(name, f.scope)
 }
 
 // Ops reports how many mutating operations have been observed.
@@ -122,10 +171,15 @@ const (
 	vAfter                // crash, apply fully first
 )
 
-// step assigns the next sequence number and decides the operation's fate.
-func (f *FS) step() verdict {
+// step assigns the next sequence number and decides the fate of a mutating
+// operation on path. Out-of-scope operations are neither counted nor
+// touched by the plan.
+func (f *FS) step(path string) verdict {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if !f.inScope(path) {
+		return vApply
+	}
 	if f.crashed {
 		return vDrop
 	}
@@ -147,6 +201,13 @@ func (f *FS) step() verdict {
 	return vApply
 }
 
+// crashedFor reports whether path is inside a crashed scope.
+func (f *FS) crashedFor(path string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed && f.inScope(path)
+}
+
 // mutating is true for open flags that change the filesystem.
 func mutatingOpen(name string, flag int, fsys vfs.FS) bool {
 	if flag&os.O_TRUNC != 0 {
@@ -165,14 +226,14 @@ var _ vfs.FS = (*FS)(nil)
 // OpenFile opens name. Opens that create or truncate count as mutating.
 func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error) {
 	if mutatingOpen(name, flag, f.inner) {
-		switch f.step() {
+		switch f.step(name) {
 		case vFail:
 			return nil, ErrInjected
 		case vDrop, vTorn:
 			return nil, ErrCrashed
 		}
 		// vAfter: apply the open, then block later mutations (already armed).
-	} else if f.Crashed() && flag&(os.O_WRONLY|os.O_RDWR) != 0 {
+	} else if f.crashedFor(name) && flag&(os.O_WRONLY|os.O_RDWR) != 0 {
 		// Post-crash, writable handles are refused so no path can mutate
 		// durable state after the simulated power loss.
 		return nil, ErrCrashed
@@ -181,12 +242,12 @@ func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (vfs.File, error)
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{f: file, fs: f}, nil
+	return &faultFile{f: file, fs: f, path: name}, nil
 }
 
 // Rename renames oldname to newname (one mutating operation).
 func (f *FS) Rename(oldname, newname string) error {
-	switch f.step() {
+	switch f.step(oldname) {
 	case vFail:
 		return ErrInjected
 	case vDrop, vTorn:
@@ -202,7 +263,7 @@ func (f *FS) Rename(oldname, newname string) error {
 
 // Remove deletes name (one mutating operation).
 func (f *FS) Remove(name string) error {
-	switch f.step() {
+	switch f.step(name) {
 	case vFail:
 		return ErrInjected
 	case vDrop, vTorn:
@@ -222,7 +283,7 @@ func (f *FS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) 
 // MkdirAll passes through: directory scaffolding is setup, not a persist
 // point the recovery invariants depend on.
 func (f *FS) MkdirAll(name string, perm os.FileMode) error {
-	if f.Crashed() {
+	if f.crashedFor(name) {
 		return ErrCrashed
 	}
 	return f.inner.MkdirAll(name, perm)
@@ -230,7 +291,7 @@ func (f *FS) MkdirAll(name string, perm os.FileMode) error {
 
 // SyncDir is one mutating operation (it publishes renames/creations).
 func (f *FS) SyncDir(name string) error {
-	switch f.step() {
+	switch f.step(name) {
 	case vFail:
 		return ErrInjected
 	case vDrop, vTorn:
@@ -246,8 +307,9 @@ func (f *FS) SyncDir(name string) error {
 
 // faultFile routes a file's mutating operations through the FS plan.
 type faultFile struct {
-	f  vfs.File
-	fs *FS
+	f    vfs.File
+	fs   *FS
+	path string
 }
 
 var _ vfs.File = (*faultFile)(nil)
@@ -259,7 +321,7 @@ func (w *faultFile) Stat() (os.FileInfo, error)                { return w.f.Stat
 func (w *faultFile) Close() error                              { return w.f.Close() }
 
 func (w *faultFile) Write(p []byte) (int, error) {
-	switch w.fs.step() {
+	switch w.fs.step(w.path) {
 	case vFail:
 		return 0, ErrInjected
 	case vDrop:
@@ -277,7 +339,7 @@ func (w *faultFile) Write(p []byte) (int, error) {
 }
 
 func (w *faultFile) WriteAt(p []byte, off int64) (int, error) {
-	switch w.fs.step() {
+	switch w.fs.step(w.path) {
 	case vFail:
 		return 0, ErrInjected
 	case vDrop:
@@ -295,7 +357,7 @@ func (w *faultFile) WriteAt(p []byte, off int64) (int, error) {
 }
 
 func (w *faultFile) Truncate(size int64) error {
-	switch w.fs.step() {
+	switch w.fs.step(w.path) {
 	case vFail:
 		return ErrInjected
 	case vDrop, vTorn:
@@ -310,7 +372,7 @@ func (w *faultFile) Truncate(size int64) error {
 }
 
 func (w *faultFile) Sync() error {
-	switch w.fs.step() {
+	switch w.fs.step(w.path) {
 	case vFail:
 		return ErrInjected
 	case vDrop, vTorn:

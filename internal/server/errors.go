@@ -38,6 +38,8 @@ const (
 	codeCommitRejected = "commit_rejected"
 	codeInternal       = "internal"
 	codeUnavailable    = "unavailable"
+	codeShardDown      = "shard_down"       // write touched a quarantined shard
+	codeCoordinator    = "coordinator_down" // 2PC decision log latched
 )
 
 // writeError emits the structured envelope. retryAfter <= 0 omits the

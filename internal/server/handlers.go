@@ -138,6 +138,11 @@ func (s *Server) handleTxBegin(w http.ResponseWriter, r *http.Request) {
 	if !requirePost(w, r) {
 		return
 	}
+	if s.db.Cluster() != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			"interactive transactions are single-domain only; use one-shot /v1/commit on a sharded server", 0)
+		return
+	}
 	ts, err := s.sessions.begin(s.db.Begin(), time.Now())
 	if err != nil {
 		s.shed(w, http.StatusServiceUnavailable, codeDraining, "server is draining", s.cfg.RetryAfterHint)
@@ -283,6 +288,10 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	if s.testHookPreCommit != nil {
 		s.testHookPreCommit()
 	}
+	if s.db.Cluster() != nil {
+		s.clusterCommit(w, r.Context(), req.Ops)
+		return
+	}
 	tx := s.db.Begin()
 	results, err := applyOps(r.Context(), tx, req.Ops)
 	if err != nil {
@@ -291,7 +300,7 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 			s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded applying ops", 0)
 			return
 		}
-		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+		s.writeApplyError(w, err)
 		return
 	}
 	s.writeCommit(w, r.Context(), tx, results)
@@ -308,16 +317,134 @@ func (s *Server) writeCommit(w http.ResponseWriter, ctx context.Context, tx *h2t
 	}
 	ts := tx.TS()
 	if err := tx.Commit(); err != nil {
-		if errors.Is(err, h2tap.ErrBackpressure) {
-			s.shed(w, http.StatusServiceUnavailable, codeBackpressure,
-				"engine degraded and delta store over high water; retry later",
-				s.cfg.RetryAfterHint)
-			return
-		}
-		writeError(w, http.StatusConflict, codeCommitRejected, err.Error(), 0)
+		s.writeCommitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, commitResponse{TS: uint64(ts), Results: results})
+}
+
+// writeCommitError maps a failed commit onto the wire. Availability faults
+// (backpressure, a quarantined shard, a latched 2PC coordinator) are sheds:
+// 503 + Retry-After, because the client did nothing wrong and the fault is
+// server-side and recoverable. Everything else is a 409 commit rejection.
+func (s *Server) writeCommitError(w http.ResponseWriter, err error) {
+	var down *h2tap.ShardDownError
+	switch {
+	case errors.As(err, &down):
+		s.shed(w, http.StatusServiceUnavailable, codeShardDown,
+			fmt.Sprintf("shard %d is down: %v; healthy shards keep serving", down.Shard, down.Cause),
+			s.cfg.RetryAfterHint)
+	case errors.Is(err, h2tap.ErrCoordinatorDown):
+		s.shed(w, http.StatusServiceUnavailable, codeCoordinator,
+			"cross-shard commits unavailable: 2PC coordinator log failed; single-shard writes keep serving",
+			s.cfg.RetryAfterHint)
+	case errors.Is(err, h2tap.ErrBackpressure):
+		s.shed(w, http.StatusServiceUnavailable, codeBackpressure,
+			"engine degraded and delta store over high water; retry later",
+			s.cfg.RetryAfterHint)
+	default:
+		writeError(w, http.StatusConflict, codeCommitRejected, err.Error(), 0)
+	}
+}
+
+// writeApplyError maps an op-application failure. A shed error surfacing
+// mid-apply (the op routed to a Down shard) gets the same 503 treatment as
+// at commit; anything else is the client's malformed request.
+func (s *Server) writeApplyError(w http.ResponseWriter, err error) {
+	if errors.Is(err, h2tap.ErrShardDown) || errors.Is(err, h2tap.ErrBackpressure) {
+		s.writeCommitError(w, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+}
+
+// clusterCommit is the one-shot path on a sharded database: a cluster
+// transaction speaking global IDs, atomic across every shard it touches.
+func (s *Server) clusterCommit(w http.ResponseWriter, ctx context.Context, ops []op) {
+	tx, err := s.db.BeginSharded()
+	if err != nil {
+		s.shed(w, http.StatusServiceUnavailable, codeUnavailable, err.Error(), s.cfg.RetryAfterHint)
+		return
+	}
+	results, err := applyClusterOps(ctx, tx, ops)
+	if err != nil {
+		tx.Abort() //nolint:errcheck
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded applying ops", 0)
+			return
+		}
+		s.writeApplyError(w, err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		tx.Abort() //nolint:errcheck
+		s.shed(w, http.StatusGatewayTimeout, codeDeadline, "deadline exceeded before commit", 0)
+		return
+	}
+	if err := tx.Commit(); err != nil {
+		s.writeCommitError(w, err)
+		return
+	}
+	// Shard timestamp domains are independent; the one-shot response's TS is
+	// the cluster's upper bound rather than a single-oracle commit stamp.
+	writeJSON(w, http.StatusOK, commitResponse{TS: s.db.LastCommitted(), Results: results})
+}
+
+// applyClusterOps mirrors applyOps against a cluster transaction (global
+// IDs; rel ops carry the owning shard inside the ID encoding).
+func applyClusterOps(ctx context.Context, tx *h2tap.ClusterTx, ops []op) ([]opResult, error) {
+	results := make([]opResult, 0, len(ops))
+	for i := range ops {
+		if i%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		o := &ops[i]
+		var res opResult
+		switch o.Op {
+		case "add-node":
+			props, err := toProps(o.Props)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			id, err := tx.AddNode(o.Label, props)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			res.Node = &id
+		case "add-rel":
+			weight := o.Weight
+			if weight == 0 {
+				weight = 1
+			}
+			id, err := tx.AddRel(o.Src, o.Dst, o.Label, weight)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			res.Rel = &id
+		case "del-rel":
+			if err := tx.DeleteRel(o.Rel); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case "del-node":
+			if err := tx.DeleteNode(o.Node); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		case "set-prop":
+			v, err := toValue(o.Value)
+			if err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+			if err := tx.SetNodeProp(o.Node, o.Key, v); err != nil {
+				return nil, fmt.Errorf("op %d: %w", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("op %d: unknown op %q", i, o.Op)
+		}
+		results = append(results, res)
+	}
+	return results, nil
 }
 
 // --- analytics endpoints --------------------------------------------------
@@ -489,7 +616,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // 503 "degraded: ...") with the staleness detail inline, so one probe
 // format works against both the obs listener and the service port. It is
 // exempt from admission: an overloaded server must still answer probes.
+// On a sharded database the body is JSON with the per-shard fault-domain
+// breakdown; the status code keeps the same probe semantics (503 iff
+// draining or not fully healthy).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if shards := s.db.ShardHealths(); shards != nil {
+		s.writeShardedHealthz(w, shards)
+		return
+	}
 	h, fault := s.db.Health()
 	st := s.db.ReplicaStaleness()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -506,6 +640,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "ok: %s\n", detail)
+}
+
+// healthzResponse is the sharded /healthz body: overall status plus the
+// per-shard fault-domain breakdown, so a probe (or an operator's curl)
+// sees which shard is quarantined and why without a separate API call.
+type healthzResponse struct {
+	Status string              `json:"status"` // ok | degraded | draining
+	Fault  string              `json:"fault,omitempty"`
+	Shards []h2tap.ShardHealth `json:"shards"`
+}
+
+func (s *Server) writeShardedHealthz(w http.ResponseWriter, shards []h2tap.ShardHealth) {
+	resp := healthzResponse{Status: "ok", Shards: shards}
+	status := http.StatusOK
+	if h, fault := s.db.Health(); h == h2tap.Degraded {
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+		if fault != nil {
+			resp.Fault = fault.Error()
+		}
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // --- helpers --------------------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"h2tap/internal/deltastore"
@@ -16,21 +17,43 @@ import (
 	"h2tap/internal/wal"
 )
 
-// Domain is one shard: an independent MVTO timestamp domain with its own
-// main-graph store, delta store, write-ahead log, persistent pools and —
-// once the cluster starts its engines — its own cost model and simulated
-// GPU replica. It mirrors the single-shard facade's wiring (h2tap.Open /
-// StartEngine) at per-shard scope.
-type Domain struct {
-	Index int
-	Store *graph.Store
-	DS    *deltastore.Store
+// domainCore bundles the handles that live and die together with one
+// incarnation of a shard: the store, its delta store, pools and WAL. Online
+// recovery builds a fresh core from the shard's durable state and swaps it
+// in atomically; anything still holding the old core (an in-flight
+// transaction, a pinned replica) keeps a consistent — if doomed — view, and
+// the commit guard rejects publication against a superseded core.
+type domainCore struct {
+	store *graph.Store
+	ds    *deltastore.Store
 
 	deltaPool *pmem.Pool
 	csrPool   *pmem.Pool
 	wal       *wal.Log
 
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Domain is one shard: an independent MVTO timestamp domain with its own
+// main-graph store, delta store, write-ahead log, persistent pools and —
+// once the cluster starts its engines — its own cost model and simulated
+// GPU replica. It mirrors the single-shard facade's wiring (h2tap.Open /
+// StartEngine) at per-shard scope, and is an independent failure domain:
+// a latched persist failure quarantines this shard (ShardDown) without
+// touching its siblings.
+type Domain struct {
+	Index int
+
+	core   atomic.Pointer[domainCore]
 	engine atomic.Pointer[htap.Engine]
+
+	hmu        sync.Mutex
+	down       bool
+	cause      error // first persist failure that latched the quarantine
+	recovering bool
+	redown     error // quarantine requested while a recovery was running
+	recoveries atomic.Uint64
 }
 
 // poolsSentinel marks a fully initialized pool pair (same protocol as the
@@ -38,24 +61,148 @@ type Domain struct {
 // so a mid-init crash wipes and recreates rather than half-recovers).
 const poolsSentinel = "pools.ok"
 
+// Store returns the shard's current main-graph store.
+func (d *Domain) Store() *graph.Store { return d.core.Load().store }
+
+// DS returns the shard's current delta store.
+func (d *Domain) DS() *deltastore.Store { return d.core.Load().ds }
+
 // Engine returns the shard's analytics engine (nil before StartEngines).
 func (d *Domain) Engine() *htap.Engine { return d.engine.Load() }
 
 // WAL exposes the shard's write-ahead log (nil for volatile domains).
-func (d *Domain) WAL() *wal.Log { return d.wal }
+func (d *Domain) WAL() *wal.Log { return d.core.Load().wal }
 
-// domainGuard aborts commits once the shard's persistent delta store has
-// latched a write failure, and applies the engine's backpressure signal —
-// the per-shard equivalent of the facade's deltaGuard + backpressureGuard.
-type domainGuard struct{ d *Domain }
-
-func (g domainGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
-	return g.d.guardErr()
+// Health reports the shard's state. Down dominates; a WAL or delta-store
+// latch discovered here quarantines lazily (the failure already happened on
+// a persist path, Health just surfaces it before the next commit trips).
+// Degraded reflects the engine's GPU-fault ladder and clears on its own.
+func (d *Domain) Health() (HealthState, error) {
+	if !d.isDown() {
+		if core := d.core.Load(); core != nil {
+			if core.wal != nil {
+				if st := core.wal.Stats(); st.Failed != nil {
+					d.quarantine(fmt.Errorf("wal: %w", st.Failed))
+				}
+			}
+			if core.ds != nil {
+				if err := core.ds.PersistErr(); err != nil {
+					d.quarantine(fmt.Errorf("delta store: %w", err))
+				}
+			}
+		}
+	}
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if d.down {
+		return ShardDown, d.cause
+	}
+	if e := d.engine.Load(); e != nil {
+		if h, err := e.Health(); h == htap.Degraded {
+			return ShardDegraded, err
+		}
+	}
+	return ShardHealthy, nil
 }
 
-func (d *Domain) guardErr() error {
-	if err := d.DS.PersistErr(); err != nil {
-		return fmt.Errorf("shard %d: persistent delta store failed: %w", d.Index, err)
+// Recoveries counts completed RecoverShard cycles on this shard.
+func (d *Domain) Recoveries() uint64 { return d.recoveries.Load() }
+
+func (d *Domain) isDown() bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return d.down
+}
+
+// quarantine latches the shard Down with the given cause (first cause
+// wins). Idempotent; safe from any goroutine.
+//
+// During an online recovery the shard is already Down, which would make a
+// concurrent quarantine a silent no-op — but a quarantine raised in that
+// window (a commit decision landing on the superseded core, see logDecision)
+// means the core being installed may already be missing durable state, so it
+// must not come up Healthy. The request is parked in redown and consumed by
+// endRecovery: the recovery completes, the shard stays Down, and the next
+// recovery replays with the now-visible decision and converges.
+func (d *Domain) quarantine(cause error) {
+	d.hmu.Lock()
+	if d.recovering && d.redown == nil {
+		d.redown = cause
+	}
+	if !d.down {
+		d.down = true
+		d.cause = cause
+	}
+	d.hmu.Unlock()
+}
+
+// downErr returns the structured shed error for this shard.
+func (d *Domain) downErr() error {
+	d.hmu.Lock()
+	cause := d.cause
+	d.hmu.Unlock()
+	return &ShardDownError{Shard: d.Index, Cause: cause}
+}
+
+// beginRecovery transitions Down -> recovering, refusing if the shard is
+// serving or another recovery is running.
+func (d *Domain) beginRecovery() error {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	if !d.down {
+		return fmt.Errorf("%w: shard %d", ErrShardNotDown, d.Index)
+	}
+	if d.recovering {
+		return fmt.Errorf("%w: shard %d", ErrRecoveryInProgress, d.Index)
+	}
+	d.recovering = true
+	return nil
+}
+
+// endRecovery completes (or abandons) a recovery. On success the shard
+// flips back to Healthy — unless a quarantine arrived mid-recovery (see
+// quarantine), in which case it stays Down under the new cause and needs
+// another recovery pass.
+func (d *Domain) endRecovery(ok bool) {
+	d.hmu.Lock()
+	d.recovering = false
+	if ok {
+		d.recoveries.Add(1)
+		if d.redown != nil {
+			d.cause = d.redown
+		} else {
+			d.down = false
+			d.cause = nil
+		}
+	}
+	d.redown = nil
+	d.hmu.Unlock()
+}
+
+// domainGuard aborts commits once the shard is quarantined or its
+// persistent delta store has latched a write failure, and applies the
+// engine's backpressure signal — the per-shard equivalent of the facade's
+// deltaGuard + backpressureGuard. It is bound to one core incarnation:
+// after an online recovery swaps the core, transactions still attached to
+// the superseded store are rejected here rather than publishing into a
+// detached incarnation.
+type domainGuard struct {
+	d    *Domain
+	core *domainCore
+}
+
+func (g domainGuard) LogCommit(mvto.TS, []graph.LoggedOp) error {
+	return g.d.guardErr(g.core)
+}
+
+func (d *Domain) guardErr(core *domainCore) error {
+	if d.isDown() || d.core.Load() != core {
+		return d.downErr()
+	}
+	if err := core.ds.PersistErr(); err != nil {
+		err = fmt.Errorf("shard %d: persistent delta store failed: %w", d.Index, err)
+		d.quarantine(err)
+		return err
 	}
 	if e := d.engine.Load(); e != nil && e.Backpressure() {
 		return htap.ErrBackpressure
@@ -63,23 +210,93 @@ func (d *Domain) guardErr() error {
 	return nil
 }
 
+// walQuarantine routes commit records to the core's WAL and latches the
+// shard Down when an append fails: the log itself already latched
+// (ErrLogFailed), so the whole shard stops accepting writes with a
+// structured cause instead of failing one commit at a time.
+type walQuarantine struct {
+	d    *Domain
+	core *domainCore
+}
+
+func (w walQuarantine) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
+	err := w.core.wal.LogCommit(ts, ops)
+	if err != nil {
+		w.d.quarantine(fmt.Errorf("wal append: %w", err))
+	}
+	return err
+}
+
+// logPrepare appends a 2PC prepare record on this core, quarantining on
+// failure (same reasoning as walQuarantine). A superseded or quarantined
+// core is refused outright: its log may already be closed (or worse, a
+// failed best-effort close may have left the handle writable), and a
+// "durable" prepare that never reaches the current incarnation's log would
+// let the coordinator commit a transaction recovery cannot reconstruct.
+func (d *Domain) logPrepare(core *domainCore, gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
+	if core.wal == nil {
+		return nil
+	}
+	if d.isDown() || d.core.Load() != core {
+		return d.downErr()
+	}
+	if err := core.wal.LogPrepare(gtx, ts, ops); err != nil {
+		d.quarantine(fmt.Errorf("wal prepare append: %w", err))
+		return err
+	}
+	return nil
+}
+
+// logDecision appends a local 2PC decision record on this core. A failed
+// commit-decision append quarantines; the transaction outcome is already
+// durable at the coordinator, so the error never reverses it.
+//
+// A commit decision arriving on a superseded core means the transaction
+// outlived an online recovery of this shard: its prepare record and the
+// coordinator's decision are durable, but the replacement core may have
+// replayed before the decision landed and presumed abort. Quarantining
+// forces another recovery, whose replay now finds the decision and applies
+// the transaction — the live incarnation converges instead of silently
+// missing an acked commit.
+func (d *Domain) logDecision(core *domainCore, gtx uint64, commit bool) error {
+	if core.wal == nil {
+		return nil
+	}
+	if d.core.Load() != core {
+		err := fmt.Errorf("shard %d: decision for cross-shard tx %d outlived an online recovery", d.Index, gtx)
+		if commit {
+			d.quarantine(err)
+		}
+		return err
+	}
+	if err := core.wal.LogDecision(gtx, commit); err != nil {
+		if commit {
+			d.quarantine(fmt.Errorf("wal decision append: %w", err))
+		}
+		return err
+	}
+	return nil
+}
+
 // openVolatile builds an in-memory domain.
 func openVolatile(idx int) *Domain {
-	d := &Domain{Index: idx, Store: graph.NewStore(), DS: deltastore.NewVolatile()}
-	d.Store.AddCapturer(d.DS)
+	d := &Domain{Index: idx}
+	core := &domainCore{store: graph.NewStore(), ds: deltastore.NewVolatile()}
+	core.store.AddCapturer(core.ds)
+	d.core.Store(core)
 	return d
 }
 
-// openPersistent builds (or recovers) a durable domain under dir, replaying
-// its write-ahead log with decide resolving any in-doubt 2PC prepares to the
-// coordinator's durable decision. It returns the replay stats so the cluster
-// can resume its gtx counter past every ID this shard ever saw.
-func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, gc wal.GroupCommit, decide func(uint64) bool) (_ *Domain, _ wal.ReplayStats, err error) {
-	d := &Domain{Index: idx, Store: graph.NewStore()}
+// openCore builds (or recovers) one durable core under dir, replaying its
+// write-ahead log with decide resolving any in-doubt 2PC prepares to the
+// coordinator's durable decision. Both the initial open and online shard
+// recovery run exactly this path.
+func openCore(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, gc wal.GroupCommit, decide func(uint64) bool) (_ *domainCore, _ wal.ReplayStats, err error) {
+	core := &domainCore{store: graph.NewStore()}
 	var st wal.ReplayStats
 	defer func() {
 		if err != nil {
-			d.closeHandles()
+			core.close()
 		}
 	}()
 	if err := fsys.MkdirAll(dir, 0o755); err != nil {
@@ -91,13 +308,13 @@ func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bo
 	sentinelPath := filepath.Join(dir, poolsSentinel)
 
 	if _, serr := fsys.Stat(sentinelPath); serr == nil {
-		if d.deltaPool, err = pmem.OpenOn(fsys, deltaPath, sim.DefaultPMem()); err != nil {
+		if core.deltaPool, err = pmem.OpenOn(fsys, deltaPath, sim.DefaultPMem()); err != nil {
 			return nil, st, err
 		}
-		if d.csrPool, err = pmem.OpenOn(fsys, csrPath, sim.DefaultPMem()); err != nil {
+		if core.csrPool, err = pmem.OpenOn(fsys, csrPath, sim.DefaultPMem()); err != nil {
 			return nil, st, err
 		}
-		if d.DS, err = deltastore.OpenPersistent(d.deltaPool); err != nil {
+		if core.ds, err = deltastore.OpenPersistent(core.deltaPool); err != nil {
 			return nil, st, err
 		}
 	} else {
@@ -108,13 +325,13 @@ func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bo
 				}
 			}
 		}
-		if d.deltaPool, err = pmem.CreateOn(fsys, deltaPath, poolSize, sim.DefaultPMem()); err != nil {
+		if core.deltaPool, err = pmem.CreateOn(fsys, deltaPath, poolSize, sim.DefaultPMem()); err != nil {
 			return nil, st, err
 		}
-		if d.csrPool, err = pmem.CreateOn(fsys, csrPath, poolSize, sim.DefaultPMem()); err != nil {
+		if core.csrPool, err = pmem.CreateOn(fsys, csrPath, poolSize, sim.DefaultPMem()); err != nil {
 			return nil, st, err
 		}
-		if d.DS, err = deltastore.NewPersistent(d.deltaPool); err != nil {
+		if core.ds, err = deltastore.NewPersistent(core.deltaPool); err != nil {
 			return nil, st, err
 		}
 		if err = writeSentinel(fsys, sentinelPath, dir); err != nil {
@@ -131,7 +348,7 @@ func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bo
 		}
 	}
 	if _, serr := fsys.Stat(walPath); serr == nil {
-		if st, err = wal.ReplayResolved(fsys, walPath, d.Store, decide); err != nil {
+		if st, err = wal.ReplayResolved(fsys, walPath, core.store, decide); err != nil {
 			return nil, st, fmt.Errorf("shard %d: recovery: %w", idx, err)
 		}
 		if st.TornTail {
@@ -140,13 +357,34 @@ func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bo
 			}
 		}
 	}
-	if d.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: syncWAL, GroupCommit: gc, FS: fsys}); err != nil {
+	if core.wal, err = wal.Open(walPath, wal.Options{SyncEveryCommit: syncWAL, GroupCommit: gc, FS: fsys}); err != nil {
 		return nil, st, err
 	}
-	d.Store.AddOpLogger(domainGuard{d})
-	d.Store.AddOpLogger(d.wal)
-	d.Store.AddCapturer(d.DS)
+	return core, st, nil
+}
+
+// openPersistent builds (or recovers) a durable domain under dir. It
+// returns the replay stats so the cluster can resume its gtx counter past
+// every ID this shard ever saw.
+func openPersistent(fsys vfs.FS, idx int, dir string, poolSize int64, syncWAL bool, gc wal.GroupCommit, decide func(uint64) bool) (*Domain, wal.ReplayStats, error) {
+	core, st, err := openCore(fsys, idx, dir, poolSize, syncWAL, gc, decide)
+	if err != nil {
+		return nil, st, err
+	}
+	d := &Domain{Index: idx}
+	d.adoptCore(core)
 	return d, st, nil
+}
+
+// adoptCore wires the guard/WAL/capture chain onto the core's store and
+// publishes it as the domain's current incarnation.
+func (d *Domain) adoptCore(core *domainCore) {
+	core.store.AddOpLogger(domainGuard{d: d, core: core})
+	if core.wal != nil {
+		core.store.AddOpLogger(walQuarantine{d: d, core: core})
+	}
+	core.store.AddCapturer(core.ds)
+	d.core.Store(core)
 }
 
 // writeSentinel durably creates the pools-initialized marker.
@@ -168,22 +406,35 @@ func writeSentinel(fsys vfs.FS, path, dir string) error {
 	return nil
 }
 
-// closeHandles closes whatever durable handles the domain holds.
-func (d *Domain) closeHandles() error {
-	var firstErr error
-	if d.wal != nil {
-		if err := d.wal.Close(); err != nil {
-			firstErr = err
-		}
-		d.wal = nil
-	}
-	for _, p := range []*pmem.Pool{d.deltaPool, d.csrPool} {
-		if p != nil {
-			if err := p.Close(); err != nil && firstErr == nil {
-				firstErr = err
+// close closes whatever durable handles the core holds. The handle fields
+// are deliberately left non-nil: a transaction that pinned this core before
+// an online recovery superseded it must see its late prepare/decision
+// appends FAIL on the closed log (latching a quarantine that forces the
+// replacement core to re-replay and converge) — a nil wal would make
+// logPrepare/logDecision mistake the closed durable core for a volatile one
+// and silently "succeed", acking commits whose records never reached disk.
+func (c *domainCore) close() error {
+	c.closeOnce.Do(func() {
+		if c.wal != nil {
+			if err := c.wal.Close(); err != nil {
+				c.closeErr = err
 			}
 		}
+		for _, p := range []*pmem.Pool{c.deltaPool, c.csrPool} {
+			if p != nil {
+				if err := p.Close(); err != nil && c.closeErr == nil {
+					c.closeErr = err
+				}
+			}
+		}
+	})
+	return c.closeErr
+}
+
+// closeHandles closes the current core's durable handles.
+func (d *Domain) closeHandles() error {
+	if core := d.core.Load(); core != nil {
+		return core.close()
 	}
-	d.deltaPool, d.csrPool = nil, nil
-	return firstErr
+	return nil
 }

@@ -38,15 +38,15 @@ func TestRegistrySplitsAndPrune(t *testing.T) {
 	// Both halves below the cut: consistent.
 	r.add(1, map[int]mvto.TS{0: 5, 1: 7})
 	r.markDone(1)
-	if lag := r.splits([]mvto.TS{6, 8}); lag != nil {
+	if lag := r.splits([]mvto.TS{6, 8}, nil); lag != nil {
 		t.Fatalf("fully covered tx reported lagging shards %v", lag)
 	}
 	// One half visible, the other not: shard 1 lags.
-	if lag := r.splits([]mvto.TS{6, 7}); len(lag) != 1 || lag[0] != 1 {
+	if lag := r.splits([]mvto.TS{6, 7}, nil); len(lag) != 1 || lag[0] != 1 {
 		t.Fatalf("torn cut: got lagging %v, want [1]", lag)
 	}
 	// Both halves above the cut: consistent (tx entirely invisible).
-	if lag := r.splits([]mvto.TS{5, 7}); lag != nil {
+	if lag := r.splits([]mvto.TS{5, 7}, nil); lag != nil {
 		t.Fatalf("fully excluded tx reported lagging shards %v", lag)
 	}
 

@@ -24,6 +24,11 @@ type StitchResult struct {
 	Watermark []mvto.TS
 	// Epoch is the composite-view epoch this stitch produced.
 	Epoch uint64
+	// Excluded lists the Down shards this stitch left out (ascending; nil
+	// when the whole cluster participated). The composite is the logical
+	// graph restricted to the healthy shards: vertices homed on excluded
+	// shards are absent and cross-shard edges into them are dropped.
+	Excluded []int
 	// GlobalIDs lists the composite's vertices (ascending global IDs; ghost
 	// slots excluded). Result slices are indexed positionally by it.
 	GlobalIDs []uint64
@@ -73,21 +78,43 @@ func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResu
 	}
 
 	for attempt := 1; attempt <= stitchAttempts; attempt++ {
+		// Down shards are excluded from this attempt: the stitch serves the
+		// healthy subgraph rather than failing the whole request. Health is
+		// re-read per attempt so a quarantine (or recovery) landing between
+		// retries takes effect.
+		included := make([]bool, len(c.domains))
+		var excluded []int
+		for i, d := range c.domains {
+			if st, _ := d.Health(); st == ShardDown {
+				excluded = append(excluded, i)
+				continue
+			}
+			included[i] = true
+		}
+		if len(excluded) == len(c.domains) {
+			return nil, fmt.Errorf("shard: every shard is down: %w", ErrShardDown)
+		}
+
 		// Freshen anything stale before cutting (mirrors the single-shard
 		// RunAnalytics contract: analytics see updates that arrived before
 		// the request). Propagation failures degrade to the last-good
 		// replica exactly as they do per-shard.
-		for _, d := range c.domains {
-			if !d.Engine().Fresh() {
+		for i, d := range c.domains {
+			if included[i] && !d.Engine().Fresh() {
 				d.Engine().Propagate()
 			}
 		}
 
 		views := make([]analytics.Graph, len(c.domains))
 		w := make([]mvto.TS, len(c.domains))
-		releases := make([]func(), len(c.domains))
+		releases := make([]func(), 0, len(c.domains))
 		for i, d := range c.domains {
-			views[i], w[i], releases[i] = d.Engine().AcquireReplica()
+			if !included[i] {
+				continue
+			}
+			var rel func()
+			views[i], w[i], rel = d.Engine().AcquireReplica()
+			releases = append(releases, rel)
 		}
 		release := func() {
 			for i := len(releases) - 1; i >= 0; i-- {
@@ -95,7 +122,7 @@ func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResu
 			}
 		}
 
-		lagging := c.reg.splits(w)
+		lagging := c.reg.splits(w, included)
 		if lagging != nil {
 			release()
 			// A lagging shard's replica stops short of a transaction another
@@ -115,6 +142,7 @@ func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResu
 			return nil, err
 		}
 		res.Attempts = attempt
+		res.Excluded = excluded
 		c.reg.prune(w)
 		res.Epoch = c.epoch.Add(1)
 		return res, nil
@@ -142,10 +170,14 @@ func (c *Cluster) stitchAndRun(views []analytics.Graph, w []mvto.TS, kind htap.A
 	c.ghostMu.RUnlock()
 
 	// Composite vertex set: every non-ghost slot of every shard, by global
-	// ID. Holes (deleted or aborted nodes) keep their slot with no edges,
-	// matching the single-shard replica's treatment of its own holes.
+	// ID (excluded shards contribute nothing — their views are nil). Holes
+	// (deleted or aborted nodes) keep their slot with no edges, matching
+	// the single-shard replica's treatment of its own holes.
 	var gids []uint64
 	for s, v := range views {
+		if v == nil {
+			continue
+		}
 		n := v.NumVertexSlots()
 		for l := 0; l < n; l++ {
 			if _, ghost := rev[s][graph.NodeID(l)]; ghost {
@@ -179,8 +211,10 @@ func (c *Cluster) stitchAndRun(views []analytics.Graph, w []mvto.TS, kind htap.A
 			}
 			ci, ok := cidx[gdst]
 			if !ok {
-				// Unreachable under the registry invariant (an edge is only
-				// visible after its destination's slot is); dropped rather
+				// An edge into an excluded (Down) shard — its destination is
+				// not part of this composite — or, with no exclusions,
+				// unreachable under the registry invariant (an edge is only
+				// visible after its destination's slot is). Dropped rather
 				// than corrupting the composite.
 				return true
 			}
@@ -232,11 +266,14 @@ func (c *Cluster) stitchAndRun(views []analytics.Graph, w []mvto.TS, kind htap.A
 		HostWall:   time.Since(start),
 	}
 
-	// Simulated device time: each shard launches the kernel over its owned
-	// share of the traversed work concurrently; the stitched request is as
-	// slow as its slowest shard.
+	// Simulated device time: each participating shard launches the kernel
+	// over its owned share of the traversed work concurrently; the stitched
+	// request is as slow as its slowest shard.
 	if edges > 0 {
 		for s, d := range c.domains {
+			if views[s] == nil {
+				continue
+			}
 			share := out.Work.Edges * float64(owned[s]) / float64(edges)
 			kt, err := d.Engine().Device().Launch(class, share)
 			if err != nil {
@@ -246,12 +283,18 @@ func (c *Cluster) stitchAndRun(views []analytics.Graph, w []mvto.TS, kind htap.A
 				res.KernelSim = kt
 			}
 		}
-	} else if len(c.domains) > 0 {
-		kt, err := c.domains[0].Engine().Device().Launch(class, 0)
-		if err != nil {
-			return nil, fmt.Errorf("shard: kernel launch: %w", err)
+	} else {
+		for s, d := range c.domains {
+			if views[s] == nil {
+				continue
+			}
+			kt, err := d.Engine().Device().Launch(class, 0)
+			if err != nil {
+				return nil, fmt.Errorf("shard: kernel launch: %w", err)
+			}
+			res.KernelSim = kt
+			break
 		}
-		res.KernelSim = kt
 	}
 	return res, nil
 }

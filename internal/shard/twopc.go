@@ -64,13 +64,21 @@ func (r *txRegistry) markDone(gtx uint64) {
 // replica (nil means w is a consistent cut). An unpublished half always has
 // ts >= w[s] — a timestamp enters a watermark only after its transaction
 // finished — so in-flight entries are handled by the same rule.
-func (r *txRegistry) splits(w []mvto.TS) []int {
+//
+// included, when non-nil, masks the shards participating in the cut: halves
+// on excluded (Down) shards are ignored, so the barrier holds among the
+// shards actually being stitched and a quarantined participant can never
+// wedge the healthy rest behind an unmeetable watermark.
+func (r *txRegistry) splits(w []mvto.TS, included []bool) []int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var lagging map[int]bool
 	for _, e := range r.entries {
 		in, out := false, false
 		for s, ts := range e.parts {
+			if included != nil && !included[s] {
+				continue
+			}
 			if ts < w[s] {
 				in = true
 			} else {
@@ -79,6 +87,9 @@ func (r *txRegistry) splits(w []mvto.TS) []int {
 		}
 		if in && out {
 			for s, ts := range e.parts {
+				if included != nil && !included[s] {
+					continue
+				}
 				if ts >= w[s] {
 					if lagging == nil {
 						lagging = make(map[int]bool)

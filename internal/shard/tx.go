@@ -6,18 +6,30 @@ import (
 	"sort"
 
 	"h2tap/internal/graph"
+	"h2tap/internal/htap"
 	"h2tap/internal/mvto"
 )
 
 // Tx is a cluster-wide read-write transaction. It lazily opens one
 // sub-transaction per touched shard and routes every operation to the owner
-// domain via the partitioner's global↔local ID mapping. Commit uses the
-// single-shard fast path (today's exact commit sequence, one shard touched)
-// or two-phase commit (several shards). A Tx is used by one goroutine.
+// domain via the partitioner's global↔local ID mapping. Opening against a
+// Down shard is refused with a ShardDownError — one quarantined shard sheds
+// exactly the traffic that touches it. Commit uses the single-shard fast
+// path (today's exact commit sequence, one shard touched) or two-phase
+// commit (several shards). A Tx is used by one goroutine.
 type Tx struct {
 	c    *Cluster
-	subs map[int]*graph.Tx
+	subs map[int]*subTx
 	done bool
+}
+
+// subTx pins one shard's sub-transaction to the core incarnation it was
+// opened against. If the shard is recovered mid-transaction, the commit
+// guard rejects publication against the superseded core.
+type subTx struct {
+	tx   *graph.Tx
+	core *domainCore
+	d    *Domain
 }
 
 // Errors.
@@ -28,17 +40,23 @@ var (
 
 // Begin starts a cluster transaction.
 func (c *Cluster) Begin() *Tx {
-	return &Tx{c: c, subs: make(map[int]*graph.Tx)}
+	return &Tx{c: c, subs: make(map[int]*subTx)}
 }
 
-// sub returns (opening if needed) the sub-transaction on shard i.
-func (t *Tx) sub(i int) *graph.Tx {
-	s, ok := t.subs[i]
-	if !ok {
-		s = t.c.domains[i].Store.Begin()
-		t.subs[i] = s
+// sub returns (opening if needed) the sub-transaction on shard i, shedding
+// with a ShardDownError if the shard is quarantined.
+func (t *Tx) sub(i int) (*subTx, error) {
+	if s, ok := t.subs[i]; ok {
+		return s, nil
 	}
-	return s
+	d := t.c.domains[i]
+	if st, _ := d.Health(); st == ShardDown {
+		return nil, d.downErr()
+	}
+	core := d.core.Load()
+	s := &subTx{tx: core.store.Begin(), core: core, d: d}
+	t.subs[i] = s
+	return s, nil
 }
 
 // AddNode creates a node, placed by hashing the cluster's allocation
@@ -48,7 +66,11 @@ func (t *Tx) AddNode(label string, props map[string]graph.Value) (uint64, error)
 		return 0, ErrTxDone
 	}
 	shard := t.c.part.Place(t.c.seq.Add(1))
-	local, err := t.sub(shard).AddNode(label, props)
+	s, err := t.sub(shard)
+	if err != nil {
+		return 0, err
+	}
+	local, err := s.tx.AddNode(label, props)
 	if err != nil {
 		return 0, err
 	}
@@ -66,7 +88,11 @@ func (t *Tx) AddRel(src, dst uint64, label string, weight float64) (uint64, erro
 	p := t.c.part
 	ss, ds := p.ShardOf(src), p.ShardOf(dst)
 	if ss == ds {
-		rid, err := t.sub(ss).AddRel(p.Local(src), p.Local(dst), label, weight)
+		s, err := t.sub(ss)
+		if err != nil {
+			return 0, err
+		}
+		rid, err := s.tx.AddRel(p.Local(src), p.Local(dst), label, weight)
 		if err != nil {
 			return 0, err
 		}
@@ -75,14 +101,22 @@ func (t *Tx) AddRel(src, dst uint64, label string, weight float64) (uint64, erro
 	// Cross-shard: validate the destination where it lives (records the
 	// read, making this transaction a participant in the destination shard),
 	// then insert against the local ghost in the owner shard.
-	if !t.sub(ds).NodeExists(p.Local(dst)) {
+	dsub, err := t.sub(ds)
+	if err != nil {
+		return 0, err
+	}
+	if !dsub.tx.NodeExists(p.Local(dst)) {
 		return 0, fmt.Errorf("%w: destination node %d", graph.ErrNotFound, dst)
+	}
+	ssub, err := t.sub(ss)
+	if err != nil {
+		return 0, err
 	}
 	ghost, err := t.ghostFor(ss, dst)
 	if err != nil {
 		return 0, err
 	}
-	rid, err := t.sub(ss).AddRel(p.Local(src), ghost, label, weight)
+	rid, err := ssub.tx.AddRel(p.Local(src), ghost, label, weight)
 	if err != nil {
 		return 0, err
 	}
@@ -95,14 +129,18 @@ func (t *Tx) AddRel(src, dst uint64, label string, weight float64) (uint64, erro
 // forever so any slot ever used as a ghost stays out of the composite view.
 func (t *Tx) ghostFor(owner int, gid uint64) (graph.NodeID, error) {
 	c := t.c
+	s, err := t.sub(owner)
+	if err != nil {
+		return 0, err
+	}
 	c.ghostMu.Lock()
 	defer c.ghostMu.Unlock()
 	if local, ok := c.ghostFwd[owner][gid]; ok {
-		if t.sub(owner).NodeExists(local) {
+		if s.tx.NodeExists(local) {
 			return local, nil
 		}
 	}
-	local, err := t.sub(owner).AddNode(GhostLabel,
+	local, err := s.tx.AddNode(GhostLabel,
 		map[string]graph.Value{GhostGIDKey: graph.Int(int64(gid))})
 	if err != nil {
 		return 0, err
@@ -118,7 +156,11 @@ func (t *Tx) DeleteRel(rel uint64) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return t.sub(t.c.part.ShardOf(rel)).DeleteRel(t.c.part.Local(rel))
+	s, err := t.sub(t.c.part.ShardOf(rel))
+	if err != nil {
+		return err
+	}
+	return s.tx.DeleteRel(t.c.part.Local(rel))
 }
 
 // DeleteNode deletes a node and, cascading, every relationship attached to
@@ -132,7 +174,11 @@ func (t *Tx) DeleteNode(node uint64) error {
 	}
 	p := t.c.part
 	home := p.ShardOf(node)
-	if err := t.sub(home).DeleteNode(p.Local(node)); err != nil {
+	hs, err := t.sub(home)
+	if err != nil {
+		return err
+	}
+	if err := hs.tx.DeleteNode(p.Local(node)); err != nil {
 		return err
 	}
 	t.c.ghostMu.RLock()
@@ -147,10 +193,14 @@ func (t *Tx) DeleteNode(node uint64) error {
 	}
 	t.c.ghostMu.RUnlock()
 	for s, local := range ghosts {
-		if !t.sub(s).NodeExists(local) {
+		gs, err := t.sub(s)
+		if err != nil {
+			return fmt.Errorf("cascade ghost of node %d: %w", node, err)
+		}
+		if !gs.tx.NodeExists(local) {
 			continue // ghost never committed or already gone
 		}
-		if err := t.sub(s).DeleteNode(local); err != nil {
+		if err := gs.tx.DeleteNode(local); err != nil {
 			return fmt.Errorf("shard %d: cascade ghost of node %d: %w", s, node, err)
 		}
 	}
@@ -162,7 +212,11 @@ func (t *Tx) SetNodeProp(node uint64, key string, val graph.Value) error {
 	if t.done {
 		return ErrTxDone
 	}
-	return t.sub(t.c.part.ShardOf(node)).SetNodeProp(t.c.part.Local(node), key, val)
+	s, err := t.sub(t.c.part.ShardOf(node))
+	if err != nil {
+		return err
+	}
+	return s.tx.SetNodeProp(t.c.part.Local(node), key, val)
 }
 
 // GetNodeProp reads one property of a node from its home shard.
@@ -170,15 +224,25 @@ func (t *Tx) GetNodeProp(node uint64, key string) (graph.Value, error) {
 	if t.done {
 		return graph.Value{}, ErrTxDone
 	}
-	return t.sub(t.c.part.ShardOf(node)).GetNodeProp(t.c.part.Local(node), key)
+	s, err := t.sub(t.c.part.ShardOf(node))
+	if err != nil {
+		return graph.Value{}, err
+	}
+	return s.tx.GetNodeProp(t.c.part.Local(node), key)
 }
 
-// NodeExists reports whether a node is visible, recording the read.
+// NodeExists reports whether a node is visible, recording the read. A node
+// on a Down shard reads as absent (the shard is shed; callers needing the
+// distinction use GetNodeProp, which returns the structured error).
 func (t *Tx) NodeExists(node uint64) bool {
 	if t.done {
 		return false
 	}
-	return t.sub(t.c.part.ShardOf(node)).NodeExists(t.c.part.Local(node))
+	s, err := t.sub(t.c.part.ShardOf(node))
+	if err != nil {
+		return false
+	}
+	return s.tx.NodeExists(t.c.part.Local(node))
 }
 
 // Participants reports the shards this transaction has touched so far, in
@@ -200,11 +264,25 @@ func (t *Tx) Abort() error {
 	t.done = true
 	var firstErr error
 	for _, s := range t.subs {
-		if err := s.Abort(); err != nil && firstErr == nil {
+		if err := s.tx.Abort(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
+}
+
+// shedOrRaw classifies a commit-path failure on one shard: if the shard is
+// (or just became) quarantined and the error is not already structured, it
+// is wrapped in a ShardDownError so callers and the server see which
+// failure domain shed the write.
+func shedOrRaw(d *Domain, err error) error {
+	if errors.Is(err, ErrShardDown) || errors.Is(err, htap.ErrBackpressure) {
+		return err
+	}
+	if st, _ := d.Health(); st == ShardDown {
+		return &ShardDownError{Shard: d.Index, Cause: err}
+	}
+	return err
 }
 
 // Commit commits the transaction.
@@ -220,10 +298,18 @@ func (t *Tx) Abort() error {
 // stitcher's cross-transaction registry. The commit point is the decision
 // record appended to the coordinator log; after it, phase two appends a
 // local decision record to each participant WAL and publishes (delta capture
-// + MVTO commit), releasing the gates. Any phase-one failure — or a
-// coordinator append failure — aborts every participant (presumed abort: a
-// crash before the coordinator decision leaves recovery resolving the
-// prepares to abort).
+// + MVTO commit), releasing the gates.
+//
+// Participant failure: a prepare that fails — the shard was already Down,
+// or the prepare append latched its WAL — aborts every participant
+// (presumed abort: without a coordinator decision, recovery resolves the
+// prepares to abort) and quarantines the failing shard if the failure was a
+// persist error. A coordinator append failure likewise aborts (and latches
+// only cross-shard commits; see CoordErr). After the coordinator's decision
+// is durable the outcome is commit, unconditionally: a phase-two failure
+// quarantines the failing shard but does not surface an error, because the
+// prepare record plus the coordinator decision guarantee the transaction
+// survives that shard's recovery.
 func (t *Tx) Commit() error {
 	if t.done {
 		return ErrTxDone
@@ -235,86 +321,93 @@ func (t *Tx) Commit() error {
 	case 0:
 		return nil
 	case 1:
-		return t.subs[parts[0]].Commit()
+		s := t.subs[parts[0]]
+		if err := s.tx.Commit(); err != nil {
+			return shedOrRaw(s.d, err)
+		}
+		return nil
 	}
 
 	c := t.c
+
+	// A latched coordinator cannot durably decide: fail fast before taking
+	// any commit gate.
+	if err := c.CoordErr(); err != nil {
+		for _, s := range t.subs {
+			s.tx.Abort()
+		}
+		return err
+	}
+
 	gtx := c.gtx.Add(1)
 	prepared := make(map[int]*graph.PreparedTx, len(parts))
 
 	abortAll := func() {
-		for _, s := range parts {
-			d := c.domains[s]
-			if p, ok := prepared[s]; ok {
+		for _, sidx := range parts {
+			s := t.subs[sidx]
+			if p, ok := prepared[sidx]; ok {
 				p.Finish(false, func() error {
-					if d.wal == nil {
-						return nil
-					}
-					return d.wal.LogDecision(gtx, false)
+					return s.d.logDecision(s.core, gtx, false)
 				})
 			} else {
-				t.subs[s].Abort()
+				s.tx.Abort()
 			}
 		}
-		if c.coord != nil {
-			// Best-effort: shrinks the in-doubt window; absence still means
-			// abort.
-			c.coord.LogDecision(gtx, false)
-		}
+		// Best-effort: shrinks the in-doubt window; absence still means
+		// abort.
+		c.logCoordDecision(gtx, false)
 	}
 
 	// Phase one, ascending shard order (the gate-ordering discipline that
 	// keeps reader wait chains acyclic against checkpoint writers).
 	partTS := make(map[int]mvto.TS, len(parts))
-	for _, s := range parts {
-		d := c.domains[s]
-		p, err := t.subs[s].PrepareCommit(func(ts mvto.TS, ops []graph.LoggedOp) error {
-			if gerr := d.guardErr(); gerr != nil {
+	for _, sidx := range parts {
+		s := t.subs[sidx]
+		p, err := s.tx.PrepareCommit(func(ts mvto.TS, ops []graph.LoggedOp) error {
+			if gerr := s.d.guardErr(s.core); gerr != nil {
 				return gerr
 			}
-			if d.wal == nil {
-				return nil
-			}
-			return d.wal.LogPrepare(gtx, ts, ops)
+			return s.d.logPrepare(s.core, gtx, ts, ops)
 		})
 		if err != nil {
 			abortAll()
-			return fmt.Errorf("shard %d: prepare: %w", s, err)
+			if shed := shedOrRaw(s.d, err); shed != err {
+				return shed
+			}
+			return fmt.Errorf("shard %d: prepare: %w", sidx, err)
 		}
-		prepared[s] = p
-		partTS[s] = p.TS()
+		prepared[sidx] = p
+		partTS[sidx] = p.TS()
 	}
 
 	// Register before any half can publish, so no stitch can cut between
 	// the halves from here on.
 	c.reg.add(gtx, partTS)
 
-	// Commit point: the coordinator's durable decision.
-	if c.coord != nil {
-		if err := c.coord.LogDecision(gtx, true); err != nil {
-			c.reg.remove(gtx)
-			abortAll()
-			return fmt.Errorf("shard: coordinator decision: %w", err)
-		}
+	// Commit point: the coordinator's durable decision. An errored append is
+	// treated as abort, but the record may have landed before the error (a
+	// lost ack), in which case the log — the commit point — says committed;
+	// the note (registered before the append so no reconcile can slip into
+	// the gap) lets RecoverCoordinator settle that contradiction.
+	c.noteHeuristicAbort(gtx, parts)
+	if err := c.logCoordDecision(gtx, true); err != nil {
+		c.reg.remove(gtx)
+		abortAll()
+		return fmt.Errorf("%w: decision append: %v", ErrCoordinatorDown, err)
 	}
+	c.dropHeuristicAbort(gtx)
 
-	// Phase two: local decision records + publication. A local decision or
-	// publish hiccup no longer reverses the outcome — the coordinator
-	// decided commit and recovery enforces it — so errors are surfaced but
-	// every participant still publishes.
-	var firstErr error
-	for _, s := range parts {
-		d := c.domains[s]
-		err := prepared[s].Finish(true, func() error {
-			if d.wal == nil {
-				return nil
-			}
-			return d.wal.LogDecision(gtx, true)
+	// Phase two: local decision records + publication. The coordinator
+	// decided commit and recovery enforces it, so a participant failure here
+	// quarantines that shard (its durable state now lags its siblings) but
+	// the transaction itself is committed — every participant publishes and
+	// the caller gets success.
+	for _, sidx := range parts {
+		s := t.subs[sidx]
+		prepared[sidx].Finish(true, func() error {
+			return s.d.logDecision(s.core, gtx, true)
 		})
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("shard %d: commit: %w", s, err)
-		}
 	}
 	c.reg.markDone(gtx)
-	return firstErr
+	return nil
 }

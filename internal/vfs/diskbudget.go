@@ -1,0 +1,136 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// ErrDiskFull is the error a BudgetFS returns once its byte budget is
+// exhausted. It wraps syscall.ENOSPC so callers that classify storage
+// errors the POSIX way (errors.Is(err, syscall.ENOSPC)) see a realistic
+// disk-full condition rather than a generic injected error.
+var ErrDiskFull = fmt.Errorf("vfs: disk full: %w", syscall.ENOSPC)
+
+// BudgetFS wraps an FS and simulates a volume running out of space: once
+// the cumulative bytes written to files under Prefix exceed the budget,
+// every further write there fails with ErrDiskFull. A write straddling the
+// boundary is applied partially (the bytes that still fit land, the rest do
+// not) and still returns ErrDiskFull — exactly the short-write shape a real
+// ENOSPC produces, which is what makes the WAL's rewind-and-latch path
+// worth exercising under it.
+//
+// Unlike a crash, the medium stays readable and metadata operations keep
+// working; only data writes are refused. SetBudget refills the budget at
+// runtime (the operator freed space), composing with faultinject.FS on
+// either side.
+type BudgetFS struct {
+	inner FS
+
+	mu        sync.Mutex
+	prefix    string
+	remaining int64
+	exhausted bool
+}
+
+// DiskBudget wraps inner so writes under prefix fail with ErrDiskFull after
+// budget bytes. An empty prefix budgets every path.
+func DiskBudget(inner FS, budget int64, prefix string) *BudgetFS {
+	return &BudgetFS{inner: inner, prefix: prefix, remaining: budget}
+}
+
+// SetBudget resets the remaining byte budget (simulating freed space) and
+// clears the exhausted latch.
+func (b *BudgetFS) SetBudget(n int64) {
+	b.mu.Lock()
+	b.remaining = n
+	b.exhausted = false
+	b.mu.Unlock()
+}
+
+// Remaining reports the bytes still writable before ErrDiskFull.
+func (b *BudgetFS) Remaining() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// Exhausted reports whether any write has hit the budget since the last
+// SetBudget.
+func (b *BudgetFS) Exhausted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}
+
+// charge reserves up to n bytes and reports how many fit.
+func (b *BudgetFS) charge(n int) (allowed int, full bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if int64(n) <= b.remaining {
+		b.remaining -= int64(n)
+		return n, false
+	}
+	allowed = int(b.remaining)
+	b.remaining = 0
+	b.exhausted = true
+	return allowed, true
+}
+
+var _ FS = (*BudgetFS)(nil)
+
+func (b *BudgetFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := b.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	budgeted := b.prefix == "" || strings.HasPrefix(name, b.prefix)
+	b.mu.Unlock()
+	if !budgeted {
+		return f, nil
+	}
+	return &budgetFile{File: f, fs: b}, nil
+}
+
+func (b *BudgetFS) Rename(oldname, newname string) error { return b.inner.Rename(oldname, newname) }
+func (b *BudgetFS) Remove(name string) error             { return b.inner.Remove(name) }
+func (b *BudgetFS) Stat(name string) (os.FileInfo, error) {
+	return b.inner.Stat(name)
+}
+func (b *BudgetFS) MkdirAll(name string, perm os.FileMode) error {
+	return b.inner.MkdirAll(name, perm)
+}
+func (b *BudgetFS) SyncDir(name string) error { return b.inner.SyncDir(name) }
+
+// budgetFile charges data writes against the shared budget.
+type budgetFile struct {
+	File
+	fs *BudgetFS
+}
+
+func (f *budgetFile) Write(p []byte) (int, error) {
+	allowed, full := f.fs.charge(len(p))
+	if !full {
+		return f.File.Write(p)
+	}
+	var n int
+	if allowed > 0 {
+		n, _ = f.File.Write(p[:allowed])
+	}
+	return n, ErrDiskFull
+}
+
+func (f *budgetFile) WriteAt(p []byte, off int64) (int, error) {
+	allowed, full := f.fs.charge(len(p))
+	if !full {
+		return f.File.WriteAt(p, off)
+	}
+	var n int
+	if allowed > 0 {
+		n, _ = f.File.WriteAt(p[:allowed], off)
+	}
+	return n, ErrDiskFull
+}

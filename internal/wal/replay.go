@@ -90,9 +90,27 @@ func ReplayFS(fsys vfs.FS, path string, s *graph.Store) (ReplayStats, error) {
 // prepare records are held aside until a decision record resolves them, and
 // transactions still in doubt at the end of the log are resolved by decide —
 // the coordinator's durable decision — or presumed aborted when decide is
-// nil or reports no decision. A prepared transaction held its MVTO write
-// locks until the crash, so no later record touches its objects and folding
-// its operations at end-of-log is order-safe.
+// nil or reports no decision.
+//
+// Fold order: a prepare left in doubt by a crash held its MVTO write locks
+// until the end of that incarnation's history, but after an ONLINE shard
+// recovery the replacement incarnation serves on — later records in the
+// same log legitimately touch the in-doubt transaction's objects. Folding
+// its operations at end-of-log would clobber those newer committed writes,
+// so a coordinator-committed in-doubt transaction is folded at its
+// timestamp position instead: immediately before the first later record,
+// using the shard-local timestamps both carry. (Recovery also resumes the
+// timestamp oracle past every timestamp seen in the log — applied or not —
+// so cross-incarnation timestamps never collide; see the recPrepare case.)
+//
+// Decision authority: when decide is available it overrides a local abort
+// decision record. A participant appends a local abort only while the
+// coordinator's commit decision was never acknowledged; if that decision
+// nevertheless became durable (a lost ack — crash after a full append), the
+// coordinator log is the commit point and every shard's recovery must obey
+// it uniformly, or a transaction could resurrect on the shards that folded
+// it by timestamp and stay aborted on the ones that saw their local abort
+// record first.
 func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx uint64) bool) (ReplayStats, error) {
 	if fsys == nil {
 		fsys = vfs.OS()
@@ -112,10 +130,14 @@ func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx ui
 
 	// Pending 2PC transactions: prepared but not yet decided at the current
 	// scan position, in prepare order for deterministic end-of-log folding.
+	// applied marks a transaction already folded at its timestamp position
+	// (coordinator-committed, passed by a later record); it must not fold
+	// again when its decision record or the end of the log arrives.
 	type prepared struct {
-		gtx uint64
-		ts  mvto.TS
-		ops []graph.LoggedOp
+		gtx     uint64
+		ts      mvto.TS
+		ops     []graph.LoggedOp
+		applied bool
 	}
 	var pending []prepared
 	applyOps := func(ts mvto.TS, ops []graph.LoggedOp) {
@@ -199,14 +221,28 @@ func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx ui
 			if rec.gtx > st.MaxGtx {
 				st.MaxGtx = rec.gtx
 			}
+			// Resume the oracle past this timestamp even if the transaction
+			// ends up presumed-aborted: the next incarnation must never hand
+			// out a timestamp at or below one already written to the log, or
+			// a later replay could fold the resurrected transaction above
+			// writes that semantically superseded it.
+			if rec.ts > maxTS {
+				maxTS = rec.ts
+			}
 			pending = append(pending, prepared{gtx: rec.gtx, ts: rec.ts, ops: rec.ops})
 		case recDecision:
 			if rec.gtx > st.MaxGtx {
 				st.MaxGtx = rec.gtx
 			}
+			// The coordinator's durable decision overrides a local abort
+			// record (see the decision-authority note above).
+			commit := rec.commit
+			if !commit && decide != nil && decide(rec.gtx) {
+				commit = true
+			}
 			for i := range pending {
 				if pending[i].gtx == rec.gtx {
-					if rec.commit {
+					if commit && !pending[i].applied {
 						applyOps(pending[i].ts, pending[i].ops)
 					}
 					pending = append(pending[:i], pending[i+1:]...)
@@ -214,6 +250,16 @@ func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx ui
 				}
 			}
 		default:
+			// Fold coordinator-committed pending transactions that precede
+			// this record in timestamp order first: after an online recovery
+			// they no longer hold their write locks, so this record may
+			// overwrite their objects and must fold after them.
+			for i := range pending {
+				if !pending[i].applied && pending[i].ts < rec.ts && decide != nil && decide(pending[i].gtx) {
+					applyOps(pending[i].ts, pending[i].ops)
+					pending[i].applied = true
+				}
+			}
 			applyOps(rec.ts, rec.ops)
 		}
 		off += int64(recordHeaderSize + size)
@@ -225,6 +271,10 @@ func ReplayResolved(fsys vfs.FS, path string, s *graph.Store, decide func(gtx ui
 	// one means it never committed anywhere (presumed abort).
 	for _, p := range pending {
 		st.InDoubt = append(st.InDoubt, p.gtx)
+		if p.applied {
+			st.InDoubtCommitted++
+			continue
+		}
 		if decide != nil && decide(p.gtx) {
 			applyOps(p.ts, p.ops)
 			st.InDoubtCommitted++

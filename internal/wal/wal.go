@@ -125,6 +125,11 @@ type Stats struct {
 	Batches     uint64 // group-commit flushes issued (Appends/Batches = mean batch)
 	MaxBatch    uint64 // largest records-per-flush observed
 	FlushNanos  uint64 // wall nanoseconds spent inside batch write+sync
+	// Failed is the log's sticky failure latch, nil while healthy. A
+	// latched log refuses every append with ErrLogFailed; exposing the
+	// cause here lets health surfaces report it without waiting for the
+	// next commit attempt to trip over it.
+	Failed error
 }
 
 // Stats snapshots the append counters for metrics exposition.
@@ -134,6 +139,7 @@ func (l *Log) Stats() Stats {
 	return Stats{
 		Appends: l.appends, AppendBytes: l.appendBytes, Syncs: l.syncs,
 		Batches: l.batches, MaxBatch: l.maxBatch, FlushNanos: l.flushNanos,
+		Failed: l.failed,
 	}
 }
 

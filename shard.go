@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 
 	"h2tap/internal/analytics"
 	"h2tap/internal/htap"
+	"h2tap/internal/obs"
 	"h2tap/internal/shard"
 )
 
@@ -34,13 +36,27 @@ var (
 	ErrSharded = errors.New("h2tap: not supported with Shards > 1")
 )
 
+// Per-shard fault-domain surface (DESIGN.md §5j). A shard whose durable
+// medium latches a persist failure is quarantined (ShardDown): writes
+// touching it shed with a ShardDownError carrying the shard index, stitched
+// analytics serve the healthy subgraph, and RecoverShard reopens it online.
+var (
+	// ErrShardDown matches any shed write via errors.Is; errors.As a
+	// *ShardDownError extracts the shard index and cause.
+	ErrShardDown = shard.ErrShardDown
+	// ErrCoordinatorDown reports cross-shard commits refused because the
+	// 2PC coordinator log latched a failure (single-shard traffic serves).
+	ErrCoordinatorDown = shard.ErrCoordinatorDown
+)
+
+// ShardDownError is the structured shed error for writes touching a
+// quarantined shard.
+type ShardDownError = shard.ShardDownError
+
 // openSharded is the Open path for Shards > 1.
 func openSharded(opts Options) (*DB, error) {
 	if opts.Undirected {
 		return nil, fmt.Errorf("%w: Undirected", ErrSharded)
-	}
-	if opts.Observer != nil {
-		return nil, fmt.Errorf("%w: Observer (per-shard observability is not wired yet)", ErrSharded)
 	}
 	c, err := shard.Open(shard.Options{
 		Shards:          opts.Shards,
@@ -59,7 +75,77 @@ func openSharded(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{opts: opts, cluster: c}, nil
+	db := &DB{opts: opts, cluster: c}
+	db.wireShardObs()
+	return db, nil
+}
+
+// wireShardObs registers the per-shard fault-domain metric families on the
+// shared observer registry: health as a gauge (0 healthy, 1 degraded,
+// 2 down) and completed online recoveries as a counter, one series per
+// shard. Engine-level families are not wired per shard yet; the fault
+// surface is what /healthz and alerting need first.
+func (db *DB) wireShardObs() {
+	o := db.opts.Observer
+	if o == nil || db.cluster == nil {
+		return
+	}
+	for i := 0; i < db.cluster.Shards(); i++ {
+		d := db.cluster.Domain(i)
+		lbl := obs.L("shard", strconv.Itoa(i))
+		o.Reg.GaugeFunc("h2tap_shard_health",
+			"Shard fault-domain state: 0 healthy, 1 degraded, 2 down.",
+			func() float64 { st, _ := d.Health(); return float64(st) }, lbl)
+		o.Reg.CounterFunc("h2tap_shard_recoveries_total",
+			"Completed online shard recoveries (RecoverShard).",
+			func() float64 { return float64(d.Recoveries()) }, lbl)
+	}
+}
+
+// ShardHealth is one shard's entry in the per-shard health breakdown.
+type ShardHealth struct {
+	Shard      int    `json:"shard"`
+	State      string `json:"state"` // healthy | degraded | down
+	Cause      string `json:"cause,omitempty"`
+	Recoveries uint64 `json:"recoveries,omitempty"`
+}
+
+// ShardHealths reports every shard's fault-domain state (nil on a
+// single-domain database).
+func (db *DB) ShardHealths() []ShardHealth {
+	if db.cluster == nil {
+		return nil
+	}
+	out := make([]ShardHealth, db.cluster.Shards())
+	for i := range out {
+		d := db.cluster.Domain(i)
+		st, cause := d.Health()
+		out[i] = ShardHealth{Shard: i, State: st.String(), Recoveries: d.Recoveries()}
+		if cause != nil {
+			out[i].Cause = cause.Error()
+		}
+	}
+	return out
+}
+
+// RecoverShard reopens a Down shard from its own WAL and checkpoint while
+// the rest of the cluster keeps serving (sharded databases only). The
+// underlying fault must be cleared first; see shard.Cluster.RecoverShard.
+func (db *DB) RecoverShard(i int) error {
+	if db.cluster == nil {
+		return ErrNotSharded
+	}
+	return db.cluster.RecoverShard(i)
+}
+
+// RecoverCoordinator reopens a latched 2PC coordinator decision log,
+// restoring cross-shard commits (sharded databases only; no-op while the
+// coordinator is healthy).
+func (db *DB) RecoverCoordinator() error {
+	if db.cluster == nil {
+		return ErrNotSharded
+	}
+	return db.cluster.RecoverCoordinator()
 }
 
 // Cluster exposes the shard cluster (nil on a single-domain database).
@@ -191,11 +277,11 @@ func (db *DB) shardedStats() Stats {
 	}
 	for i := 0; i < c.Shards(); i++ {
 		d := c.Domain(i)
-		st.LiveNodes += d.Store.LiveNodes()
-		st.LiveRels += d.Store.LiveRels()
-		st.DeltaRecords += d.DS.Records()
-		st.DeltaBytes += d.DS.ArrayBytes()
-		st.DeltaMode = st.DeltaMode || d.DS.DeltaMode()
+		st.LiveNodes += d.Store().LiveNodes()
+		st.LiveRels += d.Store().LiveRels()
+		st.DeltaRecords += d.DS().Records()
+		st.DeltaBytes += d.DS().ArrayBytes()
+		st.DeltaMode = st.DeltaMode || d.DS().DeltaMode()
 		if e := d.Engine(); e != nil {
 			if ts := uint64(e.ReplicaTS()); ts > st.ReplicaTS {
 				st.ReplicaTS = ts
@@ -218,14 +304,24 @@ func (db *DB) shardedStats() Stats {
 	return st
 }
 
-// shardedHealth reports Degraded if any shard's engine is.
+// shardedHealth reports Degraded if any shard is Down or its engine is
+// degraded. The facade Health enum has two states; a quarantined shard maps
+// to Degraded (the cluster still serves) with the structured ShardDownError
+// as the cause — ShardHealths gives the full per-shard breakdown.
 func (db *DB) shardedHealth() (Health, error) {
 	for i := 0; i < db.cluster.Shards(); i++ {
-		if e := db.cluster.Domain(i).Engine(); e != nil {
+		d := db.cluster.Domain(i)
+		if st, cause := d.Health(); st == shard.ShardDown {
+			return Degraded, &shard.ShardDownError{Shard: i, Cause: cause}
+		}
+		if e := d.Engine(); e != nil {
 			if h, err := e.Health(); h == htap.Degraded {
 				return h, fmt.Errorf("shard %d: %w", i, err)
 			}
 		}
+	}
+	if err := db.cluster.CoordErr(); err != nil {
+		return Degraded, err
 	}
 	return Healthy, nil
 }
