@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak shard-soak obs-smoke server-smoke bench-record verify-bench clean
+.PHONY: verify build vet test race crash crash-full fuzz-smoke fault-soak shard-soak obs-smoke server-smoke reqtrace-soak bench-record verify-bench clean
 
 # verify is the CI entry point: static checks, the full test suite, race
 # detection on the concurrency-heavy packages, a short-budget crash-point
@@ -75,6 +75,13 @@ obs-smoke:
 # (see scripts/server-smoke.sh).
 server-smoke:
 	./scripts/server-smoke.sh
+
+# reqtrace-soak races the request tracer for real: a -race build of
+# h2tap-server with tracing at full sampling serves concurrent loadgen
+# traffic while /debug/requests and /debug/trace readers hammer the
+# retention rings (see scripts/reqtrace-soak.sh).
+reqtrace-soak:
+	./scripts/reqtrace-soak.sh
 
 # fault-soak hammers propagation with randomized GPU faults through the
 # bench CLI (see internal/crashtest gpufaults for the invariants checked).

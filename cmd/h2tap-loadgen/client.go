@@ -46,6 +46,12 @@ type clientReport struct {
 	AnalyticsP99 float64          `json:"analytics_p99_ms"`
 	Throughput   float64          `json:"accepted_per_sec"`
 	Faults       map[string]int64 `json:"faults,omitempty"`
+	// Server-side attribution, scraped from /debug/requests after the run:
+	// how many slow traces the server retained during the window and which
+	// phase dominated each (wal-fsync, 2pc, admission, ...). Omitted when
+	// the endpoint is unreachable, so plain file-serving targets still work.
+	SlowTraces     int64            `json:"slow_traces,omitempty"`
+	SlowTracePhase map[string]int64 `json:"slow_trace_phases,omitempty"`
 }
 
 type latRecorder struct {
@@ -206,6 +212,7 @@ func runClient(cfg clientConfig) int {
 		Faults:       faultCounts,
 	}
 	rec.mu.Unlock()
+	rep.SlowTraces, rep.SlowTracePhase = fetchSlowTraces(cfg.base, cfg.timeout)
 
 	if cfg.jsonOut {
 		json.NewEncoder(os.Stdout).Encode(rep) //nolint:errcheck
@@ -227,12 +234,63 @@ func runClient(cfg clientConfig) int {
 		for f, n := range rep.Faults {
 			fmt.Printf("fault[%s]: %d injected\n", f, n)
 		}
+		if rep.SlowTraces > 0 {
+			var phases []string
+			for p := range rep.SlowTracePhase {
+				phases = append(phases, p)
+			}
+			sort.Strings(phases)
+			fmt.Printf("server slow traces: %d retained\n", rep.SlowTraces)
+			for _, p := range phases {
+				fmt.Printf("slow-phase[%s]: %d\n", p, rep.SlowTracePhase[p])
+			}
+		}
 	}
 	if rep.Accepted == 0 {
 		fmt.Fprintln(os.Stderr, "h2tap-loadgen: no request was accepted")
 		return 1
 	}
 	return 0
+}
+
+// fetchSlowTraces scrapes the server's /debug/requests retention rings
+// after a run and tallies the slow traces by dominant latency phase —
+// closing the loop from client-observed p99 to server-side attribution in
+// one report. Best-effort: any error (endpoint absent, server gone) yields
+// zero values and the report simply omits the fields.
+func fetchSlowTraces(base string, timeout time.Duration) (int64, map[string]int64) {
+	hc := &http.Client{Timeout: timeout}
+	resp, err := hc.Get(base + "/debug/requests")
+	if err != nil {
+		return 0, nil
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil
+	}
+	var doc struct {
+		Slow []struct {
+			Dominant string `json:"dominant_phase"`
+		} `json:"slow"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&doc); err != nil {
+		return 0, nil
+	}
+	if len(doc.Slow) == 0 {
+		return 0, nil
+	}
+	phases := make(map[string]int64)
+	for _, s := range doc.Slow {
+		p := s.Dominant
+		if p == "" {
+			p = "unknown"
+		}
+		phases[p]++
+	}
+	return int64(len(doc.Slow)), phases
 }
 
 // post sends one JSON request, classifying the outcome: accepted (2xx),

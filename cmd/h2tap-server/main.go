@@ -54,6 +54,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", server.DefaultDrainTimeout, "graceful-drain bound on SIGTERM")
 		maxBody      = flag.Int64("max-body", server.DefaultMaxBodyBytes, "max request body bytes")
 		txIdle       = flag.Duration("tx-idle-timeout", server.DefaultTxIdleTimeout, "evict interactive transactions idle this long")
+		traceSample  = flag.Int("trace-sample", server.DefaultTraceSample, "trace 1 in N API requests end to end (1 = all)")
+		traceSlow    = flag.Duration("trace-slow", server.DefaultTraceSlow, "retain traced requests slower than this in /debug/requests")
 	)
 	flag.Parse()
 
@@ -92,6 +94,8 @@ func main() {
 		DrainTimeout:    *drainTimeout,
 		MaxBodyBytes:    *maxBody,
 		TxIdleTimeout:   *txIdle,
+		TraceSample:     *traceSample,
+		TraceSlow:       *traceSlow,
 	}
 	srv, err := server.New(db, cfg, obsv, logger)
 	if err != nil {

@@ -437,6 +437,18 @@ func (db *DB) wireWALObs() {
 	o.Reg.CounterFunc("h2tap_wal_flush_seconds_total",
 		"Wall time spent inside WAL batch flushes (write + fsync).",
 		func() float64 { return float64(w.Stats().FlushNanos) / 1e9 })
+	o.Reg.CounterFunc("h2tap_wal_wait_seconds_total",
+		"Committer wall time from group-commit enqueue to batch ack.",
+		func() float64 { return float64(w.Stats().WaitNanosSum) / 1e9 })
+	o.Reg.GaugeFunc("h2tap_wal_wait_min_seconds",
+		"Fastest observed enqueue-to-ack wait of a WAL append.",
+		func() float64 { return float64(w.Stats().WaitNanosMin) / 1e9 })
+	o.Reg.GaugeFunc("h2tap_wal_wait_max_seconds",
+		"Slowest observed enqueue-to-ack wait of a WAL append.",
+		func() float64 { return float64(w.Stats().WaitNanosMax) / 1e9 })
+	o.Reg.GaugeFunc("h2tap_wal_open_files",
+		"Write-ahead log file handles currently open in this process.",
+		func() float64 { return float64(wal.OpenFiles()) })
 }
 
 // ServeObs starts the observability HTTP listener (e.g. "127.0.0.1:0" for

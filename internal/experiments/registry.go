@@ -36,6 +36,7 @@ func All() []Experiment {
 		{ID: "obs", Desc: "Observability instrumentation overhead: observer on vs off (extension)", Run: Config.ObsExp},
 		{ID: "shards", Desc: "Sharded engine: 2PC commit cost and stitched analytics vs shard count (extension)", Run: Config.ShardsExp},
 		{ID: "shardfaults", Desc: "Shard fault-domain storm: online isolation, shedding and recovery (extension)", Run: Config.ShardFaultsExp},
+		{ID: "reqtrace", Desc: "Request-path tracing overhead: traced vs sampled-out HTTP commits (extension)", Run: Config.ReqTraceExp},
 		{ID: "groupcommit", Desc: "Durable commit throughput vs committers with WAL group commit (extension)", Run: Config.GroupCommitExp},
 	}
 }

@@ -141,7 +141,7 @@ func (s *Store) BulkLoad(nodes []NodeSpec, edges []EdgeSpec) (mvto.TS, error) {
 				Label: edges[i].Label, Weight: edges[i].Weight,
 			})
 		}
-		if err := s.logCommit(ts, ops); err != nil {
+		if err := s.logCommit(ts, ops, nil); err != nil {
 			tx.Abort()
 			return 0, fmt.Errorf("graph: bulk load log: %w", err)
 		}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 )
 
 // The paper's main graph is durable (Poseidon keeps it in persistent
@@ -49,6 +50,14 @@ type OpLogger interface {
 	LogCommit(ts mvto.TS, ops []LoggedOp) error
 }
 
+// TracedOpLogger is an OpLogger that can attribute its append to a request
+// trace (enqueue/write/fsync/ack spans). Loggers that wrap durable storage
+// implement it; pass-through guards need not.
+type TracedOpLogger interface {
+	OpLogger
+	LogCommitTraced(ts mvto.TS, ops []LoggedOp, rq *obs.Req) error
+}
+
 type opLoggers struct {
 	mu      sync.RWMutex
 	loggers []OpLogger
@@ -84,11 +93,19 @@ func (s *Store) WithCommitBarrier(fn func() error) error {
 	return fn()
 }
 
-func (s *Store) logCommit(ts mvto.TS, ops []LoggedOp) error {
+func (s *Store) logCommit(ts mvto.TS, ops []LoggedOp, rq *obs.Req) error {
 	s.oplog.mu.RLock()
 	loggers := s.oplog.loggers
 	s.oplog.mu.RUnlock()
 	for _, l := range loggers {
+		if rq != nil {
+			if tl, ok := l.(TracedOpLogger); ok {
+				if err := tl.LogCommitTraced(ts, ops, rq); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		if err := l.LogCommit(ts, ops); err != nil {
 			return err
 		}

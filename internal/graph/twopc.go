@@ -99,8 +99,13 @@ func (p *PreparedTx) Finish(commit bool, decide func() error) error {
 	// Same ordering invariant as Tx.Commit: capture the delta before the
 	// MVTO publish unlocks the touched objects, so concurrent captures land
 	// in timestamp order.
+	rq := tx.trace
+	sp := rq.Span("delta.capture", "engine")
 	tx.s.capture(st.b.BuildInto(tx.m.TS(), &st.d))
+	sp.End()
+	sp = rq.Span("mvto.publish", "engine")
 	err := tx.m.CommitWith(st.publish)
+	sp.End()
 	tx.release()
 	tx.s.commitGate.RUnlock()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"h2tap/internal/delta"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 )
 
 // Transaction errors (beyond the mvto protocol errors, which are wrapped).
@@ -103,7 +104,16 @@ type Tx struct {
 	m        mvto.Txn // by value: status stays terminal after finish
 	st       *txState // pooled accumulation state; nil once finished
 	poisoned error
+	trace    *obs.Req // request trace for commit-path spans; nil = untraced
 }
+
+// SetTrace attaches a request trace to the transaction; commit-path spans
+// (delta build, commit gate, WAL append, delta capture, MVTO publish) are
+// recorded against it. A nil trace (the default) keeps the commit hot path
+// allocation- and clock-free. The caller owns the trace's lifetime and must
+// clear it (SetTrace(nil)) before the trace is finished if the transaction
+// outlives the request.
+func (tx *Tx) SetTrace(r *obs.Req) { tx.trace = r }
 
 // txHook is the version-publication work of one write operation, held in a
 // reusable array instead of per-op closures. Commit unlocks the appended
@@ -146,7 +156,7 @@ type txState struct {
 	d        delta.TxDelta // reusable Build target
 	ops      []LoggedOp    // logical op log, populated when a logger is registered
 	hooks    []txHook
-	verChunk []objVersion // bump arena for version objects
+	verChunk []objVersion  // bump arena for version objects
 	publish  func(mvto.TS) // prebound: runs hooks forward
 	rollback func()        // prebound: runs hooks in reverse with st.ts
 }
@@ -221,19 +231,24 @@ func (tx *Tx) Commit() error {
 		return fmt.Errorf("%w: %v", ErrMustAbort, tx.poisoned)
 	}
 	ts := tx.m.TS()
+	rq := tx.trace
 	// Build the delta outside the gate — only logging, capture and publish
 	// need its cover; everything in the gated span below is allocation-free
 	// and the WAL append is batched, keeping the span a checkpoint barrier
 	// must drain as short as the durability rules allow.
+	sp := rq.Span("delta.build", "engine")
 	d := st.b.BuildInto(ts, &st.d)
+	sp.End()
 	// The commit gate is held shared from write-ahead logging through
 	// publication so a checkpoint barrier never splits the two (a txn in
 	// the old log but not in the snapshot would vanish from durable state).
+	sp = rq.Span("commit.gate", "engine")
 	tx.s.commitGate.RLock()
+	sp.End()
 	// Write-ahead: the op log persists before the commit becomes visible.
 	// A logging failure aborts the transaction.
 	if len(st.ops) > 0 {
-		if err := tx.s.logCommit(ts, st.ops); err != nil {
+		if err := tx.s.logCommit(ts, st.ops, rq); err != nil {
 			tx.s.commitGate.RUnlock()
 			tx.m.AbortWith(st.rollback)
 			tx.release()
@@ -248,8 +263,12 @@ func (tx *Tx) Commit() error {
 	// a scan landing between the two captures would hand the replica the
 	// deltas across two cycles in reverse timestamp order. The transaction
 	// is already write-ahead logged, so it can no longer abort.
+	sp = rq.Span("delta.capture", "engine")
 	tx.s.capture(d)
+	sp.End()
+	sp = rq.Span("mvto.publish", "engine")
 	err := tx.m.CommitWith(st.publish)
+	sp.End()
 	tx.s.commitGate.RUnlock()
 	tx.release()
 	return err

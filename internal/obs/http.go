@@ -12,11 +12,13 @@ import (
 
 // Handler serves the observability surface for an Observer:
 //
-//	/metrics      Prometheus text exposition of the registry
-//	/healthz      200 while the engine is Healthy, 503 when Degraded
-//	/debug/trace  last-N propagation cycles as Chrome trace-event JSON
-//	              (?n= caps the cycle count; default all retained)
-//	/debug/pprof  the standard Go profiling endpoints
+//	/metrics         Prometheus text exposition of the registry
+//	/healthz         200 while the engine is Healthy, 503 when Degraded
+//	/debug/trace     last-N propagation cycles merged with retained request
+//	                 traces as Chrome trace-event JSON on one clock
+//	                 (?n= caps the cycle count; default all retained)
+//	/debug/requests  active / recent / slow request traces as JSON
+//	/debug/pprof     the standard Go profiling endpoints
 func Handler(o *Observer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -41,7 +43,15 @@ func Handler(o *Observer) http.Handler {
 			}
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := WriteChromeTrace(w, o.Tracer.Cycles(n)); err != nil {
+		snap := o.Requests.Snapshot()
+		reqs := append(snap.Recent, snap.Slow...)
+		if err := WriteChromeTraceMerged(w, o.Tracer.Cycles(n), reqs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := o.Requests.WriteJSON(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -11,9 +13,10 @@ import (
 // zero-config no-op, so instrumented code calls unconditionally and pays
 // one nil check when observability is off.
 type Observer struct {
-	Reg    *Registry
-	Tracer *Tracer
-	Drift  *Drift
+	Reg      *Registry
+	Tracer   *Tracer
+	Requests *ReqTracer
+	Drift    *Drift
 
 	commitHist *Histogram
 
@@ -51,12 +54,26 @@ var phaseNames = []string{"scan", "merge", "rebuild", "transfer", "ingest", "per
 // pre-registered (families are visible from the first scrape even at zero).
 func New() *Observer {
 	o := &Observer{
-		Reg:    NewRegistry(),
-		Tracer: NewTracer(64),
-		Drift:  NewDrift(128),
-		phase:  make(map[string]*Histogram),
+		Reg:      NewRegistry(),
+		Tracer:   NewTracer(64),
+		Requests: NewReqTracer(64, 32),
+		Drift:    NewDrift(128),
+		phase:    make(map[string]*Histogram),
 	}
 	r := o.Reg
+
+	// Process identity and runtime health: who is this binary and is its
+	// runtime sane, answerable from /metrics alone.
+	r.Gauge("h2tap_build_info",
+		"Build identity; always 1, with the version carried in labels.",
+		L("version", buildVersion()), L("go_version", runtime.Version())).Set(1)
+	started := time.Now()
+	r.GaugeFunc("h2tap_uptime_seconds",
+		"Seconds since this observer (process, in practice) was created.",
+		func() float64 { return time.Since(started).Seconds() })
+	r.GaugeFunc("h2tap_goroutines",
+		"Live goroutines in the process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
 	o.commitHist = r.Histogram("h2tap_commit_seconds",
 		"MVTO transaction commit latency (commit hooks + oracle publication).", nil)
 
@@ -109,6 +126,24 @@ func New() *Observer {
 			func() float64 { return float64(o.Drift.Count(m)) }, L("model", m))
 	}
 	return o
+}
+
+// buildVersion reports the main module version baked into the binary, or
+// "devel" when built from a working tree.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "devel"
+}
+
+// StartRequest opens a request trace (nil-safe; may return nil when
+// sampled out).
+func (o *Observer) StartRequest(name string) *Req {
+	if o == nil {
+		return nil
+	}
+	return o.Requests.Start(name)
 }
 
 // ObserveCommit records one MVTO commit latency.

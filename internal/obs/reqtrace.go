@@ -1,0 +1,505 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReqTracer is the request-scoped counterpart of the propagation-cycle
+// Tracer: every admitted HTTP request can carry a *Req through the server,
+// facade, engine, WAL and 2PC layers, collecting named spans tagged with a
+// latency phase (admission, session, engine, wal, wal-fsync, 2pc, stitch).
+// Like the cycle tracer it is nil-receiver-safe end to end — a nil
+// *ReqTracer hands out nil *Req, and every method on a nil *Req or a
+// zero RSpan is a no-op — so uninstrumented paths pay one nil check.
+//
+// Retention is x/net/trace-style, three classes:
+//   - active: requests started but not finished, in an id-keyed map;
+//   - recent: the last recentCap finished requests, a ring;
+//   - slow:   requests at least SlowThreshold long, retained in their own
+//     ring as value snapshots so a burst of fast traffic cannot evict the
+//     one trace that explains the tail.
+//
+// Req objects are pooled: eviction from the recent ring returns the
+// request (and its span slot capacity) to the pool. Readers therefore
+// never retain a *Req — Snapshot copies everything out under the locks.
+type ReqTracer struct {
+	now     func() time.Time
+	sampleN atomic.Int64 // trace 1 in N requests; <= 1 traces all
+	slowNs  atomic.Int64 // wall time at which a request is retained as slow
+	tick    atomic.Uint64
+	pool    sync.Pool
+
+	mu      sync.Mutex
+	seq     uint64
+	active  map[uint64]*Req
+	recent  []*Req // oldest first
+	recCap  int
+	slow    []ReqSnapshot // oldest first, value copies
+	slowCap int
+}
+
+// DefaultSlowThreshold retains any request slower than this in the slow
+// ring until evicted by newer slow requests.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// maxReqSpans bounds the spans one request may record; pathological loops
+// (e.g. a stitch barrier retrying hundreds of times) drop spans past it
+// rather than growing without bound.
+const maxReqSpans = 256
+
+// NewReqTracer returns a tracer retaining the last recent finished
+// requests and the last slow over-threshold requests (defaults 64 and 32
+// when <= 0).
+func NewReqTracer(recent, slow int) *ReqTracer {
+	if recent <= 0 {
+		recent = 64
+	}
+	if slow <= 0 {
+		slow = 32
+	}
+	t := &ReqTracer{
+		now:     time.Now,
+		active:  make(map[uint64]*Req),
+		recCap:  recent,
+		slowCap: slow,
+	}
+	t.sampleN.Store(1)
+	t.slowNs.Store(int64(DefaultSlowThreshold))
+	t.pool.New = func() any { return new(Req) }
+	return t
+}
+
+// SetClock substitutes the time source (tests). Not for concurrent use
+// with tracing.
+func (t *ReqTracer) SetClock(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.now = now
+}
+
+// SetSampling traces one in n requests; n <= 1 traces every request.
+func (t *ReqTracer) SetSampling(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.sampleN.Store(int64(n))
+}
+
+// SetSlowThreshold sets the wall time past which a finished request is
+// retained in the slow ring.
+func (t *ReqTracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slowNs.Store(int64(d))
+}
+
+// Start begins tracing one request, or returns nil when the tracer is nil
+// or the request is sampled out. The returned *Req must not be used after
+// Finish.
+func (t *ReqTracer) Start(name string) *Req {
+	if t == nil {
+		return nil
+	}
+	if n := t.sampleN.Load(); n > 1 && t.tick.Add(1)%uint64(n) != 0 {
+		return nil
+	}
+	r := t.pool.Get().(*Req)
+	r.tr = t
+	r.name = name
+	r.start = t.now()
+	r.end = time.Time{}
+	r.dominant = ""
+	r.spans = r.spans[:0]
+	r.args = r.args[:0]
+	t.mu.Lock()
+	t.seq++
+	r.id = t.seq
+	t.active[r.id] = r
+	t.mu.Unlock()
+	return r
+}
+
+// Req is one in-flight traced request. Span recording is safe from
+// multiple goroutines (the WAL group-commit leader stamps batch times read
+// by followers), though a request is normally owned by one handler.
+type Req struct {
+	tr *ReqTracer
+	id uint64
+
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	dominant string
+	spans    []reqSpan
+	args     []Label
+}
+
+type reqSpan struct {
+	name  string
+	phase string
+	start time.Time
+	end   time.Time
+	args  []Label
+}
+
+// RSpan is a handle on one open span; the zero value is a no-op.
+type RSpan struct {
+	r *Req
+	i int
+}
+
+// newSpanLocked appends a span slot, reusing pooled capacity (including
+// each slot's args backing array). Returns -1 past the span cap.
+func (r *Req) newSpanLocked(name, phase string, start, end time.Time) int {
+	if len(r.spans) >= maxReqSpans {
+		return -1
+	}
+	if len(r.spans) < cap(r.spans) {
+		r.spans = r.spans[:len(r.spans)+1]
+		sp := &r.spans[len(r.spans)-1]
+		sp.name, sp.phase, sp.start, sp.end = name, phase, start, end
+		sp.args = sp.args[:0]
+	} else {
+		r.spans = append(r.spans, reqSpan{name: name, phase: phase, start: start, end: end})
+	}
+	return len(r.spans) - 1
+}
+
+// Span opens a live span; close it with End.
+func (r *Req) Span(name, phase string) RSpan {
+	if r == nil {
+		return RSpan{}
+	}
+	now := r.tr.now()
+	r.mu.Lock()
+	i := r.newSpanLocked(name, phase, now, time.Time{})
+	r.mu.Unlock()
+	if i < 0 {
+		return RSpan{}
+	}
+	return RSpan{r: r, i: i}
+}
+
+// AddSpan records an already-measured span with explicit bounds — the WAL
+// follower path reconstructs its enqueue/write/fsync/ack breakdown from
+// leader-stamped batch timestamps after the ack.
+func (r *Req) AddSpan(name, phase string, start, end time.Time, args ...Label) {
+	if r == nil || start.IsZero() {
+		return
+	}
+	r.mu.Lock()
+	if i := r.newSpanLocked(name, phase, start, end); i >= 0 && len(args) > 0 {
+		r.spans[i].args = append(r.spans[i].args, args...)
+	}
+	r.mu.Unlock()
+}
+
+// Arg attaches a key/value to the request.
+func (r *Req) Arg(key, value string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.args = append(r.args, Label{Key: key, Value: value})
+	r.mu.Unlock()
+}
+
+// End closes the span.
+func (s RSpan) End() {
+	if s.r == nil {
+		return
+	}
+	now := s.r.tr.now()
+	s.r.mu.Lock()
+	if s.i < len(s.r.spans) && s.r.spans[s.i].end.IsZero() {
+		s.r.spans[s.i].end = now
+	}
+	s.r.mu.Unlock()
+}
+
+// Arg attaches a key/value to the span.
+func (s RSpan) Arg(key, value string) {
+	if s.r == nil {
+		return
+	}
+	s.r.mu.Lock()
+	if s.i < len(s.r.spans) {
+		s.r.spans[s.i].args = append(s.r.spans[s.i].args, Label{Key: key, Value: value})
+	}
+	s.r.mu.Unlock()
+}
+
+// Finish completes the request: computes the dominant phase (the phase
+// whose spans sum largest; "untraced" with no spans), files the request
+// into the recent ring — and, past the slow threshold, a snapshot into the
+// slow ring — and reports (dominant, wall time). The *Req must not be used
+// after Finish: eviction from the recent ring recycles it.
+//
+// On a nil *Req (tracer off or sampled out) it reports ("untraced", 0).
+func (r *Req) Finish() (dominant string, wall time.Duration) {
+	if r == nil {
+		return "untraced", 0
+	}
+	t := r.tr
+	now := t.now()
+	t.mu.Lock()
+	r.mu.Lock()
+	r.end = now
+	wall = r.end.Sub(r.start)
+	r.dominant = dominantPhase(r.spans, r.end)
+	dominant = r.dominant
+	slow := int64(wall) >= t.slowNs.Load()
+	var snap ReqSnapshot
+	if slow {
+		snap = r.snapshotLocked()
+	}
+	r.mu.Unlock()
+
+	delete(t.active, r.id)
+	if len(t.recent) >= t.recCap {
+		ev := t.recent[0]
+		copy(t.recent, t.recent[1:])
+		t.recent[len(t.recent)-1] = nil
+		t.recent = t.recent[:len(t.recent)-1]
+		t.pool.Put(ev)
+	}
+	t.recent = append(t.recent, r)
+	if slow {
+		if len(t.slow) >= t.slowCap {
+			copy(t.slow, t.slow[1:])
+			t.slow = t.slow[:len(t.slow)-1]
+		}
+		t.slow = append(t.slow, snap)
+	}
+	t.mu.Unlock()
+	return dominant, wall
+}
+
+// dominantPhase sums span wall time per phase (unclosed spans count to the
+// request end) and returns the largest.
+func dominantPhase(spans []reqSpan, end time.Time) string {
+	if len(spans) == 0 {
+		return "untraced"
+	}
+	type sum struct {
+		phase string
+		ns    int64
+	}
+	var sums [16]sum
+	n := 0
+	for i := range spans {
+		sp := &spans[i]
+		e := sp.end
+		if e.IsZero() {
+			e = end
+		}
+		d := e.Sub(sp.start)
+		if d < 0 {
+			d = 0
+		}
+		j := 0
+		for ; j < n; j++ {
+			if sums[j].phase == sp.phase {
+				sums[j].ns += int64(d)
+				break
+			}
+		}
+		if j == n && n < len(sums) {
+			sums[n] = sum{phase: sp.phase, ns: int64(d)}
+			n++
+		}
+	}
+	best := 0
+	for j := 1; j < n; j++ {
+		if sums[j].ns > sums[best].ns {
+			best = j
+		}
+	}
+	return sums[best].phase
+}
+
+// ReqSnapshot is one request copied out of the tracer; safe to retain.
+type ReqSnapshot struct {
+	ID       uint64         `json:"id"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	End      time.Time      `json:"end,omitempty"` // zero while active
+	WallMs   float64        `json:"wall_ms"`
+	Active   bool           `json:"active,omitempty"`
+	Dominant string         `json:"dominant_phase,omitempty"`
+	Args     []Label        `json:"args,omitempty"`
+	Spans    []SpanSnapshot `json:"spans,omitempty"`
+}
+
+// SpanSnapshot is one span copied out of a request.
+type SpanSnapshot struct {
+	Name  string    `json:"name"`
+	Phase string    `json:"phase"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end,omitempty"` // zero while open
+	DurMs float64   `json:"dur_ms"`
+	Args  []Label   `json:"args,omitempty"`
+}
+
+// snapshotLocked copies the request; r.mu must be held.
+func (r *Req) snapshotLocked() ReqSnapshot {
+	s := ReqSnapshot{
+		ID:       r.id,
+		Name:     r.name,
+		Start:    r.start,
+		End:      r.end,
+		Active:   r.end.IsZero(),
+		Dominant: r.dominant,
+	}
+	if !r.end.IsZero() {
+		s.WallMs = float64(r.end.Sub(r.start)) / float64(time.Millisecond)
+	}
+	if len(r.args) > 0 {
+		s.Args = append([]Label(nil), r.args...)
+	}
+	if len(r.spans) > 0 {
+		s.Spans = make([]SpanSnapshot, len(r.spans))
+		for i := range r.spans {
+			sp := &r.spans[i]
+			ss := SpanSnapshot{Name: sp.name, Phase: sp.phase, Start: sp.start, End: sp.end}
+			if !sp.end.IsZero() {
+				ss.DurMs = float64(sp.end.Sub(sp.start)) / float64(time.Millisecond)
+			}
+			if len(sp.args) > 0 {
+				ss.Args = append([]Label(nil), sp.args...)
+			}
+			s.Spans[i] = ss
+		}
+	}
+	return s
+}
+
+// ReqTrace is the full /debug/requests view.
+type ReqTrace struct {
+	Active []ReqSnapshot `json:"active"`
+	Recent []ReqSnapshot `json:"recent"`
+	Slow   []ReqSnapshot `json:"slow"`
+}
+
+// Snapshot copies the tracer state out; nil tracers report empty slices.
+// Active requests are ordered by id, recent and slow oldest first.
+func (t *ReqTracer) Snapshot() ReqTrace {
+	out := ReqTrace{
+		Active: []ReqSnapshot{},
+		Recent: []ReqSnapshot{},
+		Slow:   []ReqSnapshot{},
+	}
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, r := range t.active {
+		r.mu.Lock()
+		out.Active = append(out.Active, r.snapshotLocked())
+		r.mu.Unlock()
+	}
+	sort.Slice(out.Active, func(i, j int) bool { return out.Active[i].ID < out.Active[j].ID })
+	for _, r := range t.recent {
+		r.mu.Lock()
+		out.Recent = append(out.Recent, r.snapshotLocked())
+		r.mu.Unlock()
+	}
+	out.Slow = append(out.Slow, t.slow...)
+	return out
+}
+
+// WriteJSON renders the /debug/requests body.
+func (t *ReqTracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Snapshot())
+}
+
+// WriteChromeTraceMerged renders propagation cycles and request traces as
+// one Chrome trace-event stream on a shared epoch (the earliest start
+// across both), so a commit's fsync wait lines up visually with the
+// propagation cycle that delayed it. Cycles keep their PID 1 / TID seq
+// layout from WriteChromeTrace; requests get PID 2 with TID = request id,
+// request spans categorized by phase. Duplicate request ids (a slow
+// request still in the recent ring) are emitted once.
+func WriteChromeTraceMerged(w io.Writer, cycles []*Cycle, reqs []ReqSnapshot) error {
+	var epoch time.Time
+	note := func(ts time.Time) {
+		if !ts.IsZero() && (epoch.IsZero() || ts.Before(epoch)) {
+			epoch = ts
+		}
+	}
+	for _, c := range cycles {
+		note(c.start)
+	}
+	seen := make(map[uint64]bool, len(reqs))
+	kept := reqs[:0:0]
+	for _, r := range reqs {
+		if seen[r.ID] {
+			continue
+		}
+		seen[r.ID] = true
+		kept = append(kept, r)
+		note(r.Start)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].ID < kept[j].ID })
+
+	out := chromeTrace{TraceEvents: []traceEvent{}}
+	for _, c := range cycles {
+		out.TraceEvents = append(out.TraceEvents, cycleEvents(c, epoch)...)
+	}
+	for _, r := range kept {
+		end := r.End
+		if end.IsZero() {
+			end = r.Start
+		}
+		ev := traceEvent{
+			Name: r.Name,
+			Cat:  "request",
+			Ph:   "X",
+			TS:   r.Start.Sub(epoch).Microseconds(),
+			Dur:  end.Sub(r.Start).Microseconds(),
+			PID:  2,
+			TID:  r.ID,
+			Args: argMap(r.Args),
+		}
+		if r.Dominant != "" {
+			if ev.Args == nil {
+				ev.Args = map[string]string{}
+			}
+			ev.Args["dominant_phase"] = r.Dominant
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+		for _, sp := range r.Spans {
+			send := sp.End
+			if send.IsZero() {
+				send = sp.Start
+			}
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: sp.Name,
+				Cat:  sp.Phase,
+				Ph:   "X",
+				TS:   sp.Start.Sub(epoch).Microseconds(),
+				Dur:  send.Sub(sp.Start).Microseconds(),
+				PID:  2,
+				TID:  r.ID,
+				Args: argMap(sp.Args),
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilReqTracerSafe(t *testing.T) {
+	var tr *ReqTracer
+	tr.SetSampling(4)
+	tr.SetSlowThreshold(time.Second)
+	rq := tr.Start("commit")
+	if rq != nil {
+		t.Fatal("nil tracer handed out a request")
+	}
+	// The nil request and zero spans absorb everything.
+	sp := rq.Span("wal.fsync", "wal-fsync")
+	sp.Arg("k", "v")
+	sp.End()
+	rq.Arg("k", "v")
+	rq.AddSpan("x", "y", time.Now(), time.Now())
+	if dom, wall := rq.Finish(); dom != "untraced" || wall != 0 {
+		t.Fatalf("nil Finish = (%q, %v), want (untraced, 0)", dom, wall)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Active)+len(snap.Recent)+len(snap.Slow) != 0 {
+		t.Fatalf("nil tracer snapshot non-empty: %+v", snap)
+	}
+}
+
+func TestReqSampling(t *testing.T) {
+	tr := NewReqTracer(8, 8)
+	tr.SetSampling(4)
+	traced := 0
+	for i := 0; i < 16; i++ {
+		if rq := tr.Start("commit"); rq != nil {
+			traced++
+			rq.Finish()
+		}
+	}
+	if traced != 4 {
+		t.Fatalf("traced %d of 16 at 1-in-4 sampling, want 4", traced)
+	}
+}
+
+func TestReqDominantPhaseAndRetention(t *testing.T) {
+	tr := NewReqTracer(2, 2)
+	tr.SetClock(fakeClock())
+	// The fake clock ticks 1ms per read: the first request below reads it
+	// 8 times (8ms wall), the second 17 times — only the second is slow.
+	tr.SetSlowThreshold(10 * time.Millisecond)
+
+	// Fast request: 1ms each of admission and wal-fsync, 2ms of engine
+	// (one closed span plus one left open, which counts to request end).
+	rq := tr.Start("commit")
+	rq.Span("admission.deadline", "admission").End()
+	sp := rq.Span("wal.fsync", "wal-fsync")
+	sp.End()
+	rq.Span("delta.build", "engine").End()
+	_ = rq.Span("engine.apply", "engine") // left open: counts to request end
+	dom, wall := rq.Finish()
+	if dom != "engine" {
+		t.Fatalf("dominant = %q, want engine", dom)
+	}
+	if wall <= 0 {
+		t.Fatalf("wall = %v", wall)
+	}
+
+	// Slow request: 10 explicit 1ms clock ticks push it over the 3ms
+	// threshold into the slow ring.
+	rq = tr.Start("commit")
+	for i := 0; i < 8; i++ {
+		rq.Span("wal.fsync", "wal-fsync").End()
+	}
+	if dom, _ = rq.Finish(); dom != "wal-fsync" {
+		t.Fatalf("slow dominant = %q, want wal-fsync", dom)
+	}
+
+	// Evict the fast request from the 2-slot recent ring with two more.
+	tr.Start("a").Finish()
+	tr.Start("b").Finish()
+
+	snap := tr.Snapshot()
+	if len(snap.Recent) != 2 {
+		t.Fatalf("recent = %d, want 2", len(snap.Recent))
+	}
+	if len(snap.Slow) != 1 || snap.Slow[0].Dominant != "wal-fsync" {
+		t.Fatalf("slow ring = %+v, want the wal-fsync request retained", snap.Slow)
+	}
+	// The slow snapshot survives recent-ring eviction with its spans intact.
+	if len(snap.Slow[0].Spans) != 8 {
+		t.Fatalf("slow snapshot kept %d spans, want 8", len(snap.Slow[0].Spans))
+	}
+}
+
+func TestReqSpanCap(t *testing.T) {
+	tr := NewReqTracer(4, 4)
+	rq := tr.Start("stitch")
+	for i := 0; i < maxReqSpans+50; i++ {
+		rq.Span("stitch.barrier", "stitch").End()
+	}
+	rq.mu.Lock()
+	n := len(rq.spans)
+	rq.mu.Unlock()
+	if n != maxReqSpans {
+		t.Fatalf("span count = %d, want capped at %d", n, maxReqSpans)
+	}
+	rq.Finish()
+}
+
+// TestReqTracerConcurrentReaders is the -race stress for the request ring:
+// writers Start/Span/Finish (recycling pooled Reqs through eviction) while
+// readers snapshot and render /debug/requests JSON concurrently.
+func TestReqTracerConcurrentReaders(t *testing.T) {
+	tr := NewReqTracer(8, 4)
+	tr.SetSlowThreshold(time.Nanosecond) // everything lands in both rings
+	const writers, readers, iters = 4, 2, 300
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				rq := tr.Start("commit")
+				sp := rq.Span("wal.enqueue", "wal")
+				sp.Arg("batch", "1")
+				sp.End()
+				rq.AddSpan("wal.fsync", "wal-fsync", time.Now(), time.Now(), L("pos", "0"))
+				rq.Arg("status", "200")
+				rq.Finish()
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				snap := tr.Snapshot()
+				for _, rs := range snap.Recent {
+					_ = rs.Spans
+				}
+				var buf bytes.Buffer
+				if err := tr.WriteJSON(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestWriteChromeTraceMergedGolden(t *testing.T) {
+	clock := fakeClock()
+
+	ct := NewTracer(4)
+	ct.SetClock(clock)
+	c := ct.StartCycle("propagation")
+	s := c.Span("capture")
+	s.End()
+	c.Arg("records", "12")
+	c.Finish()
+
+	rt := NewReqTracer(4, 4)
+	rt.SetClock(clock)
+	rt.SetSlowThreshold(2 * time.Millisecond)
+	rq := rt.Start("commit")
+	rq.Arg("gtx", "7")
+	rq.Span("admission.deadline", "admission").End()
+	sp := rq.Span("wal.fsync", "wal-fsync")
+	sp.Arg("batch", "3")
+	sp.End()
+	rq.Finish()
+
+	snap := rt.Snapshot()
+	// The slow request appears in both rings; the merged export dedups it.
+	reqs := append(snap.Recent, snap.Slow...)
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMerged(&buf, ct.Cycles(0), reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "merged_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("merged trace drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestDebugRequestsEndpoint(t *testing.T) {
+	o := New()
+	o.Requests.SetClock(fakeClock())
+	// The fake clock ticks 1ms per read: the fast request (begin + one
+	// span + finish) takes exactly 3ms, the slow one 13ms.
+	o.Requests.SetSlowThreshold(5 * time.Millisecond)
+
+	// One fast, one slow (6 clock ticks of spans) request.
+	rq := o.StartRequest("commit")
+	rq.Span("engine.apply", "engine").End()
+	rq.Finish()
+	rq = o.StartRequest("commit")
+	for i := 0; i < 6; i++ {
+		rq.Span("wal.fsync", "wal-fsync").End()
+	}
+	rq.Finish()
+	active := o.StartRequest("analytics") // left unfinished
+	defer active.Finish()
+
+	h := Handler(o)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/requests = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var out ReqTrace
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("decode: %v\n%s", err, rec.Body.String())
+	}
+	if len(out.Active) != 1 || out.Active[0].Name != "analytics" || !out.Active[0].Active {
+		t.Fatalf("active = %+v, want the unfinished analytics request", out.Active)
+	}
+	if len(out.Recent) != 2 {
+		t.Fatalf("recent = %d, want 2", len(out.Recent))
+	}
+	if len(out.Slow) != 1 || out.Slow[0].Dominant != "wal-fsync" {
+		t.Fatalf("slow = %+v, want the wal-fsync request", out.Slow)
+	}
+
+	// The merged /debug/trace view contains both surfaces.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/debug/trace = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `"traceEvents"`) || !strings.Contains(body, `"wal.fsync"`) {
+		t.Fatalf("merged trace missing request spans:\n%s", body)
+	}
+}

@@ -194,36 +194,41 @@ func WriteChromeTrace(w io.Writer, cycles []*Cycle) error {
 			epoch = c.start
 		}
 	}
-	micros := func(t time.Time) int64 { return t.Sub(epoch).Microseconds() }
-
 	out := chromeTrace{TraceEvents: []traceEvent{}}
 	for _, c := range cycles {
-		c.mu.Lock()
-		ev := traceEvent{
-			Name: c.name, Cat: "propagation", Ph: "X",
-			TS: micros(c.start), Dur: c.end.Sub(c.start).Microseconds(),
-			PID: 1, TID: c.seq, Args: argMap(c.args),
-		}
-		spans := append([]*Span(nil), c.spans...)
-		c.mu.Unlock()
-		out.TraceEvents = append(out.TraceEvents, ev)
-		for _, s := range spans {
-			s.mu.Lock()
-			end := s.end
-			if end.IsZero() {
-				end = s.start // unclosed span: zero-length marker
-			}
-			out.TraceEvents = append(out.TraceEvents, traceEvent{
-				Name: s.name, Cat: "phase", Ph: "X",
-				TS: micros(s.start), Dur: end.Sub(s.start).Microseconds(),
-				PID: 1, TID: c.seq, Args: argMap(s.args),
-			})
-			s.mu.Unlock()
-		}
+		out.TraceEvents = append(out.TraceEvents, cycleEvents(c, epoch)...)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(out)
+}
+
+// cycleEvents renders one cycle (and its spans) as trace events relative
+// to epoch — shared by WriteChromeTrace and WriteChromeTraceMerged.
+func cycleEvents(c *Cycle, epoch time.Time) []traceEvent {
+	micros := func(t time.Time) int64 { return t.Sub(epoch).Microseconds() }
+	c.mu.Lock()
+	events := []traceEvent{{
+		Name: c.name, Cat: "propagation", Ph: "X",
+		TS: micros(c.start), Dur: c.end.Sub(c.start).Microseconds(),
+		PID: 1, TID: c.seq, Args: argMap(c.args),
+	}}
+	spans := append([]*Span(nil), c.spans...)
+	c.mu.Unlock()
+	for _, s := range spans {
+		s.mu.Lock()
+		end := s.end
+		if end.IsZero() {
+			end = s.start // unclosed span: zero-length marker
+		}
+		events = append(events, traceEvent{
+			Name: s.name, Cat: "phase", Ph: "X",
+			TS: micros(s.start), Dur: end.Sub(s.start).Microseconds(),
+			PID: 1, TID: c.seq, Args: argMap(s.args),
+		})
+		s.mu.Unlock()
+	}
+	return events
 }
 
 func argMap(labels []Label) map[string]string {

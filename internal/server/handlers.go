@@ -143,21 +143,32 @@ func (s *Server) handleTxBegin(w http.ResponseWriter, r *http.Request) {
 			"interactive transactions are single-domain only; use one-shot /v1/commit on a sharded server", 0)
 		return
 	}
-	ts, err := s.sessions.begin(s.db.Begin(), time.Now())
+	rq := trace(r)
+	sp := rq.Span("mvto.begin", "engine")
+	tx := s.db.Begin()
+	sp.End()
+	ts, err := s.sessions.begin(tx, time.Now())
 	if err != nil {
+		tx.Abort() //nolint:errcheck
 		s.shed(w, http.StatusServiceUnavailable, codeDraining, "server is draining", s.cfg.RetryAfterHint)
 		return
 	}
 	writeJSON(w, http.StatusOK, beginResponse{Tx: ts.id, TS: uint64(ts.tx.TS())})
 }
 
-// withSession checks the named session out for the duration of fn.
-func (s *Server) withSession(w http.ResponseWriter, id string, fn func(*txSession) bool) {
+// withSession checks the named session out for the duration of fn. The
+// request's trace (if any) is attached to the session's transaction for
+// exactly that window — the tx outlives the request, so the trace must be
+// detached before release (the pooled *obs.Req is recycled after Finish).
+func (s *Server) withSession(w http.ResponseWriter, r *http.Request, id string, fn func(*txSession) bool) {
 	if id == "" {
 		writeError(w, http.StatusBadRequest, codeBadRequest, "missing tx id", 0)
 		return
 	}
+	rq := trace(r)
+	sp := rq.Span("session.acquire", "session")
 	ts, code := s.sessions.acquire(id, time.Now())
+	sp.End()
 	if ts == nil {
 		status := http.StatusNotFound
 		if code == codeTxConflict {
@@ -166,7 +177,9 @@ func (s *Server) withSession(w http.ResponseWriter, id string, fn func(*txSessio
 		writeError(w, status, code, fmt.Sprintf("tx %q: %s", id, code), 0)
 		return
 	}
+	ts.tx.SetTrace(rq)
 	done := fn(ts)
+	ts.tx.SetTrace(nil)
 	s.sessions.release(ts, done, time.Now())
 }
 
@@ -234,8 +247,10 @@ func (s *Server) handleTxApply(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.withSession(w, req.Tx, func(ts *txSession) bool {
+	s.withSession(w, r, req.Tx, func(ts *txSession) bool {
+		sp := trace(r).Span("engine.apply", "engine")
 		results, err := applyOps(r.Context(), ts.tx, req.Ops)
+		sp.End()
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				// The tx survives a deadline on one apply batch; the
@@ -256,7 +271,7 @@ func (s *Server) handleTxCommit(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.withSession(w, req.Tx, func(ts *txSession) bool {
+	s.withSession(w, r, req.Tx, func(ts *txSession) bool {
 		s.writeCommit(w, r.Context(), ts.tx, nil)
 		return true
 	})
@@ -267,7 +282,7 @@ func (s *Server) handleTxAbort(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	s.withSession(w, req.Tx, func(ts *txSession) bool {
+	s.withSession(w, r, req.Tx, func(ts *txSession) bool {
 		ts.tx.Abort() //nolint:errcheck // abort of a live tx cannot fail meaningfully
 		writeJSON(w, http.StatusOK, struct{}{})
 		return true
@@ -292,8 +307,14 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		s.clusterCommit(w, r.Context(), req.Ops)
 		return
 	}
+	rq := trace(r)
+	sp := rq.Span("mvto.begin", "engine")
 	tx := s.db.Begin()
+	sp.End()
+	tx.SetTrace(rq)
+	sp = rq.Span("engine.apply", "engine")
 	results, err := applyOps(r.Context(), tx, req.Ops)
+	sp.End()
 	if err != nil {
 		tx.Abort() //nolint:errcheck
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -361,12 +382,18 @@ func (s *Server) writeApplyError(w http.ResponseWriter, err error) {
 // clusterCommit is the one-shot path on a sharded database: a cluster
 // transaction speaking global IDs, atomic across every shard it touches.
 func (s *Server) clusterCommit(w http.ResponseWriter, ctx context.Context, ops []op) {
+	rq := traceFromCtx(ctx)
+	sp := rq.Span("mvto.begin", "engine")
 	tx, err := s.db.BeginSharded()
+	sp.End()
 	if err != nil {
 		s.shed(w, http.StatusServiceUnavailable, codeUnavailable, err.Error(), s.cfg.RetryAfterHint)
 		return
 	}
+	tx.SetTrace(rq)
+	sp = rq.Span("engine.apply", "engine")
 	results, err := applyClusterOps(ctx, tx, ops)
+	sp.End()
 	if err != nil {
 		tx.Abort() //nolint:errcheck
 		if errors.Is(err, context.DeadlineExceeded) {
@@ -480,10 +507,19 @@ func (s *Server) handleAnalytics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, ticketResponse{Ticket: entry.id})
 		return
 	}
+	// The kernel runs on the engine's dispatch queue and may outlive this
+	// request (the ticket stays pollable past a deadline), so the trace is
+	// not threaded into the async execution — the wait span bounds the
+	// whole queue + kernel time from the request's point of view. Stitched
+	// runs invoked synchronously through the facade carry the trace all the
+	// way into the barrier (RunAnalyticsStitchedTraced).
+	sp := trace(r).Span("analytics.wait", "engine")
 	select {
 	case <-entry.done:
+		sp.End()
 		s.writeAnalytics(w, req.Kind, entry)
 	case <-r.Context().Done():
+		sp.End()
 		// The kernel keeps running and the ticket stays pollable; only
 		// this request's wait is cancelled.
 		s.shed(w, http.StatusGatewayTimeout, codeDeadline,

@@ -17,6 +17,7 @@ type metrics struct {
 	latency map[string]*obs.Histogram // accepted-request latency per endpoint
 	status  map[string]*obs.Counter   // responses per endpoint × status class
 	sheds   map[string]*obs.Counter   // load sheds per ladder rung
+	phase   map[string]*obs.Histogram // traced-request latency per endpoint × dominant phase
 
 	panics *obs.Counter
 }
@@ -41,6 +42,7 @@ func newMetrics(o *obs.Observer) *metrics {
 		latency: make(map[string]*obs.Histogram),
 		status:  make(map[string]*obs.Counter),
 		sheds:   make(map[string]*obs.Counter),
+		phase:   make(map[string]*obs.Histogram),
 	}
 	if o == nil {
 		return m
@@ -104,6 +106,33 @@ func (m *metrics) observe(endpoint string, status int, d time.Duration, admitted
 			h.ObserveDuration(d)
 		}
 	}
+}
+
+// observePhase records an admitted traced request's latency under its
+// dominant phase — the phase whose spans sum largest (queued admission,
+// wal-fsync, 2pc, engine, ...). Series are created lazily on first sight of
+// an (endpoint, phase) pair: phases are a small closed set defined by the
+// span taxonomy, so cardinality stays bounded without pre-registering the
+// full cross product.
+func (m *metrics) observePhase(endpoint, phase string, d time.Duration) {
+	if m.reg == nil {
+		return
+	}
+	key := endpoint + " " + phase
+	m.mu.RLock()
+	h := m.phase[key]
+	m.mu.RUnlock()
+	if h == nil {
+		m.mu.Lock()
+		if h = m.phase[key]; h == nil {
+			h = m.reg.Histogram("h2tap_http_request_phase_seconds",
+				"Latency of traced API requests by endpoint and dominant latency phase.",
+				nil, obs.L("endpoint", endpoint), obs.L("phase", phase))
+			m.phase[key] = h
+		}
+		m.mu.Unlock()
+	}
+	h.ObserveDuration(d)
 }
 
 func (m *metrics) shed(reason string) {

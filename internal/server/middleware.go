@@ -7,8 +7,28 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
+
+	"h2tap/internal/obs"
 )
+
+// traceCtxKey threads the request's *obs.Req through the handler path. The
+// context only carries a value for traced requests; untraced requests skip
+// the WithValue allocation entirely.
+type traceCtxKey struct{}
+
+// trace extracts the request trace from a handler's request; nil when the
+// request was sampled out (every obs.Req method is nil-safe, so call sites
+// use the result unconditionally).
+func trace(r *http.Request) *obs.Req {
+	return traceFromCtx(r.Context())
+}
+
+func traceFromCtx(ctx context.Context) *obs.Req {
+	rq, _ := ctx.Value(traceCtxKey{}).(*obs.Req)
+	return rq
+}
 
 // statusRecorder captures the response status for the metrics middleware.
 type statusRecorder struct {
@@ -102,6 +122,7 @@ func (s *Server) requestDeadline(r *http.Request, now time.Time) (time.Duration,
 func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		now := time.Now()
+		rq := trace(r)
 		if s.draining.Load() {
 			s.shed(w, http.StatusServiceUnavailable, codeDraining,
 				"server is draining", s.cfg.RetryAfterHint)
@@ -114,7 +135,9 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 		}
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
+		sp := rq.Span("admission.deadline", "admission")
 		d, err := s.requestDeadline(r, now)
+		sp.End()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
 			return
@@ -125,20 +148,26 @@ func (s *Server) admit(next http.HandlerFunc) http.HandlerFunc {
 			return
 		}
 
-		if ok, wait := s.limiter.take(sessionKey(r), now); !ok {
+		sp = rq.Span("admission.ratelimit", "admission")
+		ok, wait := s.limiter.take(sessionKey(r), now)
+		sp.End()
+		if !ok {
 			s.shed(w, http.StatusTooManyRequests, codeRateLimited,
 				"session rate limit exceeded", wait)
 			return
 		}
 
+		sp = rq.Span("admission.semaphore", "admission")
 		select {
 		case s.slots <- struct{}{}:
+			sp.End()
 			s.inflight.Add(1)
 			defer func() {
 				s.inflight.Add(-1)
 				<-s.slots
 			}()
 		default:
+			sp.End()
 			s.shed(w, http.StatusTooManyRequests, codeOverCapacity,
 				fmt.Sprintf("over %d in-flight requests", s.cfg.MaxInFlight),
 				s.cfg.RetryAfterHint)
@@ -159,6 +188,15 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w}
 		ep := endpointName(r.URL.Path)
+		// Only API traffic is traced: probes and the obs surface would
+		// otherwise fill the recent ring (and /debug/requests readers would
+		// trace themselves).
+		var rq *obs.Req
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if rq = s.reqs.Start(ep); rq != nil {
+				r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, rq))
+			}
+		}
 		defer func() {
 			if p := recover(); p != nil {
 				s.metrics.panicked()
@@ -172,13 +210,19 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 			if status == 0 {
 				status = http.StatusOK
 			}
+			rq.Arg("status", strconv.Itoa(status))
+			dominant, _ := rq.Finish()
 			// A shed is not an accepted request: keep the latency
 			// histogram to admitted work so the p99 bound is about
 			// requests the server agreed to serve.
 			admitted := status != http.StatusTooManyRequests &&
 				status != http.StatusServiceUnavailable &&
 				status != http.StatusRequestEntityTooLarge
-			s.metrics.observe(ep, status, time.Since(start), admitted)
+			d := time.Since(start)
+			s.metrics.observe(ep, status, d, admitted)
+			if rq != nil && admitted {
+				s.metrics.observePhase(ep, dominant, d)
+			}
 		}()
 		next.ServeHTTP(rec, r)
 	})

@@ -32,6 +32,7 @@ type Server struct {
 	sessions *sessions
 	tickets  *tickets
 	metrics  *metrics
+	reqs     *obs.ReqTracer
 
 	mu   sync.Mutex
 	ln   net.Listener
@@ -62,6 +63,16 @@ func New(db *h2tap.DB, cfg Config, obsv *obs.Observer, logger *log.Logger) (*Ser
 	}
 	s.metrics = newMetrics(obsv)
 	s.metrics.wireGauges(s)
+	// Request tracing works even without an Observer (metrics off): the
+	// server then owns its own tracer so /debug/requests still answers.
+	if obsv != nil {
+		s.reqs = obsv.Requests
+	}
+	if s.reqs == nil {
+		s.reqs = obs.NewReqTracer(64, 32)
+	}
+	s.reqs.SetSampling(cfg.TraceSample)
+	s.reqs.SetSlowThreshold(cfg.TraceSlow)
 	return s, nil
 }
 
@@ -92,12 +103,20 @@ func (s *Server) mux() http.Handler {
 		})
 		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			if err := obs.WriteChromeTrace(w, s.obs.Tracer.Cycles(0)); err != nil {
+			snap := s.reqs.Snapshot()
+			reqs := append(snap.Recent, snap.Slow...)
+			if err := obs.WriteChromeTraceMerged(w, s.obs.Tracer.Cycles(0), reqs); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 	}
+	mux.HandleFunc("/debug/requests", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.reqs.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeNotFound, fmt.Sprintf("no route %s", r.URL.Path), 0)
 	})
@@ -126,6 +145,11 @@ func (s *Server) Start() error {
 	s.logf("server: listening on %s", ln.Addr())
 	return nil
 }
+
+// SetTraceSampling adjusts request-trace sampling at runtime: 1 traces
+// every API request, N traces one in N (the reqtrace ablation flips this
+// between runs on one live server).
+func (s *Server) SetTraceSampling(n int) { s.reqs.SetSampling(n) }
 
 // Addr reports the bound listen address.
 func (s *Server) Addr() string {

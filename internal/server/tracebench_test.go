@@ -1,0 +1,43 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"h2tap"
+)
+
+func BenchmarkTracedCommit(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		sample int
+	}{{"sampledOut", 1 << 30}, {"every", 1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			db, err := h2tap.Open(h2tap.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			srv, err := New(db, Config{Addr: "127.0.0.1:0", SessionRate: 1e9, SessionBurst: 1e9}, nil, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.SetTraceSampling(tc.sample)
+			h := srv.mux()
+			body := `{"ops":[{"op":"add-node","label":"T"}]}`
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/commit", strings.NewReader(body))
+				req.Header.Set("Content-Type", "application/json")
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != 200 {
+					b.Fatalf("commit = %d", w.Code)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"h2tap/internal/gpu"
 	"h2tap/internal/graph"
 	"h2tap/internal/htap"
+	"h2tap/internal/obs"
 	"h2tap/internal/vfs"
 	"h2tap/internal/wal"
 )
@@ -264,12 +265,19 @@ func (c *Cluster) Domain(i int) *Domain { return c.domains[i] }
 // lock (excluded by recovery's whole-log scan). Nil coordinator (volatile
 // cluster) is a no-op.
 func (c *Cluster) logCoordDecision(gtx uint64, commit bool) error {
+	return c.logCoordDecisionTraced(gtx, commit, nil)
+}
+
+// logCoordDecisionTraced is logCoordDecision carrying a request trace so the
+// coordinator fsync (the distributed commit point) shows up in the request's
+// span breakdown. rq may be nil.
+func (c *Cluster) logCoordDecisionTraced(gtx uint64, commit bool, rq *obs.Req) error {
 	c.coordMu.RLock()
 	defer c.coordMu.RUnlock()
 	if c.coord == nil {
 		return nil
 	}
-	return c.coord.LogDecision(gtx, commit)
+	return c.coord.LogDecisionTraced(gtx, commit, rq)
 }
 
 // noteHeuristicAbort records that gtx is about to attempt its coordinator

@@ -11,6 +11,7 @@ import (
 	"h2tap/internal/graph"
 	"h2tap/internal/htap"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/pmem"
 	"h2tap/internal/sim"
 	"h2tap/internal/vfs"
@@ -220,7 +221,14 @@ type walQuarantine struct {
 }
 
 func (w walQuarantine) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
-	err := w.core.wal.LogCommit(ts, ops)
+	return w.LogCommitTraced(ts, ops, nil)
+}
+
+// LogCommitTraced implements graph.TracedOpLogger: the request trace rides
+// the append so a traced commit sees its enqueue/write/fsync/ack breakdown
+// on the shard WAL exactly as on the single-node log.
+func (w walQuarantine) LogCommitTraced(ts mvto.TS, ops []graph.LoggedOp, rq *obs.Req) error {
+	err := w.core.wal.LogCommitTraced(ts, ops, rq)
 	if err != nil {
 		w.d.quarantine(fmt.Errorf("wal append: %w", err))
 	}
@@ -233,14 +241,14 @@ func (w walQuarantine) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
 // failed best-effort close may have left the handle writable), and a
 // "durable" prepare that never reaches the current incarnation's log would
 // let the coordinator commit a transaction recovery cannot reconstruct.
-func (d *Domain) logPrepare(core *domainCore, gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
+func (d *Domain) logPrepare(core *domainCore, gtx uint64, ts mvto.TS, ops []graph.LoggedOp, rq *obs.Req) error {
 	if core.wal == nil {
 		return nil
 	}
 	if d.isDown() || d.core.Load() != core {
 		return d.downErr()
 	}
-	if err := core.wal.LogPrepare(gtx, ts, ops); err != nil {
+	if err := core.wal.LogPrepareTraced(gtx, ts, ops, rq); err != nil {
 		d.quarantine(fmt.Errorf("wal prepare append: %w", err))
 		return err
 	}
@@ -258,7 +266,7 @@ func (d *Domain) logPrepare(core *domainCore, gtx uint64, ts mvto.TS, ops []grap
 // forces another recovery, whose replay now finds the decision and applies
 // the transaction — the live incarnation converges instead of silently
 // missing an acked commit.
-func (d *Domain) logDecision(core *domainCore, gtx uint64, commit bool) error {
+func (d *Domain) logDecision(core *domainCore, gtx uint64, commit bool, rq *obs.Req) error {
 	if core.wal == nil {
 		return nil
 	}
@@ -269,7 +277,7 @@ func (d *Domain) logDecision(core *domainCore, gtx uint64, commit bool) error {
 		}
 		return err
 	}
-	if err := core.wal.LogDecision(gtx, commit); err != nil {
+	if err := core.wal.LogDecisionTraced(gtx, commit, rq); err != nil {
 		if commit {
 			d.quarantine(fmt.Errorf("wal decision append: %w", err))
 		}

@@ -10,6 +10,7 @@ import (
 	"h2tap/internal/graph"
 	"h2tap/internal/htap"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/sim"
 )
 
@@ -69,6 +70,16 @@ const stitchAttempts = 256
 // graph at a committed prefix of every shard. On a torn cut the lagging
 // shards are re-propagated and the acquisition retried.
 func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResult, error) {
+	return c.RunAnalyticsTraced(kind, src, nil)
+}
+
+// RunAnalyticsTraced is RunAnalytics carrying a request trace: each attempt's
+// propagate-on-demand freshening records a stitch.propagate span and each
+// watermark acquire+verify records a stitch.barrier span, so a stitched
+// request stuck retrying torn cuts is attributable from /debug/requests. The
+// per-request span cap bounds what a pathological retry loop can record. rq
+// may be nil.
+func (c *Cluster) RunAnalyticsTraced(kind htap.AnalyticsKind, src uint64, rq *obs.Req) (*StitchResult, error) {
 	if err := c.StartEngines(); err != nil {
 		return nil, err
 	}
@@ -99,12 +110,15 @@ func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResu
 		// RunAnalytics contract: analytics see updates that arrived before
 		// the request). Propagation failures degrade to the last-good
 		// replica exactly as they do per-shard.
+		sp := rq.Span("stitch.propagate", "stitch")
 		for i, d := range c.domains {
 			if included[i] && !d.Engine().Fresh() {
 				d.Engine().Propagate()
 			}
 		}
+		sp.End()
 
+		sp = rq.Span("stitch.barrier", "stitch")
 		views := make([]analytics.Graph, len(c.domains))
 		w := make([]mvto.TS, len(c.domains))
 		releases := make([]func(), 0, len(c.domains))
@@ -123,15 +137,18 @@ func (c *Cluster) RunAnalytics(kind htap.AnalyticsKind, src uint64) (*StitchResu
 		}
 
 		lagging := c.reg.splits(w, included)
+		sp.End()
 		if lagging != nil {
 			release()
 			// A lagging shard's replica stops short of a transaction another
 			// shard already shows. Re-propagate those shards and retry; if
 			// the missing half has not published yet, the next attempts wait
 			// it out.
+			sp = rq.Span("stitch.propagate", "stitch")
 			for _, s := range lagging {
 				c.domains[s].Engine().Propagate()
 			}
+			sp.End()
 			time.Sleep(100 * time.Microsecond)
 			continue
 		}

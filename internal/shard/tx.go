@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"h2tap/internal/graph"
 	"h2tap/internal/htap"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 )
 
 // Tx is a cluster-wide read-write transaction. It lazily opens one
@@ -18,9 +20,20 @@ import (
 // path (today's exact commit sequence, one shard touched) or two-phase
 // commit (several shards). A Tx is used by one goroutine.
 type Tx struct {
-	c    *Cluster
-	subs map[int]*subTx
-	done bool
+	c     *Cluster
+	subs  map[int]*subTx
+	done  bool
+	trace *obs.Req // request trace; propagated to every sub-transaction
+}
+
+// SetTrace attaches a request trace to the cluster transaction and every
+// sub-transaction (open now or opened later). The caller owns the trace's
+// lifetime; clear with SetTrace(nil) if the transaction outlives the request.
+func (t *Tx) SetTrace(r *obs.Req) {
+	t.trace = r
+	for _, s := range t.subs {
+		s.tx.SetTrace(r)
+	}
 }
 
 // subTx pins one shard's sub-transaction to the core incarnation it was
@@ -55,6 +68,7 @@ func (t *Tx) sub(i int) (*subTx, error) {
 	}
 	core := d.core.Load()
 	s := &subTx{tx: core.store.Begin(), core: core, d: d}
+	s.tx.SetTrace(t.trace)
 	t.subs[i] = s
 	return s, nil
 }
@@ -340,6 +354,8 @@ func (t *Tx) Commit() error {
 	}
 
 	gtx := c.gtx.Add(1)
+	rq := t.trace
+	rq.Arg("gtx", strconv.FormatUint(gtx, 10))
 	prepared := make(map[int]*graph.PreparedTx, len(parts))
 
 	abortAll := func() {
@@ -347,7 +363,7 @@ func (t *Tx) Commit() error {
 			s := t.subs[sidx]
 			if p, ok := prepared[sidx]; ok {
 				p.Finish(false, func() error {
-					return s.d.logDecision(s.core, gtx, false)
+					return s.d.logDecision(s.core, gtx, false, nil)
 				})
 			} else {
 				s.tx.Abort()
@@ -363,12 +379,15 @@ func (t *Tx) Commit() error {
 	partTS := make(map[int]mvto.TS, len(parts))
 	for _, sidx := range parts {
 		s := t.subs[sidx]
+		sp := rq.Span("2pc.prepare", "2pc")
+		sp.Arg("shard", strconv.Itoa(sidx))
 		p, err := s.tx.PrepareCommit(func(ts mvto.TS, ops []graph.LoggedOp) error {
 			if gerr := s.d.guardErr(s.core); gerr != nil {
 				return gerr
 			}
-			return s.d.logPrepare(s.core, gtx, ts, ops)
+			return s.d.logPrepare(s.core, gtx, ts, ops, rq)
 		})
+		sp.End()
 		if err != nil {
 			abortAll()
 			if shed := shedOrRaw(s.d, err); shed != err {
@@ -390,7 +409,10 @@ func (t *Tx) Commit() error {
 	// the note (registered before the append so no reconcile can slip into
 	// the gap) lets RecoverCoordinator settle that contradiction.
 	c.noteHeuristicAbort(gtx, parts)
-	if err := c.logCoordDecision(gtx, true); err != nil {
+	sp := rq.Span("2pc.decide", "2pc")
+	err := c.logCoordDecisionTraced(gtx, true, rq)
+	sp.End()
+	if err != nil {
 		c.reg.remove(gtx)
 		abortAll()
 		return fmt.Errorf("%w: decision append: %v", ErrCoordinatorDown, err)
@@ -404,9 +426,12 @@ func (t *Tx) Commit() error {
 	// the caller gets success.
 	for _, sidx := range parts {
 		s := t.subs[sidx]
+		sp := rq.Span("2pc.apply", "2pc")
+		sp.Arg("shard", strconv.Itoa(sidx))
 		prepared[sidx].Finish(true, func() error {
-			return s.d.logDecision(s.core, gtx, true)
+			return s.d.logDecision(s.core, gtx, true, rq)
 		})
+		sp.End()
 	}
 	c.reg.markDone(gtx)
 	return nil

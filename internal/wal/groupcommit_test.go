@@ -165,7 +165,7 @@ func TestGroupCommitFailureRewindsBatch(t *testing.T) {
 		t.Fatalf("acked = %d, expected at least one failed commit", acked)
 	}
 	// Latched log refuses clean appends.
-	if err := l.append([]byte{1}); !errors.Is(err, ErrLogFailed) {
+	if err := l.append([]byte{1}, nil); !errors.Is(err, ErrLogFailed) {
 		t.Fatalf("append on failed log: %v, want ErrLogFailed", err)
 	}
 	l.Close()

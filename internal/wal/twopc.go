@@ -11,6 +11,7 @@ import (
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/vfs"
 )
 
@@ -51,6 +52,12 @@ const (
 // coordinator may decide commit. It rides the same group-commit batches as
 // LogCommit and shares its failure semantics.
 func (l *Log) LogPrepare(gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
+	return l.LogPrepareTraced(gtx, ts, ops, nil)
+}
+
+// LogPrepareTraced is LogPrepare carrying a request trace for the append's
+// enqueue/write/fsync/ack breakdown. rq may be nil.
+func (l *Log) LogPrepareTraced(gtx uint64, ts mvto.TS, ops []graph.LoggedOp, rq *obs.Req) error {
 	e := encPool.Get().(*encBuf)
 	b := e.b[:0]
 	b = binary.LittleEndian.AppendUint64(b, twopcMarker)
@@ -62,7 +69,7 @@ func (l *Log) LogPrepare(gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
 		b = encodeOp(b, &ops[i])
 	}
 	e.b = b
-	err := l.append(e.b)
+	err := l.append(e.b, rq)
 	encPool.Put(e)
 	return err
 }
@@ -73,6 +80,11 @@ func (l *Log) LogPrepare(gtx uint64, ts mvto.TS, ops []graph.LoggedOp) error {
 // fsync); on a participant log it resolves that shard's prepare record so
 // replay needs no coordinator consultation.
 func (l *Log) LogDecision(gtx uint64, commit bool) error {
+	return l.LogDecisionTraced(gtx, commit, nil)
+}
+
+// LogDecisionTraced is LogDecision carrying a request trace. rq may be nil.
+func (l *Log) LogDecisionTraced(gtx uint64, commit bool, rq *obs.Req) error {
 	e := encPool.Get().(*encBuf)
 	b := e.b[:0]
 	b = binary.LittleEndian.AppendUint64(b, twopcMarker)
@@ -84,7 +96,7 @@ func (l *Log) LogDecision(gtx uint64, commit bool) error {
 		b = append(b, outcomeAbort)
 	}
 	e.b = b
-	err := l.append(e.b)
+	err := l.append(e.b, rq)
 	encPool.Put(e)
 	return err
 }

@@ -20,14 +20,23 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"h2tap/internal/graph"
 	"h2tap/internal/mvto"
+	"h2tap/internal/obs"
 	"h2tap/internal/vfs"
 )
+
+// openFiles counts WAL file handles open across the process, exposed as a
+// runtime-health gauge (per-shard WALs + coordinator log + main log).
+var openFiles atomic.Int64
+
+// OpenFiles reports the number of currently open WAL file handles.
+func OpenFiles() int64 { return openFiles.Load() }
 
 // Open flags, aliased so every file operation in this package goes through
 // the injectable vfs layer rather than the os package directly.
@@ -100,6 +109,17 @@ type Log struct {
 	batches     uint64 // successful batch flushes
 	maxBatch    uint64 // largest records-per-flush observed
 	flushNanos  uint64 // wall nanoseconds spent inside write+sync
+	batchSeq    uint64 // batches ever started; stamps batch.seq
+
+	closed bool // file handle released (for the open-files gauge)
+
+	// Enqueue-to-ack wait per append (staging through flush outcome),
+	// lock-free so the follower path records without retaking mu. Always
+	// on: group-commit queueing stays observable when tracing is sampled
+	// out. waitMin uses 0 as the unset sentinel.
+	waitSum atomic.Uint64
+	waitMin atomic.Uint64
+	waitMax atomic.Uint64
 }
 
 // batch is one group-commit unit: framed records from one or more
@@ -107,6 +127,7 @@ type Log struct {
 type batch struct {
 	buf  []byte       // framed records, in join order
 	n    int          // records staged
+	seq  uint64       // batch sequence number, for trace correlation
 	err  error        // flush outcome; written before done tokens are sent
 	refs atomic.Int32 // members still to read err; the last one recycles
 	// done carries n-1 tokens from the leader, one per follower, sent
@@ -115,6 +136,13 @@ type batch struct {
 	// full (capacity 1) wakes a leader lingering on MaxDelay when the
 	// batch fills early.
 	full chan struct{}
+	// Leader-stamped flush timeline, written before err and therefore
+	// ordered for followers by the done-channel send. Traced members turn
+	// these into wal.write / wal.fsync spans after the ack; zero values
+	// mean the flush never reached that point.
+	flushStart time.Time
+	writeEnd   time.Time
+	syncEnd    time.Time
 }
 
 // Stats is a snapshot of the log's append counters.
@@ -125,6 +153,13 @@ type Stats struct {
 	Batches     uint64 // group-commit flushes issued (Appends/Batches = mean batch)
 	MaxBatch    uint64 // largest records-per-flush observed
 	FlushNanos  uint64 // wall nanoseconds spent inside batch write+sync
+	// Enqueue-to-ack wait per append: from entering the staging batch to
+	// learning the flush outcome. Sum over all appends plus the observed
+	// extremes, so group-commit queueing is visible even when request
+	// tracing is sampled out. Min is 0 until the first append completes.
+	WaitNanosSum uint64
+	WaitNanosMin uint64
+	WaitNanosMax uint64
 	// Failed is the log's sticky failure latch, nil while healthy. A
 	// latched log refuses every append with ErrLogFailed; exposing the
 	// cause here lets health surfaces report it without waiting for the
@@ -139,7 +174,34 @@ func (l *Log) Stats() Stats {
 	return Stats{
 		Appends: l.appends, AppendBytes: l.appendBytes, Syncs: l.syncs,
 		Batches: l.batches, MaxBatch: l.maxBatch, FlushNanos: l.flushNanos,
-		Failed: l.failed,
+		WaitNanosSum: l.waitSum.Load(), WaitNanosMin: l.waitMin.Load(),
+		WaitNanosMax: l.waitMax.Load(),
+		Failed:       l.failed,
+	}
+}
+
+// noteWait folds one append's enqueue-to-ack wait into the lock-free
+// wait counters.
+func (l *Log) noteWait(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	l.waitSum.Add(ns)
+	for {
+		old := l.waitMin.Load()
+		if old != 0 && old <= ns {
+			break
+		}
+		if l.waitMin.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := l.waitMax.Load()
+		if old >= ns {
+			break
+		}
+		if l.waitMax.CompareAndSwap(old, ns) {
+			break
+		}
 	}
 }
 
@@ -220,6 +282,7 @@ func Open(path string, opts Options) (*Log, error) {
 			full: make(chan struct{}, 1),
 		}
 	}
+	openFiles.Add(1)
 	return l, nil
 }
 
@@ -257,6 +320,10 @@ func (l *Log) Close() error {
 	defer l.mu.Unlock()
 	syncErr := l.f.Sync()
 	closeErr := l.f.Close()
+	if !l.closed {
+		l.closed = true
+		openFiles.Add(-1)
+	}
 	return errors.Join(syncErr, closeErr)
 }
 
@@ -280,17 +347,27 @@ var encPool = sync.Pool{New: func() any { return new(encBuf) }}
 // returns only once the record's batch is durably flushed (per the sync
 // policy) or failed.
 func (l *Log) LogCommit(ts mvto.TS, ops []graph.LoggedOp) error {
+	return l.LogCommitTraced(ts, ops, nil)
+}
+
+// LogCommitTraced is LogCommit carrying a request trace: the append's
+// enqueue → write → fsync → ack breakdown is recorded as spans with the
+// batch sequence number and the record's position in it, so co-batched
+// requests are correlatable. rq may be nil.
+func (l *Log) LogCommitTraced(ts mvto.TS, ops []graph.LoggedOp, rq *obs.Req) error {
 	e := encPool.Get().(*encBuf)
 	e.b = encodeCommit(e.b[:0], ts, ops)
-	err := l.append(e.b)
+	err := l.append(e.b, rq)
 	encPool.Put(e)
 	return err
 }
 
 // append frames payload as one record into the current staging batch and
 // blocks until the batch containing it is flushed or failed. The caller
-// owns payload only until append returns.
-func (l *Log) append(payload []byte) error {
+// owns payload only until append returns. With rq non-nil the member's
+// share of the batch timeline is recorded as request spans.
+func (l *Log) append(payload []byte, rq *obs.Req) error {
+	start := time.Now()
 	l.mu.Lock()
 	if l.failed != nil {
 		l.mu.Unlock()
@@ -300,6 +377,8 @@ func (l *Log) append(payload []byte) error {
 	leader := b == nil
 	if leader {
 		b = l.pool.Get().(*batch)
+		l.batchSeq++
+		b.seq = l.batchSeq
 		l.cur = b
 	}
 	b.refs.Add(1)
@@ -309,6 +388,7 @@ func (l *Log) append(payload []byte) error {
 	binary.LittleEndian.PutUint32(b.buf[hdr+4:], crc32.ChecksumIEEE(payload))
 	b.buf = append(b.buf, payload...)
 	b.n++
+	pos := b.n - 1
 	full := b.n >= l.gc.MaxBatch
 	if full {
 		// Close the batch: later committers start — and lead — the next
@@ -326,7 +406,9 @@ func (l *Log) append(payload []byte) error {
 			}
 			t.Stop()
 		}
-		return l.flush(b)
+		err := l.flush(b, rq, start, pos)
+		l.noteWait(time.Since(start))
+		return err
 	}
 	if full && l.gc.MaxDelay > 0 {
 		// Wake a leader lingering on MaxDelay; buffered, never blocks.
@@ -337,14 +419,22 @@ func (l *Log) append(payload []byte) error {
 	}
 	<-b.done
 	err := b.err
+	if rq != nil {
+		// Safe before release: this member's reference keeps the batch out
+		// of the pool, and the done-channel send ordered the leader's
+		// timestamp stamps before this read.
+		b.recordSpans(rq, start, time.Now(), pos, l.sync)
+	}
 	l.release(b)
+	l.noteWait(time.Since(start))
 	return err
 }
 
 // flush writes (and per the sync policy syncs) one batch as a single I/O
 // unit under ioMu, settles the counters, and wakes the batch's followers
-// with the shared outcome. Only the batch's leader calls it.
-func (l *Log) flush(b *batch) error {
+// with the shared outcome. Only the batch's leader calls it; start/pos
+// describe the leader's own membership for trace recording.
+func (l *Log) flush(b *batch, rq *obs.Req, memberStart time.Time, pos int) error {
 	l.ioMu.Lock()
 	l.mu.Lock()
 	if l.cur == b {
@@ -359,7 +449,11 @@ func (l *Log) flush(b *batch) error {
 		err := fmt.Errorf("%w: %v", ErrLogFailed, l.failed)
 		l.mu.Unlock()
 		l.ioMu.Unlock()
+		b.flushStart, b.writeEnd, b.syncEnd = time.Time{}, time.Time{}, time.Time{}
 		b.err = err
+		if rq != nil {
+			b.recordSpans(rq, memberStart, time.Now(), pos, l.sync)
+		}
 		l.wake(b, n)
 		return err
 	}
@@ -367,13 +461,20 @@ func (l *Log) flush(b *batch) error {
 	l.mu.Unlock()
 
 	start := time.Now()
+	b.flushStart = start
+	b.writeEnd, b.syncEnd = time.Time{}, time.Time{}
 	var ioErr error
 	stage := ""
 	if _, werr := f.Write(b.buf); werr != nil {
 		ioErr, stage = werr, "append"
-	} else if l.sync {
-		if serr := f.Sync(); serr != nil {
-			ioErr, stage = serr, "sync"
+	} else {
+		b.writeEnd = time.Now()
+		if l.sync {
+			if serr := f.Sync(); serr != nil {
+				ioErr, stage = serr, "sync"
+			} else {
+				b.syncEnd = time.Now()
+			}
 		}
 	}
 	dur := time.Since(start)
@@ -399,8 +500,42 @@ func (l *Log) flush(b *batch) error {
 	l.mu.Unlock()
 	l.ioMu.Unlock()
 	b.err = err
+	if rq != nil {
+		b.recordSpans(rq, memberStart, time.Now(), pos, l.sync)
+	}
 	l.wake(b, n)
 	return err
+}
+
+// recordSpans turns one member's view of the batch timeline into request
+// spans: wal.enqueue (staging + waiting behind the previous flush),
+// wal.write, wal.fsync (sync policy permitting) and wal.ack (flush end to
+// member wakeup). Batch sequence and record position ride as args so every
+// co-batched request points at the same flush.
+func (b *batch) recordSpans(rq *obs.Req, start, ack time.Time, pos int, synced bool) {
+	seqArg := obs.L("batch", strconv.FormatUint(b.seq, 10))
+	posArg := obs.L("pos", strconv.Itoa(pos))
+	if b.flushStart.IsZero() {
+		// The flush never started (failed latch): everything was queueing.
+		rq.AddSpan("wal.enqueue", "wal", start, ack, seqArg, posArg)
+		return
+	}
+	rq.AddSpan("wal.enqueue", "wal", start, b.flushStart, seqArg, posArg)
+	if b.writeEnd.IsZero() {
+		rq.AddSpan("wal.write", "wal", b.flushStart, ack, seqArg)
+		return
+	}
+	rq.AddSpan("wal.write", "wal", b.flushStart, b.writeEnd, seqArg)
+	last := b.writeEnd
+	if synced {
+		if b.syncEnd.IsZero() {
+			rq.AddSpan("wal.fsync", "wal-fsync", b.writeEnd, ack, seqArg)
+			return
+		}
+		rq.AddSpan("wal.fsync", "wal-fsync", b.writeEnd, b.syncEnd, seqArg)
+		last = b.syncEnd
+	}
+	rq.AddSpan("wal.ack", "wal", last, ack, seqArg)
 }
 
 // wake hands the settled batch to its n-1 followers (b.err must be set

@@ -68,6 +68,9 @@ h2tap_costmodel_rel_error{model="transfer"}
 h2tap_costmodel_predictions_total{model="rebuild"}
 h2tap_gpu_ops_total{op="
 h2tap_gpu_bytes_total{dir="h2d"}
+h2tap_build_info
+h2tap_uptime_seconds
+h2tap_goroutines
 EOF
 
 # /healthz answers 200 (healthy) or 503 (degraded) with a detail line.
@@ -83,8 +86,36 @@ curl -sf "http://$addr/debug/trace?n=4" >"$tmp/trace"
 grep -q '"traceEvents"' "$tmp/trace" || { echo "obs-smoke: bad trace envelope"; exit 1; }
 grep -q '"name": "propagation"' "$tmp/trace" || { echo "obs-smoke: no cycle in trace"; exit 1; }
 
+# Structural validation of the Perfetto export: the envelope must parse as
+# JSON and every trace event must carry the complete-event fields a viewer
+# needs (name, ph=X, ts/dur, pid/tid). Falls back to the grep checks above
+# when no python3 is available.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$tmp/trace" <<'PYEOF' || { echo "obs-smoke: Perfetto export failed structural validation"; exit 1; }
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "empty traceEvents"
+for ev in events:
+    for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+        assert key in ev, f"event missing {key}: {ev}"
+    assert ev["ph"] == "X", f"unexpected phase {ev['ph']}"
+    assert ev["ts"] >= 0 and ev["dur"] >= 0, f"negative time: {ev}"
+PYEOF
+fi
+
+# /debug/requests serves the request-trace retention rings as JSON. The
+# bench drives no HTTP API traffic, so the rings are empty here — the smoke
+# asserts the endpoint is live and structurally sound.
+curl -sf "http://$addr/debug/requests" >"$tmp/requests"
+for key in '"active"' '"recent"' '"slow"'; do
+  grep -q "$key" "$tmp/requests" || {
+    echo "obs-smoke: /debug/requests missing $key"; cat "$tmp/requests"; exit 1; }
+done
+
 # /debug/pprof is live.
 curl -sf "http://$addr/debug/pprof/" >/dev/null || { echo "obs-smoke: pprof index unreachable"; exit 1; }
 
 kill "$pid" 2>/dev/null || true
-echo "obs-smoke: ok (metrics, healthz=$code, trace, pprof)"
+echo "obs-smoke: ok (metrics, healthz=$code, trace, requests, pprof)"

@@ -10,6 +10,7 @@ import (
 	"h2tap/internal/htap"
 	"h2tap/internal/obs"
 	"h2tap/internal/shard"
+	"h2tap/internal/wal"
 )
 
 // Sharded mode. Options.Shards > 1 partitions the engine into N independent
@@ -90,6 +91,9 @@ func (db *DB) wireShardObs() {
 	if o == nil || db.cluster == nil {
 		return
 	}
+	o.Reg.GaugeFunc("h2tap_wal_open_files",
+		"Write-ahead log file handles currently open in this process.",
+		func() float64 { return float64(wal.OpenFiles()) })
 	for i := 0; i < db.cluster.Shards(); i++ {
 		d := db.cluster.Domain(i)
 		lbl := obs.L("shard", strconv.Itoa(i))
@@ -162,10 +166,17 @@ func (db *DB) BeginSharded() (*ClusterTx, error) {
 // RunAnalyticsStitched executes one cross-shard analytics request and
 // returns the stitched result keyed by global ID (sharded databases only).
 func (db *DB) RunAnalyticsStitched(kind AnalyticsKind, src uint64) (*StitchResult, error) {
+	return db.RunAnalyticsStitchedTraced(kind, src, nil)
+}
+
+// RunAnalyticsStitchedTraced is RunAnalyticsStitched carrying a request
+// trace: the stitch barrier and propagate-on-demand waits are recorded as
+// spans on rq. rq may be nil.
+func (db *DB) RunAnalyticsStitchedTraced(kind AnalyticsKind, src uint64, rq *obs.Req) (*StitchResult, error) {
 	if db.cluster == nil {
 		return nil, ErrNotSharded
 	}
-	return db.cluster.RunAnalytics(kind, src)
+	return db.cluster.RunAnalyticsTraced(kind, src, rq)
 }
 
 // shardedRunAnalytics adapts a stitched result to the single-domain Result
